@@ -1,0 +1,101 @@
+// Command optcc-sim runs the calibrated timing simulator on the paper's
+// cluster for any model / parallel-mapping / Optimus-CC configuration,
+// printing iteration time, projected training days, an exposed-time
+// breakdown (Fig. 3/10 style), and optionally an ASCII timing diagram
+// (Fig. 4 style).
+//
+// Examples:
+//
+//	optcc-sim -model 2.5b -config baseline -timeline
+//	optcc-sim -model 8.3b -config cbfesc
+//	optcc-sim -model 9.2b -config cbfesc -tp 2 -pp 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+var specs = map[string]cluster.GPTSpec{
+	"2.5b": cluster.GPT25B,
+	"8.3b": cluster.GPT83B,
+	"9.2b": cluster.GPT92B,
+	"39b":  cluster.GPT39B,
+	"175b": cluster.GPT175B,
+}
+
+var configs = map[string]func() core.Config{
+	"baseline": core.Baseline,
+	"cb":       core.CB,
+	"cbfe":     core.CBFE,
+	"cbfesc":   core.CBFESC,
+	"naivedp":  core.NaiveDP,
+	"naivecb":  core.NaiveCB,
+}
+
+func main() {
+	model := flag.String("model", "2.5b", "model: 2.5b, 8.3b, 9.2b, 39b, 175b")
+	config := flag.String("config", "baseline", "config: baseline, cb, cbfe, cbfesc, naivedp, naivecb")
+	tp := flag.Int("tp", 8, "tensor-parallel ways")
+	dp := flag.Int("dp", 4, "data-parallel ways")
+	pp := flag.Int("pp", 4, "pipeline-parallel ways")
+	nodes := flag.Int("nodes", 16, "cluster nodes (8 GPUs each)")
+	iters := flag.Int("iters", 230000, "training iterations for the day projection")
+	timeline := flag.Bool("timeline", false, "print the Fig. 4 style ASCII timing diagram")
+	width := flag.Int("width", 120, "timeline width in columns")
+	flag.Parse()
+
+	spec, ok := specs[strings.ToLower(*model)]
+	if !ok {
+		fatalf("unknown model %q (have: %v)", *model, keys(specs))
+	}
+	mk, ok := configs[strings.ToLower(*config)]
+	if !ok {
+		fatalf("unknown config %q (have: %v)", *config, keys(configs))
+	}
+
+	eff, err := experiments.CalibratedEfficiency()
+	if err != nil {
+		fatalf("calibration: %v", err)
+	}
+	sc := sim.PaperScenario(spec, mk())
+	sc.Map = cluster.Mapping{TP: *tp, DP: *dp, PP: *pp}
+	sc.Topo.Nodes = *nodes
+	sc.Topo.Efficiency = eff
+	sc.Iterations = *iters
+
+	r, err := sim.Simulate(sc)
+	if err != nil {
+		fatalf("simulate: %v", err)
+	}
+	fmt.Printf("%s on %d GPUs (%s), %s\n", spec.Name, sc.Map.Ways(), sc.Map, sc.Cfg.Name())
+	fmt.Print(sim.BreakdownReport(sc.Cfg.Name(), r))
+	if *timeline {
+		tl, err := sim.Timeline(sc, *width)
+		if err != nil {
+			fatalf("timeline: %v", err)
+		}
+		fmt.Println()
+		fmt.Print(tl)
+	}
+}
+
+func keys[V any](m map[string]V) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "optcc-sim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,19 @@
+// Package repro is a pure-Go reproduction of "Optimus-CC: Efficient Large
+// NLP Model Training with 3D Parallelism Aware Communication Compression"
+// (ASPLOS 2023).
+//
+// The repository contains two complementary substrates — a real training
+// stack for a scaled stand-in language model (internal/tensor, model,
+// data, train) that reproduces every model-quality result, and a
+// calibrated discrete-event cluster simulator (internal/cluster, simnet,
+// pipeline, sim) that reproduces every timing result — plus the Optimus-CC
+// technique layer itself (internal/core, compress) and an experiment
+// harness (internal/experiments) that regenerates each table and figure.
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The root-level benchmarks (bench_test.go) regenerate each artifact:
+//
+//	go test -bench=Fig3 -benchtime=1x .
+//	go test -bench=. -benchmem ./...
+package repro

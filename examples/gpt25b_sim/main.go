@@ -1,0 +1,52 @@
+// gpt25b_sim reproduces the Table 2 timing rows for GPT-2.5B and GPT-8.3B
+// on the paper's cluster, prints the exposed-time breakdown for every
+// technique combination, and renders the Fig. 4 style timing diagram for
+// baseline vs full Optimus-CC.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	eff, err := experiments.CalibratedEfficiency()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calibrated cluster efficiency: %.4f (fit to GPT-2.5B baseline = 14.72 days)\n\n", eff)
+
+	for _, spec := range []cluster.GPTSpec{cluster.GPT25B, cluster.GPT83B} {
+		fmt.Printf("=== %s (TP8/DP4/PP4, 230K iterations) ===\n", spec.Name)
+		var base sim.Result
+		for i, cfg := range []core.Config{core.Baseline(), core.CB(), core.CBFE(), core.CBFESC()} {
+			sc := sim.PaperScenario(spec, cfg)
+			sc.Topo.Efficiency = eff
+			r, err := sim.Simulate(sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if i == 0 {
+				base = r
+			}
+			fmt.Printf("%-14s %6.2f days  (%+.2f%%)\n", cfg.Name(), r.Days, r.Speedup(base)*100)
+			fmt.Print(sim.BreakdownReport(cfg.Name(), r))
+		}
+		fmt.Println()
+	}
+
+	for _, cfg := range []core.Config{core.Baseline(), core.CBFESC()} {
+		sc := sim.PaperScenario(cluster.GPT25B, cfg)
+		sc.Topo.Efficiency = eff
+		tl, err := sim.Timeline(sc, 110)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tl)
+	}
+}

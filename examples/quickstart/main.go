@@ -1,0 +1,61 @@
+// Quickstart: the smallest end-to-end tour of the Optimus-CC
+// reproduction. It builds the synthetic corpus, trains the stand-in
+// model for a few hundred iterations under the full Optimus-CC
+// configuration (compressed backpropagation + fused embedding sync +
+// selective stage compression), and simulates the same configuration's
+// speedup on the paper's 128-GPU cluster.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/train"
+)
+
+func main() {
+	// 1. Real training with Optimus-CC on the scaled stand-in model.
+	corpus, err := data.Generate(data.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := train.DefaultConfig()
+	cfg.MicroBatch = 32
+	cfg.Opt = experiments.ScaledOpt(core.CBFESC())
+	tr, err := train.New(cfg, corpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("training the stand-in LM with CB+FE+SC ...")
+	tr.Train(300, func(it int, loss float64) {
+		if it%100 == 0 {
+			fmt.Printf("  iter %4d  loss %.4f  val PPL %.3f\n", it, loss, tr.ValidationPerplexity(300))
+		}
+	})
+
+	// 2. Simulated speedup of the same configuration on the paper's
+	// cluster (128 A100s, TP8/DP4/PP4).
+	eff, err := experiments.CalibratedEfficiency()
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := sim.PaperScenario(cluster.GPT25B, core.Baseline())
+	base.Topo.Efficiency = eff
+	full := sim.PaperScenario(cluster.GPT25B, core.CBFESC())
+	full.Topo.Efficiency = eff
+	rb, err := sim.Simulate(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rf, err := sim.Simulate(full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGPT-2.5B on 128 GPUs: baseline %.2f days → Optimus-CC %.2f days (%+.2f%% speedup)\n",
+		rb.Days, rf.Days, rf.Speedup(rb)*100)
+}

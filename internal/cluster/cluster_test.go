@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperClusterShape(t *testing.T) {
+	c := PaperCluster()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalGPUs() != 128 {
+		t.Fatalf("GPUs %d want 128", c.TotalGPUs())
+	}
+	if c.Inter.BandwidthBps != 200e9 {
+		t.Fatalf("IB bandwidth %v want 200 Gb/s", c.Inter.BandwidthBps)
+	}
+	// NVLink must be much faster than IB (paper: TP comm "almost
+	// negligible").
+	if c.Intra.BandwidthBps < 10*c.Inter.BandwidthBps {
+		t.Fatal("NVLink should dwarf IB")
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	bad := PaperCluster()
+	bad.Nodes = 0
+	if bad.Validate() == nil {
+		t.Fatal("0 nodes accepted")
+	}
+	bad = PaperCluster()
+	bad.Efficiency = 1.5
+	if bad.Validate() == nil {
+		t.Fatal("efficiency >1 accepted")
+	}
+	bad = PaperCluster()
+	bad.PeakFLOPs = 0
+	if bad.Validate() == nil {
+		t.Fatal("0 FLOPs accepted")
+	}
+}
+
+func TestMappingValidate(t *testing.T) {
+	c := PaperCluster()
+	good := Mapping{TP: 8, DP: 4, PP: 4}
+	if err := good.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	if good.Ways() != 128 {
+		t.Fatalf("ways %d", good.Ways())
+	}
+	if (Mapping{TP: 16, DP: 2, PP: 4}).Validate(c) == nil {
+		t.Fatal("TP>GPUs/node accepted")
+	}
+	if (Mapping{TP: 8, DP: 8, PP: 4}).Validate(c) == nil {
+		t.Fatal("oversubscribed mapping accepted")
+	}
+	if (Mapping{TP: 0, DP: 1, PP: 1}).Validate(c) == nil {
+		t.Fatal("zero ways accepted")
+	}
+	if got := good.String(); got != "TP8/DP4/PP4" {
+		t.Fatalf("String %q", got)
+	}
+}
+
+func TestGPTParamCountsMatchPaperNames(t *testing.T) {
+	// Each spec's parameter count should land near its nameplate size.
+	cases := []struct {
+		spec GPTSpec
+		want float64 // billions
+		tol  float64
+	}{
+		{GPT25B, 2.5, 0.3},
+		{GPT83B, 8.3, 0.5},
+		{GPT92B, 9.2, 0.6},
+		{GPT39B, 39, 3},
+		{GPT175B, 175, 10},
+	}
+	for _, c := range cases {
+		got := float64(c.spec.TotalParams()) / 1e9
+		if math.Abs(got-c.want) > c.tol {
+			t.Fatalf("%s: %.2fB params, want ≈%.1fB", c.spec.Name, got, c.want)
+		}
+	}
+}
+
+func TestParamsPerLayerDominatedBy12H2(t *testing.T) {
+	g := GPT83B
+	h := float64(g.Hidden)
+	if math.Abs(float64(g.ParamsPerLayer())-12*h*h)/(12*h*h) > 0.01 {
+		t.Fatal("per-layer params should be ≈12H²")
+	}
+}
+
+func TestFwdFLOPsPositiveAndScales(t *testing.T) {
+	small := GPT25B.FwdFLOPsPerLayerPerToken()
+	big := GPT175B.FwdFLOPsPerLayerPerToken()
+	if small <= 0 || big <= small {
+		t.Fatalf("FLOPs model broken: %v vs %v", small, big)
+	}
+}
+
+func TestActivationBytes(t *testing.T) {
+	// micro-batch 8 × seq 1024 × hidden 1920 × 2 bytes.
+	want := int64(8) * 1024 * 1920 * 2
+	if got := GPT25B.ActivationBytes(8, 2); got != want {
+		t.Fatalf("ActivationBytes %d want %d", got, want)
+	}
+}
+
+func TestLayerGradShape(t *testing.T) {
+	r, c := GPT83B.LayerGradShape()
+	if r != 3072 || c != 4*3072 {
+		t.Fatalf("shape %dx%d", r, c)
+	}
+}
+
+func TestGPTSpecValidate(t *testing.T) {
+	if GPT25B.Validate() != nil {
+		t.Fatal("valid spec rejected")
+	}
+	if (GPTSpec{}).Validate() == nil {
+		t.Fatal("zero spec accepted")
+	}
+}
+
+func TestEffectiveFLOPs(t *testing.T) {
+	c := PaperCluster()
+	if got := c.EffectiveFLOPs(); got != c.PeakFLOPs*c.Efficiency {
+		t.Fatalf("EffectiveFLOPs %v", got)
+	}
+}

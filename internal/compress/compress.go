@@ -1,0 +1,95 @@
+// Package compress implements the gradient-compression algorithms surveyed
+// in §2.3 of the Optimus-CC paper and the PowerSGD low-rank scheme the
+// paper adopts (§8), plus the error-feedback machinery that both
+// data-parallel compression and the paper's lazy error propagation build
+// on.
+//
+// A Compressor turns a dense gradient matrix into a compact Payload whose
+// WireBytes is what travels over the interconnect; Decompress reconstructs
+// the (lossy) dense matrix. CompressionError (original − reconstruction)
+// is what error feedback and lazy error propagation carry forward.
+package compress
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Payload is a compressed representation of a gradient matrix.
+type Payload interface {
+	// WireBytes is the number of bytes this payload occupies on the
+	// interconnect, assuming the element width the compressor was
+	// configured with.
+	WireBytes() int64
+	// Shape returns the dense shape the payload decompresses to.
+	Shape() (rows, cols int)
+}
+
+// Compressor is a lossy matrix compressor. Implementations must be
+// deterministic given their construction parameters and input.
+type Compressor interface {
+	// Compress encodes m. The input is not modified.
+	Compress(m *tensor.Matrix) Payload
+	// Decompress reconstructs a dense matrix from a payload produced by
+	// this compressor. The result is newly allocated.
+	Decompress(p Payload) *tensor.Matrix
+	// Name identifies the algorithm (for experiment tables).
+	Name() string
+	// Ratio returns the achieved compression ratio (dense bytes / wire
+	// bytes) for a rows×cols matrix. >1 means smaller on the wire.
+	Ratio(rows, cols int) float64
+}
+
+// ElemBytes is the assumed dense element width on the wire. The paper's
+// experiments communicate fp16 tensors.
+const ElemBytes = 2
+
+// DenseBytes returns the uncompressed wire size of a rows×cols matrix.
+func DenseBytes(rows, cols int) int64 {
+	return int64(rows) * int64(cols) * ElemBytes
+}
+
+// CompressionError returns orig − decompress(compress(orig)) given the
+// reconstruction; both inputs are unmodified.
+func CompressionError(orig, recon *tensor.Matrix) *tensor.Matrix {
+	e := orig.Clone()
+	e.Sub(recon)
+	return e
+}
+
+// RelativeError returns ‖orig − recon‖_F / ‖orig‖_F (0 when orig is zero).
+func RelativeError(orig, recon *tensor.Matrix) float64 {
+	n := orig.FrobeniusNorm()
+	if n == 0 {
+		return 0
+	}
+	return CompressionError(orig, recon).FrobeniusNorm() / n
+}
+
+// Identity is the no-compression baseline: the payload is the dense matrix.
+type Identity struct{}
+
+// NewIdentity returns the pass-through compressor used for baseline runs.
+func NewIdentity() *Identity { return &Identity{} }
+
+type densePayload struct{ m *tensor.Matrix }
+
+func (p densePayload) WireBytes() int64          { return p.m.SizeBytes(ElemBytes) }
+func (p densePayload) Shape() (int, int)         { return p.m.Rows, p.m.Cols }
+func (c *Identity) Name() string                 { return "identity" }
+func (c *Identity) Ratio(rows, cols int) float64 { return 1 }
+
+// Compress implements Compressor.
+func (c *Identity) Compress(m *tensor.Matrix) Payload { return densePayload{m.Clone()} }
+
+// Decompress implements Compressor.
+func (c *Identity) Decompress(p Payload) *tensor.Matrix {
+	dp, ok := p.(densePayload)
+	if !ok {
+		panic(fmt.Sprintf("compress: Identity.Decompress got %T", p))
+	}
+	return dp.m.Clone()
+}
+
+var _ Compressor = (*Identity)(nil)

@@ -1,0 +1,424 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func allCompressors(seed int64) []Compressor {
+	return []Compressor{
+		NewIdentity(),
+		NewPowerSGD(4, seed),
+		NewTopK(0.1),
+		NewTernGrad(seed),
+		NewSignSGD(),
+		NewUniform8Bit(),
+	}
+}
+
+func TestIdentityRoundTripExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := tensor.RandN(rng, 7, 5, 1)
+	c := NewIdentity()
+	got := c.Decompress(c.Compress(m))
+	if !got.Equal(m, 0) {
+		t.Fatal("identity must be lossless")
+	}
+	if c.Ratio(7, 5) != 1 {
+		t.Fatal("identity ratio must be 1")
+	}
+}
+
+func TestCompressDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, c := range allCompressors(2) {
+		m := tensor.RandN(rng, 8, 6, 1)
+		orig := m.Clone()
+		_ = c.Compress(m)
+		if !m.Equal(orig, 0) {
+			t.Fatalf("%s mutated its input", c.Name())
+		}
+	}
+}
+
+func TestShapesPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, c := range allCompressors(3) {
+		m := tensor.RandN(rng, 9, 4, 1)
+		pl := c.Compress(m)
+		r, cl := pl.Shape()
+		if r != 9 || cl != 4 {
+			t.Fatalf("%s payload shape %dx%d", c.Name(), r, cl)
+		}
+		out := c.Decompress(pl)
+		if out.Rows != 9 || out.Cols != 4 {
+			t.Fatalf("%s decompressed shape %dx%d", c.Name(), out.Rows, out.Cols)
+		}
+	}
+}
+
+func TestZeroMatrixRoundTrip(t *testing.T) {
+	for _, c := range allCompressors(4) {
+		m := tensor.New(6, 6)
+		out := c.Decompress(c.Compress(m))
+		if out.FrobeniusNorm() != 0 {
+			t.Fatalf("%s: zero input must reconstruct to zero", c.Name())
+		}
+	}
+}
+
+func TestPowerSGDExactOnLowRank(t *testing.T) {
+	// A rank-2 matrix must be reconstructed (nearly) exactly by rank≥2
+	// PowerSGD: the power iteration converges to the true column space.
+	rng := rand.New(rand.NewSource(5))
+	u := tensor.RandN(rng, 20, 2, 1)
+	v := tensor.RandN(rng, 15, 2, 1)
+	m := tensor.New(20, 15)
+	tensor.MatMulBTInto(m, u, v)
+
+	c := NewPowerSGD(2, 6)
+	// Warm-started iterations refine the subspace; a couple of calls on
+	// the same matrix should drive the error to ~0.
+	var recon *tensor.Matrix
+	for i := 0; i < 4; i++ {
+		recon = c.Decompress(c.Compress(m))
+	}
+	if rel := RelativeError(m, recon); rel > 1e-6 {
+		t.Fatalf("rank-2 matrix not recovered: rel err %v", rel)
+	}
+}
+
+func TestPowerSGDReducesErrorWithRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := tensor.RandN(rng, 40, 40, 1)
+	prev := math.Inf(1)
+	for _, r := range []int{1, 4, 16, 39} {
+		c := NewPowerSGD(r, 8)
+		recon := c.Decompress(c.Compress(m))
+		rel := RelativeError(m, recon)
+		if rel > prev+1e-9 {
+			t.Fatalf("rank %d error %v worse than smaller rank %v", r, rel, prev)
+		}
+		prev = rel
+	}
+}
+
+func TestPowerSGDWarmStartImproves(t *testing.T) {
+	// On a slowly-varying gradient sequence, warm start should beat cold
+	// start on the later steps.
+	rng := rand.New(rand.NewSource(9))
+	base := tensor.RandN(rng, 30, 30, 1)
+	warm := NewPowerSGD(4, 10)
+	cold := NewPowerSGD(4, 10)
+	cold.SetWarmStart(false)
+	var warmErr, coldErr float64
+	for step := 0; step < 8; step++ {
+		g := base.Clone().AddScaled(0.01, tensor.RandN(rng, 30, 30, 1))
+		warmErr = RelativeError(g, warm.Decompress(warm.Compress(g)))
+		coldErr = RelativeError(g, cold.Decompress(cold.Compress(g)))
+	}
+	if warmErr >= coldErr {
+		t.Fatalf("warm start (%v) not better than cold (%v)", warmErr, coldErr)
+	}
+}
+
+func TestPowerSGDRatio(t *testing.T) {
+	c := NewPowerSGD(16, 1)
+	// 1024x1024 dense = 2MB; payload = 16*(1024+1024) elems.
+	want := float64(1024*1024) / float64(16*2048)
+	if got := c.Ratio(1024, 1024); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ratio %v want %v", got, want)
+	}
+}
+
+func TestPowerSGDRankClamped(t *testing.T) {
+	c := NewPowerSGD(100, 2)
+	m := tensor.RandN(rand.New(rand.NewSource(1)), 5, 3, 1)
+	recon := c.Decompress(c.Compress(m))
+	// rank clamps to 3, which spans the full space: exact recovery.
+	if rel := RelativeError(m, recon); rel > 1e-8 {
+		t.Fatalf("full-rank recovery failed: %v", rel)
+	}
+}
+
+func TestTopKKeepsLargest(t *testing.T) {
+	m := tensor.FromSlice(1, 5, []float64{0.1, -5, 0.2, 3, -0.05})
+	c := NewTopK(0.4) // keep 2 of 5
+	out := c.Decompress(c.Compress(m))
+	want := []float64{0, -5, 0, 3, 0}
+	for i, v := range out.Data {
+		if v != want[i] {
+			t.Fatalf("topk: got %v want %v", out.Data, want)
+		}
+	}
+}
+
+func TestTopKIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := tensor.RandN(rng, 10, 10, 1)
+	c := NewTopK(0.2)
+	once := c.Decompress(c.Compress(m))
+	twice := c.Decompress(c.Compress(once))
+	if !once.Equal(twice, 0) {
+		t.Fatal("topk must be idempotent")
+	}
+}
+
+func TestTopKFractionBoundsPanic(t *testing.T) {
+	for _, f := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("fraction %v should panic", f)
+				}
+			}()
+			NewTopK(f)
+		}()
+	}
+}
+
+func TestTernGradUnbiasedInExpectation(t *testing.T) {
+	c := NewTernGrad(13)
+	m := tensor.FromSlice(1, 2, []float64{0.5, -0.25})
+	sum := tensor.New(1, 2)
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		sum.Add(c.Decompress(c.Compress(m)))
+	}
+	sum.Scale(1.0 / trials)
+	if math.Abs(sum.At(0, 0)-0.5) > 0.05 || math.Abs(sum.At(0, 1)+0.25) > 0.05 {
+		t.Fatalf("TernGrad biased: mean %v", sum.Data)
+	}
+}
+
+func TestSignSGDPreservesSignsAndL1(t *testing.T) {
+	m := tensor.FromSlice(1, 4, []float64{1, -2, 3, -4})
+	c := NewSignSGD()
+	out := c.Decompress(c.Compress(m))
+	for i, v := range out.Data {
+		if math.Signbit(v) != math.Signbit(m.Data[i]) {
+			t.Fatalf("sign flipped at %d", i)
+		}
+	}
+	var l1In, l1Out float64
+	for i := range m.Data {
+		l1In += math.Abs(m.Data[i])
+		l1Out += math.Abs(out.Data[i])
+	}
+	if math.Abs(l1In-l1Out) > 1e-9 {
+		t.Fatalf("L1 mass not preserved: %v vs %v", l1In, l1Out)
+	}
+}
+
+func TestUniform8BitBoundedError(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	m := tensor.RandN(rng, 20, 20, 1)
+	c := NewUniform8Bit()
+	out := c.Decompress(c.Compress(m))
+	maxStep := m.AbsMax() / 127
+	for i := range m.Data {
+		if math.Abs(m.Data[i]-out.Data[i]) > maxStep {
+			t.Fatalf("quantization error %v exceeds step %v", math.Abs(m.Data[i]-out.Data[i]), maxStep)
+		}
+	}
+}
+
+func TestWireBytesOrdering(t *testing.T) {
+	// For a 256x256 matrix: signsgd < terngrad < topk(10%) < powersgd(16) < dense.
+	rng := rand.New(rand.NewSource(16))
+	m := tensor.RandN(rng, 256, 256, 1)
+	dense := DenseBytes(256, 256)
+	sizes := map[string]int64{}
+	for _, c := range allCompressors(16) {
+		sizes[c.Name()] = c.Compress(m).WireBytes()
+	}
+	if sizes["identity"] != dense {
+		t.Fatalf("identity size %d != dense %d", sizes["identity"], dense)
+	}
+	for name, s := range sizes {
+		if name == "identity" {
+			continue
+		}
+		if s >= dense {
+			t.Fatalf("%s payload %d not smaller than dense %d", name, s, dense)
+		}
+	}
+	if !(sizes["signsgd"] < sizes["terngrad"] && sizes["terngrad"] < sizes["uniform8"]) {
+		t.Fatalf("bit-width ordering violated: %v", sizes)
+	}
+}
+
+func TestRatioMatchesPayload(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	m := tensor.RandN(rng, 64, 48, 1)
+	for _, c := range allCompressors(17) {
+		pl := c.Compress(m)
+		implied := float64(DenseBytes(64, 48)) / float64(pl.WireBytes())
+		if math.Abs(implied-c.Ratio(64, 48))/c.Ratio(64, 48) > 0.05 {
+			t.Fatalf("%s: Ratio()=%v but payload implies %v", c.Name(), c.Ratio(64, 48), implied)
+		}
+	}
+}
+
+func TestErrorFeedbackTelescopes(t *testing.T) {
+	// Σ reconstructions == Σ inputs − final residual, exactly (telescoping
+	// property that makes error feedback work).
+	rng := rand.New(rand.NewSource(19))
+	ef := NewErrorFeedback(NewTopK(0.1))
+	sumIn := tensor.New(12, 12)
+	sumOut := tensor.New(12, 12)
+	for i := 0; i < 20; i++ {
+		g := tensor.RandN(rng, 12, 12, 1)
+		sumIn.Add(g)
+		_, recon := ef.CompressWithFeedback(g)
+		sumOut.Add(recon)
+	}
+	final := ef.Residual(12, 12)
+	check := sumOut.Clone().Add(final)
+	if !check.Equal(sumIn, 1e-9) {
+		t.Fatal("error feedback does not telescope")
+	}
+}
+
+func TestErrorFeedbackDisabled(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	ef := NewErrorFeedback(NewTopK(0.5))
+	ef.SetEnabled(false)
+	g := tensor.RandN(rng, 6, 6, 1)
+	_, _ = ef.CompressWithFeedback(g)
+	if ef.Residual(6, 6) != nil {
+		t.Fatal("disabled feedback must not store residuals")
+	}
+	if ef.ResidualBytes() != 0 {
+		t.Fatal("ResidualBytes should be 0 when disabled")
+	}
+}
+
+func TestErrorFeedbackReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ef := NewErrorFeedback(NewPowerSGD(2, 21))
+	_, _ = ef.CompressWithFeedback(tensor.RandN(rng, 8, 8, 1))
+	if ef.ResidualBytes() == 0 {
+		t.Fatal("residual expected after compression")
+	}
+	ef.Reset()
+	if ef.ResidualBytes() != 0 {
+		t.Fatal("Reset must drop residuals")
+	}
+}
+
+func TestErrorFeedbackReducesLongRunError(t *testing.T) {
+	// With feedback, the running average of reconstructions converges to
+	// the running average of a constant gradient; without, the bias stays.
+	g := tensor.FromSlice(2, 2, []float64{0.5, 0.04, 0.03, 0.02})
+	withEF := NewErrorFeedback(NewTopK(0.25))
+	without := NewErrorFeedback(NewTopK(0.25))
+	without.SetEnabled(false)
+	sumW := tensor.New(2, 2)
+	sumWo := tensor.New(2, 2)
+	const steps = 60
+	for i := 0; i < steps; i++ {
+		_, r1 := withEF.CompressWithFeedback(g)
+		sumW.Add(r1)
+		_, r2 := without.CompressWithFeedback(g)
+		sumWo.Add(r2)
+	}
+	target := g.Clone().Scale(steps)
+	errW := CompressionError(target, sumW).FrobeniusNorm()
+	errWo := CompressionError(target, sumWo).FrobeniusNorm()
+	if errW >= errWo {
+		t.Fatalf("feedback (%v) should beat no-feedback (%v)", errW, errWo)
+	}
+}
+
+// Property: relative reconstruction error never exceeds 1 + eps for any
+// compressor whose reconstruction minimizes (or approximates) the input —
+// i.e. compression never produces something *larger* in error than just
+// sending zero, for these energy-preserving schemes.
+func TestReconstructionErrorBoundedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	comps := []Compressor{NewPowerSGD(4, 23), NewTopK(0.25), NewUniform8Bit()}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := tensor.RandN(r, 12, 9, 1)
+		for _, c := range comps {
+			recon := c.Decompress(c.Compress(m))
+			if RelativeError(m, recon) > 1.0+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TopK reconstruction energy is monotone in the kept fraction.
+func TestTopKMonotoneEnergyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := tensor.RandN(r, 8, 8, 1)
+		prev := -1.0
+		for _, frac := range []float64{0.1, 0.3, 0.6, 1.0} {
+			c := NewTopK(frac)
+			e := c.Decompress(c.Compress(m)).FrobeniusNorm()
+			if e < prev-1e-12 {
+				return false
+			}
+			prev = e
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressionErrorAndRelativeError(t *testing.T) {
+	a := tensor.FromSlice(1, 2, []float64{3, 4})
+	b := tensor.FromSlice(1, 2, []float64{3, 0})
+	e := CompressionError(a, b)
+	if e.At(0, 0) != 0 || e.At(0, 1) != 4 {
+		t.Fatalf("error matrix wrong: %v", e.Data)
+	}
+	if got := RelativeError(a, b); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("relative error %v want 0.8", got)
+	}
+	zero := tensor.New(1, 2)
+	if RelativeError(zero, zero) != 0 {
+		t.Fatal("relative error of zero matrix should be 0")
+	}
+}
+
+func TestPowerSGDMoreIterationsReduceError(t *testing.T) {
+	// More power iterations approach truncated SVD: error must not grow,
+	// and on a hard matrix it should strictly shrink.
+	rng := rand.New(rand.NewSource(31))
+	m := tensor.RandN(rng, 48, 48, 1)
+	var prev float64 = math.Inf(1)
+	for _, iters := range []int{1, 3, 8} {
+		c := NewPowerSGD(4, 31)
+		c.SetWarmStart(false)
+		c.SetIterations(iters)
+		rel := RelativeError(m, c.Decompress(c.Compress(m)))
+		if rel > prev+1e-9 {
+			t.Fatalf("%d iterations error %v worse than fewer (%v)", iters, rel, prev)
+		}
+		prev = rel
+	}
+}
+
+func TestPowerSGDSetIterationsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPowerSGD(2, 1).SetIterations(0)
+}

@@ -1,0 +1,88 @@
+package compress
+
+import (
+	"repro/internal/tensor"
+)
+
+// ErrorFeedback wraps a Compressor with residual error feedback: the
+// compression error of each call is stored and added to the next input
+// before compressing (AdaComp/PowerSGD-style, §2.3). This is the mechanism
+// data-parallel gradient compression uses; the paper's *lazy error
+// propagation* (§5.1) is the same residual machinery applied across
+// micro-batches of inter-stage activation gradients.
+//
+// An ErrorFeedback instance keeps one residual per matrix shape and is not
+// safe for concurrent use; give each communication channel its own.
+type ErrorFeedback struct {
+	inner    Compressor
+	residual map[[2]int]*tensor.Matrix
+	enabled  bool
+}
+
+// NewErrorFeedback wraps inner with residual accumulation (enabled).
+func NewErrorFeedback(inner Compressor) *ErrorFeedback {
+	return &ErrorFeedback{inner: inner, residual: make(map[[2]int]*tensor.Matrix), enabled: true}
+}
+
+// SetEnabled toggles feedback; disabled, CompressWithFeedback degenerates
+// to plain lossy compression (the "non-LEP" ablation of Table 4).
+func (ef *ErrorFeedback) SetEnabled(on bool) { ef.enabled = on }
+
+// Enabled reports whether residual accumulation is active.
+func (ef *ErrorFeedback) Enabled() bool { return ef.enabled }
+
+// Inner returns the wrapped compressor.
+func (ef *ErrorFeedback) Inner() Compressor { return ef.inner }
+
+// Name identifies the wrapped algorithm.
+func (ef *ErrorFeedback) Name() string { return ef.inner.Name() + "+ef" }
+
+// Residual returns the stored residual for a shape (nil if none), exposed
+// so the trainer can report lazy-error statistics (Fig. 11) and memory
+// overhead (Fig. 12).
+func (ef *ErrorFeedback) Residual(rows, cols int) *tensor.Matrix {
+	return ef.residual[[2]int{rows, cols}]
+}
+
+// ResidualBytes returns the total memory held by residuals at float64
+// precision, for the Fig. 12 memory accounting.
+func (ef *ErrorFeedback) ResidualBytes() int64 {
+	var total int64
+	for _, r := range ef.residual {
+		total += int64(r.NumElements()) * 8
+	}
+	return total
+}
+
+// Reset drops all stored residuals (used at iteration boundaries when a
+// policy wants errors to die with the mini-batch).
+func (ef *ErrorFeedback) Reset() {
+	for k := range ef.residual {
+		delete(ef.residual, k)
+	}
+}
+
+// CompressWithFeedback compresses m plus the stored residual, updates the
+// residual to the new compression error, and returns both the payload and
+// the dense reconstruction (what the receiver will see). The input m is
+// not modified.
+func (ef *ErrorFeedback) CompressWithFeedback(m *tensor.Matrix) (Payload, *tensor.Matrix) {
+	input := m
+	key := [2]int{m.Rows, m.Cols}
+	if ef.enabled {
+		if r := ef.residual[key]; r != nil {
+			input = m.Clone().Add(r)
+		}
+	}
+	pl := ef.inner.Compress(input)
+	recon := ef.inner.Decompress(pl)
+	if ef.enabled {
+		// residual = input − recon.
+		res := input.Clone()
+		res.Sub(recon)
+		ef.residual[key] = res
+	}
+	return pl, recon
+}
+
+var _ interface{ Name() string } = (*ErrorFeedback)(nil)

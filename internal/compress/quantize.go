@@ -1,0 +1,188 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// quantPayload stores per-element small codes plus a scale. Codes travel
+// at a sub-byte bit width; WireBytes rounds up to whole bytes.
+type quantPayload struct {
+	codes      []int8
+	scale      float64
+	bits       int
+	rows, cols int
+}
+
+// WireBytes implements Payload: ceil(N·bits/8) plus an 8-byte scale.
+func (p *quantPayload) WireBytes() int64 {
+	n := int64(len(p.codes))
+	return (n*int64(p.bits)+7)/8 + 8
+}
+
+// Shape implements Payload.
+func (p *quantPayload) Shape() (int, int) { return p.rows, p.cols }
+
+// TernGrad quantizes each element to {-1, 0, +1}·s with stochastic
+// rounding, s = max|x| (Wen et al., NeurIPS 2017; §2.3).
+type TernGrad struct {
+	rng *rand.Rand
+}
+
+// NewTernGrad returns a deterministic-seeded ternary quantizer.
+func NewTernGrad(seed int64) *TernGrad {
+	return &TernGrad{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Compressor.
+func (c *TernGrad) Name() string { return "terngrad" }
+
+// Ratio implements Compressor: 2 bits/element vs ElemBytes.
+func (c *TernGrad) Ratio(rows, cols int) float64 {
+	n := int64(rows) * int64(cols)
+	return float64(DenseBytes(rows, cols)) / float64((n*2+7)/8+8)
+}
+
+// Compress implements Compressor. E[decompress] equals the input
+// (unbiasedness is TernGrad's key property).
+func (c *TernGrad) Compress(m *tensor.Matrix) Payload {
+	s := m.AbsMax()
+	p := &quantPayload{codes: make([]int8, m.NumElements()), scale: s, bits: 2, rows: m.Rows, cols: m.Cols}
+	if s == 0 {
+		return p
+	}
+	for i, v := range m.Data {
+		prob := math.Abs(v) / s
+		if c.rng.Float64() < prob {
+			if v > 0 {
+				p.codes[i] = 1
+			} else {
+				p.codes[i] = -1
+			}
+		}
+	}
+	return p
+}
+
+// Decompress implements Compressor.
+func (c *TernGrad) Decompress(pl Payload) *tensor.Matrix {
+	p := mustQuant(pl, "TernGrad")
+	out := tensor.New(p.rows, p.cols)
+	for i, code := range p.codes {
+		out.Data[i] = float64(code) * p.scale
+	}
+	return out
+}
+
+// SignSGD keeps only the sign of each element, scaled by the mean absolute
+// value so the reconstruction has matching L1 mass (Bernstein et al., ICML
+// 2018; §2.3).
+type SignSGD struct{}
+
+// NewSignSGD returns the 1-bit sign quantizer.
+func NewSignSGD() *SignSGD { return &SignSGD{} }
+
+// Name implements Compressor.
+func (c *SignSGD) Name() string { return "signsgd" }
+
+// Ratio implements Compressor.
+func (c *SignSGD) Ratio(rows, cols int) float64 {
+	n := int64(rows) * int64(cols)
+	return float64(DenseBytes(rows, cols)) / float64((n+7)/8+8)
+}
+
+// Compress implements Compressor.
+func (c *SignSGD) Compress(m *tensor.Matrix) Payload {
+	p := &quantPayload{codes: make([]int8, m.NumElements()), bits: 1, rows: m.Rows, cols: m.Cols}
+	var l1 float64
+	for _, v := range m.Data {
+		l1 += math.Abs(v)
+	}
+	n := m.NumElements()
+	if n > 0 {
+		p.scale = l1 / float64(n)
+	}
+	for i, v := range m.Data {
+		if v >= 0 {
+			p.codes[i] = 1
+		} else {
+			p.codes[i] = -1
+		}
+	}
+	return p
+}
+
+// Decompress implements Compressor.
+func (c *SignSGD) Decompress(pl Payload) *tensor.Matrix {
+	p := mustQuant(pl, "SignSGD")
+	out := tensor.New(p.rows, p.cols)
+	for i, code := range p.codes {
+		out.Data[i] = float64(code) * p.scale
+	}
+	return out
+}
+
+// Uniform8Bit linearly quantizes to 8-bit codes over [-max|x|, +max|x|],
+// the simple quantization baseline in the paper's related-work spectrum.
+type Uniform8Bit struct{}
+
+// NewUniform8Bit returns the 8-bit linear quantizer.
+func NewUniform8Bit() *Uniform8Bit { return &Uniform8Bit{} }
+
+// Name implements Compressor.
+func (c *Uniform8Bit) Name() string { return "uniform8" }
+
+// Ratio implements Compressor.
+func (c *Uniform8Bit) Ratio(rows, cols int) float64 {
+	n := int64(rows) * int64(cols)
+	return float64(DenseBytes(rows, cols)) / float64(n+8)
+}
+
+// Compress implements Compressor.
+func (c *Uniform8Bit) Compress(m *tensor.Matrix) Payload {
+	s := m.AbsMax()
+	p := &quantPayload{codes: make([]int8, m.NumElements()), scale: s, bits: 8, rows: m.Rows, cols: m.Cols}
+	if s == 0 {
+		return p
+	}
+	for i, v := range m.Data {
+		q := math.Round(v / s * 127)
+		if q > 127 {
+			q = 127
+		} else if q < -127 {
+			q = -127
+		}
+		p.codes[i] = int8(q)
+	}
+	return p
+}
+
+// Decompress implements Compressor.
+func (c *Uniform8Bit) Decompress(pl Payload) *tensor.Matrix {
+	p := mustQuant(pl, "Uniform8Bit")
+	out := tensor.New(p.rows, p.cols)
+	if p.scale == 0 {
+		return out
+	}
+	for i, code := range p.codes {
+		out.Data[i] = float64(code) / 127 * p.scale
+	}
+	return out
+}
+
+func mustQuant(pl Payload, who string) *quantPayload {
+	p, ok := pl.(*quantPayload)
+	if !ok {
+		panic(fmt.Sprintf("compress: %s.Decompress got %T", who, pl))
+	}
+	return p
+}
+
+var (
+	_ Compressor = (*TernGrad)(nil)
+	_ Compressor = (*SignSGD)(nil)
+	_ Compressor = (*Uniform8Bit)(nil)
+)

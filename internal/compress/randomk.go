@@ -1,0 +1,137 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// RandomK keeps a uniformly random fraction of elements, scaled by 1/p so
+// the reconstruction is unbiased (the classic sparsification baseline the
+// gradient-compression literature compares against, §2.3/§11.1). Unlike
+// TopK it needs no selection pass and no index agreement, but it discards
+// energy indiscriminately — the ablation experiments use it to show why
+// magnitude-aware schemes win.
+type RandomK struct {
+	Fraction float64
+	rng      *rand.Rand
+}
+
+// NewRandomK returns a compressor keeping ceil(fraction·N) random
+// elements, deterministic per seed.
+func NewRandomK(fraction float64, seed int64) *RandomK {
+	if fraction <= 0 || fraction > 1 {
+		panic(fmt.Sprintf("compress: RandomK fraction %v outside (0,1]", fraction))
+	}
+	return &RandomK{Fraction: fraction, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Compressor.
+func (c *RandomK) Name() string { return fmt.Sprintf("randomk(%.3g)", c.Fraction) }
+
+// Ratio implements Compressor.
+func (c *RandomK) Ratio(rows, cols int) float64 {
+	n := rows * cols
+	k := c.keep(n)
+	return float64(DenseBytes(rows, cols)) / float64(int64(k)*(ElemBytes+IndexBytes))
+}
+
+func (c *RandomK) keep(n int) int {
+	k := int(math.Ceil(c.Fraction * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// Compress implements Compressor: sample k indices without replacement,
+// store values scaled by n/k for unbiasedness.
+func (c *RandomK) Compress(m *tensor.Matrix) Payload {
+	n := m.NumElements()
+	k := c.keep(n)
+	perm := c.rng.Perm(n)[:k]
+	scale := float64(n) / float64(k)
+	p := &SparsePayload{Indices: make([]int, k), Values: make([]float64, k), rows: m.Rows, cols: m.Cols}
+	copy(p.Indices, perm)
+	for i, fi := range p.Indices {
+		p.Values[i] = m.Data[fi] * scale
+	}
+	return p
+}
+
+// Decompress implements Compressor.
+func (c *RandomK) Decompress(pl Payload) *tensor.Matrix {
+	p, ok := pl.(*SparsePayload)
+	if !ok {
+		panic(fmt.Sprintf("compress: RandomK.Decompress got %T", pl))
+	}
+	out := tensor.New(p.rows, p.cols)
+	for i, fi := range p.Indices {
+		out.Data[fi] = p.Values[i]
+	}
+	return out
+}
+
+var _ Compressor = (*RandomK)(nil)
+
+// Instrumented wraps a Compressor and accumulates traffic statistics:
+// dense vs wire bytes and reconstruction error energy. The ablation
+// experiments and Fig. 10-style accounting use it to report achieved
+// compression ratios of real training runs.
+type Instrumented struct {
+	inner Compressor
+
+	Calls      int
+	DenseBytes int64
+	WireBytes  int64
+	// SumRelErr accumulates per-call relative Frobenius errors.
+	SumRelErr float64
+}
+
+// NewInstrumented wraps inner.
+func NewInstrumented(inner Compressor) *Instrumented {
+	return &Instrumented{inner: inner}
+}
+
+// Name implements Compressor.
+func (c *Instrumented) Name() string { return c.inner.Name() + "+stats" }
+
+// Ratio implements Compressor.
+func (c *Instrumented) Ratio(rows, cols int) float64 { return c.inner.Ratio(rows, cols) }
+
+// Compress implements Compressor, recording sizes and error.
+func (c *Instrumented) Compress(m *tensor.Matrix) Payload {
+	pl := c.inner.Compress(m)
+	c.Calls++
+	c.DenseBytes += DenseBytes(m.Rows, m.Cols)
+	c.WireBytes += pl.WireBytes()
+	recon := c.inner.Decompress(pl)
+	c.SumRelErr += RelativeError(m, recon)
+	return pl
+}
+
+// Decompress implements Compressor.
+func (c *Instrumented) Decompress(pl Payload) *tensor.Matrix { return c.inner.Decompress(pl) }
+
+// AchievedRatio returns cumulative dense/wire bytes (0 before any call).
+func (c *Instrumented) AchievedRatio() float64 {
+	if c.WireBytes == 0 {
+		return 0
+	}
+	return float64(c.DenseBytes) / float64(c.WireBytes)
+}
+
+// MeanRelError returns the average per-call relative error.
+func (c *Instrumented) MeanRelError() float64 {
+	if c.Calls == 0 {
+		return 0
+	}
+	return c.SumRelErr / float64(c.Calls)
+}
+
+var _ Compressor = (*Instrumented)(nil)

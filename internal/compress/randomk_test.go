@@ -1,0 +1,111 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestRandomKUnbiased(t *testing.T) {
+	m := tensor.FromSlice(1, 4, []float64{1, 2, 3, 4})
+	c := NewRandomK(0.5, 9)
+	sum := tensor.New(1, 4)
+	const trials = 6000
+	for i := 0; i < trials; i++ {
+		sum.Add(c.Decompress(c.Compress(m)))
+	}
+	sum.Scale(1.0 / trials)
+	for j, v := range sum.Data {
+		if math.Abs(v-m.Data[j]) > 0.15 {
+			t.Fatalf("biased at %d: %v vs %v", j, v, m.Data[j])
+		}
+	}
+}
+
+func TestRandomKKeepsExactlyK(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := tensor.RandN(rng, 10, 10, 1)
+	c := NewRandomK(0.25, 2)
+	pl := c.Compress(m).(*SparsePayload)
+	if len(pl.Values) != 25 {
+		t.Fatalf("kept %d, want 25", len(pl.Values))
+	}
+	seen := map[int]bool{}
+	for _, i := range pl.Indices {
+		if seen[i] {
+			t.Fatal("duplicate index")
+		}
+		seen[i] = true
+	}
+}
+
+func TestRandomKFractionBounds(t *testing.T) {
+	for _, f := range []float64{0, -1, 1.01} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("fraction %v accepted", f)
+				}
+			}()
+			NewRandomK(f, 1)
+		}()
+	}
+}
+
+func TestRandomKWorseThanTopKOnSkewedData(t *testing.T) {
+	// Magnitude-aware selection must beat random selection on gradients
+	// with concentrated energy — the reason the field uses top-k.
+	rng := rand.New(rand.NewSource(5))
+	m := tensor.New(20, 20)
+	for i := range m.Data {
+		if i%17 == 0 {
+			m.Data[i] = rng.NormFloat64() * 10
+		} else {
+			m.Data[i] = rng.NormFloat64() * 0.01
+		}
+	}
+	top := NewTopK(0.1)
+	rnd := NewRandomK(0.1, 6)
+	topErr := RelativeError(m, top.Decompress(top.Compress(m)))
+	var rndErr float64
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		rndErr += RelativeError(m, rnd.Decompress(rnd.Compress(m)))
+	}
+	rndErr /= trials
+	if topErr >= rndErr {
+		t.Fatalf("topk error %v should beat randomk %v on skewed data", topErr, rndErr)
+	}
+}
+
+func TestInstrumentedAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inst := NewInstrumented(NewPowerSGD(4, 7))
+	m := tensor.RandN(rng, 32, 32, 1)
+	for i := 0; i < 5; i++ {
+		pl := inst.Compress(m)
+		_ = inst.Decompress(pl)
+	}
+	if inst.Calls != 5 {
+		t.Fatalf("calls %d", inst.Calls)
+	}
+	if inst.DenseBytes != 5*DenseBytes(32, 32) {
+		t.Fatalf("dense bytes %d", inst.DenseBytes)
+	}
+	ratio := inst.AchievedRatio()
+	if math.Abs(ratio-inst.Ratio(32, 32)) > 0.01 {
+		t.Fatalf("achieved ratio %v vs declared %v", ratio, inst.Ratio(32, 32))
+	}
+	if inst.MeanRelError() <= 0 || inst.MeanRelError() > 1 {
+		t.Fatalf("mean rel error %v implausible", inst.MeanRelError())
+	}
+}
+
+func TestInstrumentedEmpty(t *testing.T) {
+	inst := NewInstrumented(NewIdentity())
+	if inst.AchievedRatio() != 0 || inst.MeanRelError() != 0 {
+		t.Fatal("empty instrumentation should report zeros")
+	}
+}

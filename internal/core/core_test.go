@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, c := range []Config{Baseline(), CB(), CBFE(), CBFESC(), NaiveDP(), NaiveCB()} {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestPresetNames(t *testing.T) {
+	cases := map[string]Config{
+		"Baseline":      Baseline(),
+		"CB":            CB(),
+		"CB+FE":         CBFE(),
+		"CB+FE+SC(75%)": CBFESC(),
+		"DP":            NaiveDP(),
+		"CB(naive)":     NaiveCB(),
+	}
+	for want, cfg := range cases {
+		if got := cfg.Name(); got != want {
+			t.Fatalf("Name() = %q want %q", got, want)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := CB()
+	bad.CBRank = 0
+	if bad.Validate() == nil {
+		t.Fatal("CBRank=0 accepted")
+	}
+	bad = CB()
+	bad.CBAlg = "huffman"
+	if bad.Validate() == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	bad = CBFESC()
+	bad.SelectiveStageFraction = 1.5
+	if bad.Validate() == nil {
+		t.Fatal("fraction >1 accepted")
+	}
+	bad = CBFESC()
+	bad.DPRank = 0
+	if bad.Validate() == nil {
+		t.Fatal("DPRank=0 with SC accepted")
+	}
+}
+
+func TestCompressedStagesSelection(t *testing.T) {
+	c := CBFESC() // 75%
+	got := c.CompressedStages(4)
+	want := []bool{true, true, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("75%% of 4 stages: got %v", got)
+		}
+	}
+	if n := count(Baseline().CompressedStages(4)); n != 0 {
+		t.Fatalf("baseline compresses %d stages", n)
+	}
+	if n := count(NaiveDP().CompressedStages(4)); n != 4 {
+		t.Fatalf("naive DP compresses %d stages", n)
+	}
+	// Earliest-first: stage 0 always compressed when any is (§7).
+	half := CBFESC()
+	half.SelectiveStageFraction = 0.5
+	sel := half.CompressedStages(4)
+	if !sel[0] || !sel[1] || sel[2] || sel[3] {
+		t.Fatalf("50%% selection wrong: %v", sel)
+	}
+}
+
+func count(b []bool) int {
+	n := 0
+	for _, v := range b {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+func TestEmbSyncFactorsMatchEq15Eq16(t *testing.T) {
+	// D=4: baseline (3·4−2)/4 = 2.5, fused (2·4−1)/4 = 1.75.
+	if got := EmbSyncVolumeFactor(4); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("Eq15 factor %v", got)
+	}
+	if got := EmbSyncFusedVolumeFactor(4); math.Abs(got-1.75) > 1e-12 {
+		t.Fatalf("Eq16 factor %v", got)
+	}
+	if got := EmbSyncImprovement(4); math.Abs(got-3.0/7.0) > 1e-12 {
+		t.Fatalf("improvement %v want 3/7 (42.9%%)", got)
+	}
+}
+
+func TestEmbSyncImprovementLimit(t *testing.T) {
+	if got := EmbSyncImprovement(100000); math.Abs(got-0.5) > 1e-3 {
+		t.Fatalf("asymptotic improvement %v want 0.5", got)
+	}
+	// Monotone in D.
+	prev := 0.0
+	for d := 2; d <= 64; d *= 2 {
+		imp := EmbSyncImprovement(d)
+		if imp <= prev {
+			t.Fatalf("improvement not increasing at D=%d", d)
+		}
+		prev = imp
+	}
+}
+
+func TestCompressionCostModelOperatingPoint(t *testing.T) {
+	// Fig. 15: ≈787 Gb/s compression and ≈68 Tb/s decompression at CB rank
+	// 16 on GPT-8.3B inter-stage shapes — the activation-gradient matrix
+	// (micro·seq)×hidden = 8192×3072 in fp16.
+	m := DefaultCompressionCostModel()
+	comp := m.CompressThroughputBps(8192, 3072, 16, 2)
+	if comp < 500e9 || comp > 1200e9 {
+		t.Fatalf("compression throughput %v Gb/s outside Fig. 15 ballpark", comp/1e9)
+	}
+	dec := m.DecompressThroughputBps(8192, 3072, 16, 2)
+	if dec < 5e12 {
+		t.Fatalf("decompression throughput %v Tb/s too low", dec/1e12)
+	}
+	if dec < 10*comp {
+		t.Fatal("decompression should be far faster than compression")
+	}
+}
+
+func TestThroughputFallsWithRank(t *testing.T) {
+	// Fig. 15's counter-intuitive trend: higher rank (less compression) →
+	// lower compression throughput, because orthogonalization grows.
+	m := DefaultCompressionCostModel()
+	prev := math.Inf(1)
+	for _, r := range []int{4, 16, 64, 128, 512} {
+		tp := m.CompressThroughputBps(3072, 12288, r, 2)
+		if tp >= prev {
+			t.Fatalf("throughput did not fall at rank %d", r)
+		}
+		prev = tp
+	}
+}
+
+func TestThroughputRisesWithModelSize(t *testing.T) {
+	// Fig. 15: GPT-175B shapes compress faster than GPT-8.3B shapes
+	// (setup amortizes).
+	m := DefaultCompressionCostModel()
+	small := m.CompressThroughputBps(3072, 12288, 16, 2)
+	big := m.CompressThroughputBps(12288, 49152, 16, 2)
+	if big <= small {
+		t.Fatalf("175B throughput %v not above 8.3B %v", big, small)
+	}
+}
+
+func TestCompressionFasterThanInterconnectAtPaperRanks(t *testing.T) {
+	// §9.6's conclusion: compression throughput comfortably exceeds the
+	// 200 Gb/s interconnect, so the overhead is negligible.
+	m := DefaultCompressionCostModel()
+	if tp := m.CompressThroughputBps(3072, 12288, 16, 2); tp < 200e9 {
+		t.Fatalf("compression %v Gb/s slower than interconnect", tp/1e9)
+	}
+}
+
+func TestLowRankWireBytes(t *testing.T) {
+	// rank 16 on 100×200 at 2 bytes: 16·300·2.
+	if got := LowRankWireBytes(100, 200, 16, 2); got != 16*300*2 {
+		t.Fatalf("wire bytes %d", got)
+	}
+	// rank clamps to min dimension.
+	if got := LowRankWireBytes(4, 200, 16, 2); got != 4*204*2 {
+		t.Fatalf("clamped wire bytes %d", got)
+	}
+}
+
+// Property: compressed stage count equals round(fraction·p) clamped, and
+// selection is always a prefix.
+func TestCompressedStagesPrefixProperty(t *testing.T) {
+	f := func(fr8, p8 uint8) bool {
+		frac := float64(fr8%101) / 100
+		p := int(p8%16) + 1
+		c := Config{SelectiveStageFraction: frac, DPRank: 8}
+		sel := c.CompressedStages(p)
+		if len(sel) != p {
+			return false
+		}
+		// Prefix property.
+		seenFalse := false
+		for _, v := range sel {
+			if v && seenFalse {
+				return false
+			}
+			if !v {
+				seenFalse = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Eq. 15 factor always exceeds Eq. 16 factor for D ≥ 2.
+func TestFusedAlwaysCheaperProperty(t *testing.T) {
+	f := func(d8 uint8) bool {
+		d := int(d8%63) + 2
+		return EmbSyncVolumeFactor(d) > EmbSyncFusedVolumeFactor(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,296 @@
+package data
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func smallCfg() Config {
+	return Config{Vocab: 16, Length: 5000, ValFrac: 0.1, Peakiness: 0.8, Branch: 3, Seed: 7}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []Config{
+		{Vocab: 2, Length: 5000, ValFrac: 0.1, Peakiness: 0.8, Branch: 2},
+		{Vocab: 16, Length: 10, ValFrac: 0.1, Peakiness: 0.8, Branch: 2},
+		{Vocab: 16, Length: 5000, ValFrac: 0.9, Peakiness: 0.8, Branch: 2},
+		{Vocab: 16, Length: 5000, ValFrac: 0.1, Peakiness: 1.5, Branch: 2},
+		{Vocab: 16, Length: 5000, ValFrac: 0.1, Peakiness: 0.8, Branch: 16},
+	}
+	for i, b := range bads {
+		if b.Validate() == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateSplit(t *testing.T) {
+	cfg := smallCfg()
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Train)+len(c.Val) != cfg.Length {
+		t.Fatalf("split lost tokens: %d+%d != %d", len(c.Train), len(c.Val), cfg.Length)
+	}
+	if len(c.Val) != int(float64(cfg.Length)*cfg.ValFrac) {
+		t.Fatalf("val size %d", len(c.Val))
+	}
+	for _, tok := range c.Train {
+		if tok < 0 || tok >= cfg.Vocab {
+			t.Fatalf("token %d out of range", tok)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(smallCfg())
+	b, _ := Generate(smallCfg())
+	for i := range a.Train {
+		if a.Train[i] != b.Train[i] {
+			t.Fatal("same seed must give same corpus")
+		}
+	}
+}
+
+func TestCorpusIsLearnable(t *testing.T) {
+	// A bigram-oracle (the chain's preferred successor) must beat chance
+	// by a wide margin — otherwise perplexity is meaningless.
+	c, _ := Generate(smallCfg())
+	correct, total := 0, 0
+	for i := 2; i < len(c.Train); i++ {
+		if c.chain.preferred(c.Train[i-2], c.Train[i-1]) == c.Train[i] {
+			correct++
+		}
+		total++
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.6 {
+		t.Fatalf("oracle accuracy %v — corpus not learnable enough", acc)
+	}
+}
+
+func TestSampleBatchShapes(t *testing.T) {
+	c, _ := Generate(smallCfg())
+	rng := rand.New(rand.NewSource(1))
+	ctxs, tgts := c.SampleBatch(rng, 8, 3)
+	if len(ctxs) != 8 || len(tgts) != 8 {
+		t.Fatalf("batch sizes %d/%d", len(ctxs), len(tgts))
+	}
+	for _, ctx := range ctxs {
+		if len(ctx) != 3 {
+			t.Fatalf("context length %d", len(ctx))
+		}
+	}
+}
+
+func TestSampleBatchWindowsAreConsecutive(t *testing.T) {
+	c, _ := Generate(smallCfg())
+	rng := rand.New(rand.NewSource(2))
+	ctxs, tgts := c.SampleBatch(rng, 50, 4)
+	// Each (context, target) must appear verbatim in Train.
+	for i := range ctxs {
+		found := false
+	outer:
+		for s := 0; s+4 < len(c.Train); s++ {
+			for j := 0; j < 4; j++ {
+				if c.Train[s+j] != ctxs[i][j] {
+					continue outer
+				}
+			}
+			if c.Train[s+4] == tgts[i] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("window %d not found in corpus", i)
+		}
+	}
+}
+
+func TestValWindowsDeterministicAndBounded(t *testing.T) {
+	c, _ := Generate(smallCfg())
+	a, at := c.ValWindows(3, 40)
+	b, bt := c.ValWindows(3, 40)
+	if len(a) == 0 || len(a) > 45 {
+		t.Fatalf("got %d windows", len(a))
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("ValWindows must be deterministic")
+			}
+		}
+		if at[i] != bt[i] {
+			t.Fatal("targets must be deterministic")
+		}
+	}
+}
+
+func TestValWindowsComeFromValSplit(t *testing.T) {
+	c, _ := Generate(smallCfg())
+	ctxs, _ := c.ValWindows(3, 10)
+	for _, ctx := range ctxs {
+		found := false
+	outer:
+		for s := 0; s+3 <= len(c.Val); s++ {
+			for j := 0; j < 3; j++ {
+				if c.Val[s+j] != ctx[j] {
+					continue outer
+				}
+			}
+			found = true
+			break
+		}
+		if !found {
+			t.Fatal("validation window not from val split")
+		}
+	}
+}
+
+// oraclePredictor answers with the chain's preferred token — an upper
+// bound predictor used to sanity-check the tasks.
+type oraclePredictor struct{ c *Corpus }
+
+func (o oraclePredictor) PredictLogits(contexts [][]int) *tensor.Matrix {
+	out := tensor.New(len(contexts), o.c.Vocab)
+	for i, ctx := range contexts {
+		n := len(ctx)
+		pref := o.c.chain.preferred(ctx[n-2], ctx[n-1])
+		out.Set(i, pref, 1)
+	}
+	return out
+}
+
+// uniformPredictor returns all-zero logits (chance performance).
+type uniformPredictor struct{ vocab int }
+
+func (u uniformPredictor) PredictLogits(contexts [][]int) *tensor.Matrix {
+	return tensor.New(len(contexts), u.vocab)
+}
+
+func TestTaskSuiteShapes(t *testing.T) {
+	c, _ := Generate(smallCfg())
+	tasks := TaskSuite(c, 4, 50, 99)
+	if len(tasks) != 5 {
+		t.Fatalf("want 5 tasks, got %d", len(tasks))
+	}
+	names := map[string]bool{}
+	for _, task := range tasks {
+		names[task.Name] = true
+		if len(task.Examples) == 0 {
+			t.Fatalf("task %s empty", task.Name)
+		}
+		for _, ex := range task.Examples {
+			if len(ex.Context) != 4 {
+				t.Fatalf("task %s: context len %d", task.Name, len(ex.Context))
+			}
+			if ex.Answer < 0 || ex.Answer >= len(ex.Choices) {
+				t.Fatalf("task %s: answer index out of range", task.Name)
+			}
+			for _, tok := range ex.Choices {
+				if tok < 0 || tok >= c.Vocab {
+					t.Fatalf("task %s: choice token %d out of range", task.Name, tok)
+				}
+			}
+		}
+	}
+	for _, want := range []string{"last-word", "cloze", "copy", "pattern", "agreement"} {
+		if !names[want] {
+			t.Fatalf("missing task %s", want)
+		}
+	}
+}
+
+func TestOracleBeatsChanceOnChainTasks(t *testing.T) {
+	c, _ := Generate(smallCfg())
+	tasks := TaskSuite(c, 4, 100, 5)
+	oracle := oraclePredictor{c}
+	chance := uniformPredictor{c.Vocab}
+	for _, task := range tasks {
+		switch task.Name {
+		case "last-word", "cloze":
+			oa := task.Accuracy(oracle)
+			ca := task.Accuracy(chance)
+			if oa < 0.95 {
+				t.Fatalf("%s: oracle accuracy %v too low", task.Name, oa)
+			}
+			if ca > 0.5 {
+				t.Fatalf("%s: chance accuracy %v suspiciously high", task.Name, ca)
+			}
+		}
+	}
+}
+
+func TestTaskAccuracyBounds(t *testing.T) {
+	c, _ := Generate(smallCfg())
+	tasks := TaskSuite(c, 4, 30, 11)
+	p := uniformPredictor{c.Vocab}
+	for _, task := range tasks {
+		a := task.Accuracy(p)
+		if a < 0 || a > 1 {
+			t.Fatalf("%s accuracy %v outside [0,1]", task.Name, a)
+		}
+	}
+	empty := &Task{Name: "empty"}
+	if empty.Accuracy(p) != 0 {
+		t.Fatal("empty task accuracy must be 0")
+	}
+}
+
+func TestDistinctChoicesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := func(seed int64, ansRaw, kRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		vocab := 16
+		ans := int(ansRaw) % vocab
+		k := int(kRaw)%vocab + 1
+		cs := distinctChoices(r, vocab, ans, k)
+		if cs.toks[cs.answer] != ans {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, tok := range cs.toks {
+			if seen[tok] {
+				return false
+			}
+			seen[tok] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyTaskAnswerIsAlternation(t *testing.T) {
+	c, _ := Generate(smallCfg())
+	rng := rand.New(rand.NewSource(3))
+	task := copyTask(c, rng, 4, 50)
+	for _, ex := range task.Examples {
+		want := ex.Context[len(ex.Context)-2] // continuation repeats with period 2
+		if ex.Choices[ex.Answer] != want {
+			t.Fatalf("copy answer %d want %d (ctx %v)", ex.Choices[ex.Answer], want, ex.Context)
+		}
+	}
+}
+
+func TestPatternTaskAnswerIsStride(t *testing.T) {
+	c, _ := Generate(smallCfg())
+	rng := rand.New(rand.NewSource(4))
+	task := patternTask(c, rng, 5, 50)
+	for _, ex := range task.Examples {
+		stride := (ex.Context[1] - ex.Context[0] + c.Vocab) % c.Vocab
+		want := (ex.Context[len(ex.Context)-1] + stride) % c.Vocab
+		if ex.Choices[ex.Answer] != want {
+			t.Fatalf("pattern answer %d want %d (ctx %v)", ex.Choices[ex.Answer], want, ex.Context)
+		}
+	}
+}

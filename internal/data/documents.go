@@ -1,0 +1,157 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Document-level corpus pipeline. §9.1 describes the paper's
+// preprocessing: concatenating several corpora, "including the
+// elimination of short documents and deduplication". This file
+// reproduces that pipeline over synthetic documents: generate documents
+// from per-domain Markov chains, drop short ones, deduplicate, and
+// concatenate into a training stream.
+
+// Document is one synthetic document: a token sequence with a domain tag
+// (the stand-in for RealNews vs Wikipedia vs CC-Stories vs OpenWebText).
+type Document struct {
+	Domain string
+	Tokens []int
+}
+
+// DocConfig parameterizes document generation for one domain.
+type DocConfig struct {
+	Domain    string
+	Count     int
+	MinLen    int // documents shorter than MinLen are candidates for filtering
+	MaxLen    int
+	Vocab     int
+	Peakiness float64
+	Branch    int
+	Seed      int64
+}
+
+// Validate reports configuration errors.
+func (c DocConfig) Validate() error {
+	switch {
+	case c.Domain == "":
+		return fmt.Errorf("data: empty domain")
+	case c.Count < 1:
+		return fmt.Errorf("data: %s: Count %d < 1", c.Domain, c.Count)
+	case c.MinLen < 3 || c.MaxLen < c.MinLen:
+		return fmt.Errorf("data: %s: length bounds [%d, %d] invalid", c.Domain, c.MinLen, c.MaxLen)
+	case c.Vocab < 4:
+		return fmt.Errorf("data: %s: Vocab %d < 4", c.Domain, c.Vocab)
+	case c.Peakiness <= 0 || c.Peakiness >= 1:
+		return fmt.Errorf("data: %s: Peakiness %v outside (0,1)", c.Domain, c.Peakiness)
+	case c.Branch < 1 || c.Branch >= c.Vocab:
+		return fmt.Errorf("data: %s: Branch %d outside [1, Vocab)", c.Domain, c.Branch)
+	}
+	return nil
+}
+
+// GenerateDocuments produces Count documents from a domain-specific chain.
+func GenerateDocuments(cfg DocConfig) ([]Document, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	chain := newMarkov(Config{Vocab: cfg.Vocab, Peakiness: cfg.Peakiness, Branch: cfg.Branch}, rng)
+	docs := make([]Document, cfg.Count)
+	for i := range docs {
+		n := cfg.MinLen/2 + rng.Intn(cfg.MaxLen-cfg.MinLen/2+1)
+		toks := make([]int, n)
+		toks[0] = rng.Intn(cfg.Vocab)
+		if n > 1 {
+			toks[1] = rng.Intn(cfg.Vocab)
+		}
+		for j := 2; j < n; j++ {
+			toks[j] = chain.next(rng, toks[j-2], toks[j-1])
+		}
+		docs[i] = Document{Domain: cfg.Domain, Tokens: toks}
+	}
+	return docs, nil
+}
+
+// FilterShort drops documents shorter than minLen — the paper's
+// "elimination of short documents".
+func FilterShort(docs []Document, minLen int) []Document {
+	out := docs[:0:0]
+	for _, d := range docs {
+		if len(d.Tokens) >= minLen {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Deduplicate removes exact-duplicate documents (by token content,
+// ignoring domain), keeping first occurrences — the paper's
+// "deduplication" step.
+func Deduplicate(docs []Document) []Document {
+	seen := make(map[string]bool, len(docs))
+	out := docs[:0:0]
+	for _, d := range docs {
+		key := fingerprint(d.Tokens)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, d)
+	}
+	return out
+}
+
+// fingerprint encodes a token sequence as a compact string key.
+func fingerprint(tokens []int) string {
+	b := make([]byte, 0, len(tokens)*2)
+	for _, t := range tokens {
+		b = append(b, byte(t), byte(t>>8))
+	}
+	return string(b)
+}
+
+// Concat joins documents into one token stream, shuffled by the seed (the
+// paper concatenates its corpora into a single training corpus).
+func Concat(docs []Document, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(len(docs))
+	var out []int
+	for _, i := range order {
+		out = append(out, docs[i].Tokens...)
+	}
+	return out
+}
+
+// BuildCorpusFromDocuments runs the full §9.1 pipeline over several
+// domains and returns a Corpus with the usual holdout split. The returned
+// corpus has no generative chain, so TaskSuite cannot be built from it;
+// it exists for pipeline testing and perplexity experiments on
+// multi-domain data.
+func BuildCorpusFromDocuments(domains []DocConfig, minLen int, valFrac float64, seed int64) (*Corpus, error) {
+	if len(domains) == 0 {
+		return nil, fmt.Errorf("data: no domains")
+	}
+	if valFrac <= 0 || valFrac >= 0.5 {
+		return nil, fmt.Errorf("data: valFrac %v outside (0, 0.5)", valFrac)
+	}
+	vocab := domains[0].Vocab
+	var all []Document
+	for _, d := range domains {
+		if d.Vocab != vocab {
+			return nil, fmt.Errorf("data: domain %s vocab %d != %d", d.Domain, d.Vocab, vocab)
+		}
+		docs, err := GenerateDocuments(d)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, docs...)
+	}
+	all = Deduplicate(FilterShort(all, minLen))
+	tokens := Concat(all, seed)
+	if len(tokens) < 100 {
+		return nil, fmt.Errorf("data: pipeline left only %d tokens", len(tokens))
+	}
+	nVal := int(float64(len(tokens)) * valFrac)
+	return &Corpus{Vocab: vocab, Val: tokens[:nVal], Train: tokens[nVal:]}, nil
+}

@@ -1,0 +1,146 @@
+package data
+
+import (
+	"testing"
+)
+
+func docCfg(domain string, seed int64) DocConfig {
+	return DocConfig{
+		Domain: domain, Count: 50, MinLen: 10, MaxLen: 40,
+		Vocab: 16, Peakiness: 0.8, Branch: 3, Seed: seed,
+	}
+}
+
+func TestGenerateDocuments(t *testing.T) {
+	docs, err := GenerateDocuments(docCfg("news", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 50 {
+		t.Fatalf("got %d docs", len(docs))
+	}
+	for _, d := range docs {
+		if d.Domain != "news" {
+			t.Fatal("domain lost")
+		}
+		if len(d.Tokens) < 5 || len(d.Tokens) > 40 {
+			t.Fatalf("doc length %d outside bounds", len(d.Tokens))
+		}
+		for _, tok := range d.Tokens {
+			if tok < 0 || tok >= 16 {
+				t.Fatalf("token %d out of range", tok)
+			}
+		}
+	}
+}
+
+func TestDocConfigValidation(t *testing.T) {
+	bads := []DocConfig{
+		{},
+		{Domain: "x", Count: 0, MinLen: 10, MaxLen: 40, Vocab: 16, Peakiness: 0.8, Branch: 3},
+		{Domain: "x", Count: 5, MinLen: 40, MaxLen: 10, Vocab: 16, Peakiness: 0.8, Branch: 3},
+		{Domain: "x", Count: 5, MinLen: 10, MaxLen: 40, Vocab: 2, Peakiness: 0.8, Branch: 1},
+	}
+	for i, b := range bads {
+		if b.Validate() == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestFilterShort(t *testing.T) {
+	docs := []Document{
+		{Domain: "a", Tokens: []int{1, 2}},
+		{Domain: "a", Tokens: []int{1, 2, 3, 4, 5}},
+	}
+	out := FilterShort(docs, 3)
+	if len(out) != 1 || len(out[0].Tokens) != 5 {
+		t.Fatalf("filter wrong: %v", out)
+	}
+}
+
+func TestDeduplicate(t *testing.T) {
+	docs := []Document{
+		{Domain: "a", Tokens: []int{1, 2, 3}},
+		{Domain: "b", Tokens: []int{1, 2, 3}}, // dup content, other domain
+		{Domain: "a", Tokens: []int{3, 2, 1}},
+	}
+	out := Deduplicate(docs)
+	if len(out) != 2 {
+		t.Fatalf("dedup kept %d docs", len(out))
+	}
+	if out[0].Domain != "a" {
+		t.Fatal("first occurrence should win")
+	}
+}
+
+func TestFingerprintDistinguishesMultiByteTokens(t *testing.T) {
+	// Tokens 1 and 257 differ only in the high byte.
+	a := fingerprint([]int{257})
+	b := fingerprint([]int{1})
+	if a == b {
+		t.Fatal("fingerprint collides across byte boundaries")
+	}
+}
+
+func TestConcatDeterministicShuffle(t *testing.T) {
+	docs, _ := GenerateDocuments(docCfg("x", 2))
+	a := Concat(docs, 9)
+	b := Concat(docs, 9)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same concat")
+		}
+	}
+	var total int
+	for _, d := range docs {
+		total += len(d.Tokens)
+	}
+	if len(a) != total {
+		t.Fatalf("concat lost tokens: %d vs %d", len(a), total)
+	}
+}
+
+func TestBuildCorpusFromDocuments(t *testing.T) {
+	domains := []DocConfig{
+		docCfg("news", 1),
+		docCfg("wiki", 2),
+		docCfg("stories", 3),
+		docCfg("web", 4),
+	}
+	for i := range domains {
+		domains[i].Count = 120
+	}
+	c, err := BuildCorpusFromDocuments(domains, 12, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Vocab != 16 {
+		t.Fatalf("vocab %d", c.Vocab)
+	}
+	if len(c.Val) == 0 || len(c.Train) == 0 {
+		t.Fatal("empty split")
+	}
+	// The corpus must work with the standard batching machinery.
+	ctxs, tgts := c.ValWindows(3, 20)
+	if len(ctxs) == 0 || len(tgts) != len(ctxs) {
+		t.Fatal("windows broken")
+	}
+}
+
+func TestBuildCorpusErrors(t *testing.T) {
+	if _, err := BuildCorpusFromDocuments(nil, 5, 0.05, 1); err == nil {
+		t.Fatal("no domains accepted")
+	}
+	mixed := []DocConfig{docCfg("a", 1), docCfg("b", 2)}
+	mixed[1].Vocab = 32
+	if _, err := BuildCorpusFromDocuments(mixed, 5, 0.05, 1); err == nil {
+		t.Fatal("vocab mismatch accepted")
+	}
+	if _, err := BuildCorpusFromDocuments([]DocConfig{docCfg("a", 1)}, 5, 0.9, 1); err == nil {
+		t.Fatal("bad valFrac accepted")
+	}
+}

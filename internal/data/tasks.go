@@ -1,0 +1,219 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Predictor is anything that maps token contexts to next-token logits —
+// satisfied by the trained model. Tasks are evaluated zero-shot: no
+// fine-tuning, exactly as in §9.2/Table 3.
+type Predictor interface {
+	PredictLogits(contexts [][]int) *tensor.Matrix
+}
+
+// Example is one probe instance: given Context, the model must rank
+// Choices[Answer] highest among Choices.
+type Example struct {
+	Context []int
+	Choices []int
+	Answer  int // index into Choices
+}
+
+// Task is a named set of examples, the stand-in for one zero-shot
+// benchmark row of Table 3.
+type Task struct {
+	Name     string
+	Examples []Example
+}
+
+// Accuracy evaluates p on the task: an example is correct when the logit
+// of the true choice beats every distractor's.
+func (t *Task) Accuracy(p Predictor) float64 {
+	if len(t.Examples) == 0 {
+		return 0
+	}
+	contexts := make([][]int, len(t.Examples))
+	for i, ex := range t.Examples {
+		contexts[i] = ex.Context
+	}
+	logits := p.PredictLogits(contexts)
+	correct := 0
+	for i, ex := range t.Examples {
+		row := logits.Row(i)
+		best, bi := row[ex.Choices[0]], 0
+		for ci, tok := range ex.Choices[1:] {
+			if row[tok] > best {
+				best, bi = row[tok], ci+1
+			}
+		}
+		if bi == ex.Answer {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(t.Examples))
+}
+
+// TaskSuite builds the five probe tasks from the corpus's own generative
+// chain, each mirroring the flavour of one paper benchmark:
+//
+//	last-word  — LAMBADA: predict the chain-preferred final token.
+//	cloze      — RACE: pick the right completion among 4 choices.
+//	copy       — PIQA-ish structural reasoning: continue an (a b)^k pattern.
+//	pattern    — MathQA-ish: continue a fixed-stride token arithmetic.
+//	agreement  — WinoGrande: the first context token decides between two
+//	             final candidates.
+//
+// copy/pattern/agreement deliberately probe out-of-distribution structure,
+// so (as with the paper's real tasks) accuracies sit well below 100% and
+// degrade when compression damages the model.
+func TaskSuite(c *Corpus, context, examplesPerTask int, seed int64) []*Task {
+	if c.chain == nil {
+		panic("data: corpus has no generative chain (not built by Generate)")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return []*Task{
+		lastWordTask(c, rng, context, examplesPerTask),
+		clozeTask(c, rng, context, examplesPerTask),
+		copyTask(c, rng, context, examplesPerTask),
+		patternTask(c, rng, context, examplesPerTask),
+		agreementTask(c, rng, context, examplesPerTask),
+	}
+}
+
+// sampleChainContext draws a context whose continuation the chain
+// determines, starting from a random point of the *validation* split so
+// the probes never overlap training windows.
+func sampleChainContext(c *Corpus, rng *rand.Rand, context int) []int {
+	maxStart := len(c.Val) - context
+	s := rng.Intn(maxStart)
+	ctx := make([]int, context)
+	copy(ctx, c.Val[s:s+context])
+	return ctx
+}
+
+func lastWordTask(c *Corpus, rng *rand.Rand, context, n int) *Task {
+	t := &Task{Name: "last-word"}
+	for i := 0; i < n; i++ {
+		ctx := sampleChainContext(c, rng, context)
+		ans := c.chain.preferred(ctx[context-2], ctx[context-1])
+		choices := distinctChoices(rng, c.Vocab, ans, c.Vocab) // all tokens
+		t.Examples = append(t.Examples, Example{Context: ctx, Choices: choices.toks, Answer: choices.answer})
+	}
+	return t
+}
+
+func clozeTask(c *Corpus, rng *rand.Rand, context, n int) *Task {
+	t := &Task{Name: "cloze"}
+	for i := 0; i < n; i++ {
+		ctx := sampleChainContext(c, rng, context)
+		ans := c.chain.preferred(ctx[context-2], ctx[context-1])
+		choices := distinctChoices(rng, c.Vocab, ans, 4)
+		t.Examples = append(t.Examples, Example{Context: ctx, Choices: choices.toks, Answer: choices.answer})
+	}
+	return t
+}
+
+func copyTask(c *Corpus, rng *rand.Rand, context, n int) *Task {
+	t := &Task{Name: "copy"}
+	for i := 0; i < n; i++ {
+		a := rng.Intn(c.Vocab)
+		b := rng.Intn(c.Vocab)
+		ctx := make([]int, context)
+		for j := range ctx {
+			if j%2 == 0 {
+				ctx[j] = a
+			} else {
+				ctx[j] = b
+			}
+		}
+		// Continuation of the alternation.
+		ans := a
+		if context%2 == 1 {
+			ans = b
+		}
+		wrong := ans
+		if wrong == a {
+			wrong = b
+		} else {
+			wrong = a
+		}
+		ex := Example{Context: ctx, Choices: []int{ans, wrong}, Answer: 0}
+		if a == b {
+			continue // degenerate, skip
+		}
+		t.Examples = append(t.Examples, ex)
+	}
+	return t
+}
+
+func patternTask(c *Corpus, rng *rand.Rand, context, n int) *Task {
+	t := &Task{Name: "pattern"}
+	for i := 0; i < n; i++ {
+		stride := 1 + rng.Intn(3)
+		start := rng.Intn(c.Vocab)
+		ctx := make([]int, context)
+		for j := range ctx {
+			ctx[j] = (start + j*stride) % c.Vocab
+		}
+		ans := (start + context*stride) % c.Vocab
+		choices := distinctChoices(rng, c.Vocab, ans, 4)
+		t.Examples = append(t.Examples, Example{Context: ctx, Choices: choices.toks, Answer: choices.answer})
+	}
+	return t
+}
+
+func agreementTask(c *Corpus, rng *rand.Rand, context, n int) *Task {
+	t := &Task{Name: "agreement"}
+	for i := 0; i < n; i++ {
+		ctx := sampleChainContext(c, rng, context)
+		// The "referent" is the first token; the correct completion is the
+		// chain-preferred successor of (first, last) — long-range
+		// dependence the model only resolves if the early context
+		// survives through the layers.
+		ans := c.chain.preferred(ctx[0], ctx[context-1])
+		other := c.chain.preferred((ctx[0]+1)%c.Vocab, ctx[context-1])
+		if other == ans {
+			other = (ans + 1) % c.Vocab
+		}
+		ex := Example{Context: ctx, Choices: []int{ans, other}, Answer: 0}
+		if rng.Intn(2) == 1 { // randomize answer position
+			ex.Choices = []int{other, ans}
+			ex.Answer = 1
+		}
+		t.Examples = append(t.Examples, ex)
+	}
+	return t
+}
+
+type choiceSet struct {
+	toks   []int
+	answer int
+}
+
+// distinctChoices returns k distinct tokens including ans, with the
+// answer's position randomized.
+func distinctChoices(rng *rand.Rand, vocab, ans, k int) choiceSet {
+	if k > vocab {
+		k = vocab
+	}
+	seen := map[int]bool{ans: true}
+	toks := []int{ans}
+	for len(toks) < k {
+		t := rng.Intn(vocab)
+		if !seen[t] {
+			seen[t] = true
+			toks = append(toks, t)
+		}
+	}
+	// Shuffle and track the answer.
+	rng.Shuffle(len(toks), func(i, j int) { toks[i], toks[j] = toks[j], toks[i] })
+	for i, t := range toks {
+		if t == ans {
+			return choiceSet{toks: toks, answer: i}
+		}
+	}
+	panic(fmt.Sprintf("data: answer %d lost during shuffle", ans))
+}

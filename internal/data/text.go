@@ -1,0 +1,81 @@
+package data
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Human-readable rendering of token streams, plus a reversible
+// tokenizer. The paper's artifact ships "NLP dataset generation code";
+// this file is the reproduction's equivalent: synthetic token streams can
+// be rendered as pseudo-text for inspection and re-tokenized losslessly.
+
+// wordList deterministically names each token id: short pronounceable
+// pseudo-words built from alternating consonants and vowels.
+func wordList(vocab int) []string {
+	consonants := []string{"b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t"}
+	vowels := []string{"a", "e", "i", "o", "u"}
+	out := make([]string, vocab)
+	for i := range out {
+		c1 := consonants[i%len(consonants)]
+		v1 := vowels[(i/len(consonants))%len(vowels)]
+		c2 := consonants[(i/(len(consonants)*len(vowels)))%len(consonants)]
+		out[i] = c1 + v1 + c2
+		if i >= len(consonants)*len(vowels)*len(consonants) {
+			out[i] = fmt.Sprintf("%s%d", out[i], i)
+		}
+	}
+	return out
+}
+
+// Tokenizer maps token ids to pseudo-words and back, losslessly.
+type Tokenizer struct {
+	words map[int]string
+	ids   map[string]int
+}
+
+// NewTokenizer builds a tokenizer for a vocabulary size.
+func NewTokenizer(vocab int) *Tokenizer {
+	t := &Tokenizer{words: make(map[int]string, vocab), ids: make(map[string]int, vocab)}
+	for i, w := range wordList(vocab) {
+		t.words[i] = w
+		t.ids[w] = i
+	}
+	return t
+}
+
+// Render converts token ids into space-separated pseudo-text.
+func (t *Tokenizer) Render(tokens []int) string {
+	parts := make([]string, len(tokens))
+	for i, tok := range tokens {
+		w, ok := t.words[tok]
+		if !ok {
+			w = fmt.Sprintf("<unk:%d>", tok)
+		}
+		parts[i] = w
+	}
+	return strings.Join(parts, " ")
+}
+
+// Tokenize converts pseudo-text back into token ids, reporting unknown
+// words.
+func (t *Tokenizer) Tokenize(text string) ([]int, error) {
+	fields := strings.Fields(text)
+	out := make([]int, len(fields))
+	for i, f := range fields {
+		id, ok := t.ids[f]
+		if !ok {
+			return nil, fmt.Errorf("data: unknown word %q at position %d", f, i)
+		}
+		out[i] = id
+	}
+	return out, nil
+}
+
+// Sample renders the first n tokens of the training split for inspection.
+func (c *Corpus) Sample(n int) string {
+	if n > len(c.Train) {
+		n = len(c.Train)
+	}
+	return NewTokenizer(c.Vocab).Render(c.Train[:n])
+}

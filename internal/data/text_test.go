@@ -1,0 +1,98 @@
+package data
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizerRoundTrip(t *testing.T) {
+	tok := NewTokenizer(32)
+	ids := []int{0, 5, 31, 17, 2, 2}
+	text := tok.Render(ids)
+	back, err := tok.Tokenize(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ids) {
+		t.Fatalf("length %d != %d", len(back), len(ids))
+	}
+	for i := range ids {
+		if back[i] != ids[i] {
+			t.Fatalf("token %d: %d != %d", i, back[i], ids[i])
+		}
+	}
+}
+
+func TestTokenizerWordsDistinct(t *testing.T) {
+	tok := NewTokenizer(64)
+	seen := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		w := tok.words[i]
+		if w == "" {
+			t.Fatalf("token %d has no word", i)
+		}
+		if seen[w] {
+			t.Fatalf("duplicate word %q", w)
+		}
+		seen[w] = true
+	}
+}
+
+func TestTokenizeUnknownWord(t *testing.T) {
+	tok := NewTokenizer(8)
+	if _, err := tok.Tokenize("definitely-not-a-word"); err == nil {
+		t.Fatal("unknown word accepted")
+	}
+}
+
+func TestRenderUnknownToken(t *testing.T) {
+	tok := NewTokenizer(4)
+	out := tok.Render([]int{99})
+	if !strings.Contains(out, "<unk:99>") {
+		t.Fatalf("unknown token rendered as %q", out)
+	}
+}
+
+func TestCorpusSample(t *testing.T) {
+	c, err := Generate(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Sample(10)
+	if len(strings.Fields(s)) != 10 {
+		t.Fatalf("sample has %d words", len(strings.Fields(s)))
+	}
+	// Oversized request clamps.
+	all := c.Sample(1 << 30)
+	if len(strings.Fields(all)) != len(c.Train) {
+		t.Fatal("clamping broken")
+	}
+}
+
+// Property: round-trip is lossless for any valid token sequence.
+func TestTokenizerRoundTripProperty(t *testing.T) {
+	tok := NewTokenizer(48)
+	f := func(raw []uint8) bool {
+		ids := make([]int, len(raw))
+		for i, r := range raw {
+			ids[i] = int(r) % 48
+		}
+		back, err := tok.Tokenize(tok.Render(ids))
+		if err != nil {
+			return false
+		}
+		if len(back) != len(ids) {
+			return false
+		}
+		for i := range ids {
+			if back[i] != ids[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/train"
+)
+
+// trainNew exists so timing.go can construct trainers without importing
+// train twice under different names.
+func trainNew(cfg train.Config, c *data.Corpus) (*train.Trainer, error) {
+	return train.New(cfg, c)
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// QualityRow is one configuration's measured model quality.
+type QualityRow struct {
+	Name string
+	PPL  float64
+}
+
+// CurveResult is a PPL-vs-iteration series per configuration (Fig. 9).
+type CurveResult struct {
+	Iterations []int
+	Series     map[string][]float64
+	order      []string
+}
+
+// Render implements Result.
+func (r *CurveResult) Render() string {
+	t := &table{
+		title: "Fig. 9 — validation perplexity over training (real scaled model)",
+		cols:  append([]string{"iteration"}, r.order...),
+		notes: []string{"paper: CB and CB+FE track the baseline curve; CB+FE+SC sits slightly above"},
+	}
+	for i, it := range r.Iterations {
+		cells := []string{fmt.Sprintf("%d", it)}
+		for _, name := range r.order {
+			cells = append(cells, f3(r.Series[name][i]))
+		}
+		t.add(cells...)
+	}
+	return t.Render()
+}
+
+// Fig9Curves regenerates the perplexity-over-training curves for the four
+// Table 2 configurations.
+func Fig9Curves(o Options) (*CurveResult, error) {
+	c, err := Corpus()
+	if err != nil {
+		return nil, err
+	}
+	cfgs := []core.Config{core.Baseline(), core.CB(), core.CBFE(), core.CBFESC()}
+	res := &CurveResult{Series: map[string][]float64{}}
+	every := o.Iterations / 6
+	if every < 1 {
+		every = 1
+	}
+	for _, cfg := range cfgs {
+		tr, err := train.New(o.trainConfig(cfg), c)
+		if err != nil {
+			return nil, err
+		}
+		name := cfg.Name()
+		res.order = append(res.order, name)
+		first := len(res.Series) == 0
+		for it := every; it <= o.Iterations; it += every {
+			tr.Train(every, nil)
+			res.Series[name] = append(res.Series[name], tr.ValidationPerplexity(o.EvalWindows))
+			if first {
+				res.Iterations = append(res.Iterations, it)
+			}
+		}
+	}
+	return res, nil
+}
+
+// AccuracyResult is a task × configuration accuracy grid.
+type AccuracyResult struct {
+	Title   string
+	Tasks   []string
+	Configs []string
+	// Acc[config][task]
+	Acc   map[string]map[string]float64
+	Notes []string
+}
+
+// Render implements Result.
+func (r *AccuracyResult) Render() string {
+	t := &table{
+		title: r.Title,
+		cols:  append([]string{"task"}, r.Configs...),
+		notes: r.Notes,
+	}
+	for _, task := range r.Tasks {
+		cells := []string{task}
+		for _, cfg := range r.Configs {
+			cells = append(cells, fmt.Sprintf("%.1f%%", r.Acc[cfg][task]*100))
+		}
+		t.add(cells...)
+	}
+	return t.Render()
+}
+
+func (o Options) accuracyGrid(title string, cfgs []core.Config, notes []string) (*AccuracyResult, error) {
+	c, err := Corpus()
+	if err != nil {
+		return nil, err
+	}
+	tasks := data.TaskSuite(c, o.trainConfig(core.Baseline()).Model.Context, o.TaskExamples, o.Seed+1000)
+	res := &AccuracyResult{Title: title, Acc: map[string]map[string]float64{}, Notes: notes}
+	for _, task := range tasks {
+		res.Tasks = append(res.Tasks, task.Name)
+	}
+	sort.Strings(res.Tasks)
+	for _, cfg := range cfgs {
+		tr, _, err := o.trainAndEval(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Configs = append(res.Configs, cfg.Name())
+		res.Acc[cfg.Name()] = tr.TaskAccuracies(tasks)
+	}
+	return res, nil
+}
+
+// Table3ZeroShot regenerates Table 3: zero-shot probe-task accuracy for
+// the four Table 2 configurations.
+func Table3ZeroShot(o Options) (*AccuracyResult, error) {
+	return o.accuracyGrid(
+		"Table 3 — zero-shot probe-task accuracy (substitutes for LAMBADA/PIQA/MathQA/WinoGrande/RACE)",
+		[]core.Config{core.Baseline(), core.CB(), core.CBFE(), core.CBFESC()},
+		[]string{"paper: CB and CB+FE comparable to baseline; CB+FE+SC marginally below"},
+	)
+}
+
+// Table4LEP regenerates Table 4: the lazy-error-propagation ablation. As
+// in the paper, epilogue-only compression is applied to both CB variants.
+// The naive all-micro-batch non-LEP configuration (Fig. 3's 'naive CB') is
+// included as a fourth column because at this model scale it shows the
+// failure mode most starkly.
+func Table4LEP(o Options) (*AccuracyResult, error) {
+	nonLEP := core.CB()
+	nonLEP.LazyErrorPropagation = false
+	return o.accuracyGrid(
+		"Table 4 — lazy error propagation ablation",
+		[]core.Config{core.Baseline(), core.CB(), nonLEP, core.NaiveCB()},
+		[]string{
+			"CB = LEP + epilogue-only; CB(non-LEP) = epilogue-only without LEP (the paper's Table 4 pair)",
+			"CB(naive) = no LEP and no epilogue-only — Fig. 3's 'naive CB', which severely damages quality",
+		},
+	)
+}
+
+// Fig11Result carries the Eq. 14 condition measurements.
+type Fig11Result struct {
+	Sends          int
+	EpsMeanAbs     float64
+	ActDiffMeanAbs float64
+	CosineAbs      float64
+	CosineMax      float64
+}
+
+// Render implements Result.
+func (r *Fig11Result) Render() string {
+	t := &table{
+		title: "Fig. 11 — Eq. 14 conditions during real training (boundary 1→0)",
+		cols:  []string{"quantity", "value"},
+		notes: []string{"paper: all three hover near zero, validating lazy error propagation's approximation"},
+	}
+	t.add("compressed sends observed", fmt.Sprintf("%d", r.Sends))
+	t.add("mean |Avg(ε)|", fmt.Sprintf("%.5f", r.EpsMeanAbs))
+	t.add("mean |Avg(Y⁽ⁱ⁾−Y⁽ⁱ⁺ⁿ⁾)|", fmt.Sprintf("%.5f", r.ActDiffMeanAbs))
+	t.add("mean |cos(ε, ΔY)|", fmt.Sprintf("%.5f", r.CosineAbs))
+	t.add("max |cos(ε, ΔY)|", fmt.Sprintf("%.5f", r.CosineMax))
+	return t.Render()
+}
+
+// Fig11Conditions regenerates Fig. 11 by instrumenting a CB training run.
+func Fig11Conditions(o Options) (*Fig11Result, error) {
+	c, err := Corpus()
+	if err != nil {
+		return nil, err
+	}
+	cfg := o.trainConfig(core.CB())
+	cfg.CollectStats = true
+	tr, err := train.New(cfg, c)
+	if err != nil {
+		return nil, err
+	}
+	tr.Train(o.Iterations/2, nil)
+	st := tr.Stats()
+	eps, diff, cosAbs := st.Summary()
+	maxCos := 0.0
+	for _, v := range st.Cosine {
+		if v < 0 {
+			v = -v
+		}
+		if v > maxCos {
+			maxCos = v
+		}
+	}
+	return &Fig11Result{
+		Sends:          len(st.EpsMean),
+		EpsMeanAbs:     eps,
+		ActDiffMeanAbs: diff,
+		CosineAbs:      cosAbs,
+		CosineMax:      maxCos,
+	}, nil
+}
+
+// Fig12Memory regenerates the memory-overhead accounting: baseline vs
+// compressed backpropagation vs CB + lazy error propagation.
+func Fig12Memory(o Options) (Result, error) {
+	c, err := Corpus()
+	if err != nil {
+		return nil, err
+	}
+	t := &table{
+		title: "Fig. 12 — peak memory per stage (bytes, float64 accounting)",
+		cols:  []string{"config", "stage", "params", "grads", "optimizer", "activations", "low-rank", "LEP residual", "total", "vs baseline"},
+		notes: []string{
+			"paper: compression buffers add 5–10% and LEP residuals ≈1% on top of multi-GB per-GPU state;",
+			"at stand-in scale the absolute components are what map — percentages skew larger because the",
+			"total footprint is tiny.",
+		},
+	}
+	nonLEP := core.CB()
+	nonLEP.LazyErrorPropagation = false
+	cfgs := []struct {
+		name string
+		opt  core.Config
+	}{
+		{"Baseline", core.Baseline()},
+		{"CB", nonLEP},
+		{"CB+LEP", core.CB()},
+	}
+	var baseTotals []int64
+	for _, cc := range cfgs {
+		cfg := o.trainConfig(cc.opt)
+		tr, err := train.New(cfg, c)
+		if err != nil {
+			return nil, err
+		}
+		tr.Train(2, nil) // populate residuals
+		for s, mb := range tr.MemoryPerStage() {
+			if cc.name == "Baseline" {
+				baseTotals = append(baseTotals, mb.Total())
+			}
+			rel := ""
+			if s < len(baseTotals) && baseTotals[s] > 0 {
+				rel = fmt.Sprintf("%+.2f%%", (float64(mb.Total())/float64(baseTotals[s])-1)*100)
+			}
+			t.add(cc.name, fmt.Sprintf("%d", s),
+				fmt.Sprintf("%d", mb.ParamBytes), fmt.Sprintf("%d", mb.GradBytes),
+				fmt.Sprintf("%d", mb.OptimizerBytes), fmt.Sprintf("%d", mb.ActivationBytes),
+				fmt.Sprintf("%d", mb.LowRankBytes), fmt.Sprintf("%d", mb.ResidualBytes),
+				fmt.Sprintf("%d", mb.Total()), rel)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,85 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestAdamFirstStepIsLRSized(t *testing.T) {
+	// With bias correction, the first Adam step is ≈ lr·sign(g).
+	p := tensor.FromSlice(1, 2, []float64{0, 0})
+	g := tensor.FromSlice(1, 2, []float64{0.5, -2})
+	opt := NewAdam(0.1, 0)
+	opt.Step([]*tensor.Matrix{p}, []*tensor.Matrix{g})
+	if math.Abs(p.At(0, 0)+0.1) > 1e-6 || math.Abs(p.At(0, 1)-0.1) > 1e-6 {
+		t.Fatalf("first step %v, want ≈ ∓lr", p.Data)
+	}
+	if opt.StepCount() != 1 {
+		t.Fatalf("step count %d", opt.StepCount())
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize f(x) = x² from x=3.
+	p := tensor.FromSlice(1, 1, []float64{3})
+	g := tensor.New(1, 1)
+	opt := NewAdam(0.1, 0)
+	for i := 0; i < 300; i++ {
+		g.Set(0, 0, 2*p.At(0, 0))
+		opt.Step([]*tensor.Matrix{p}, []*tensor.Matrix{g})
+	}
+	if math.Abs(p.At(0, 0)) > 0.05 {
+		t.Fatalf("did not converge: x=%v", p.At(0, 0))
+	}
+}
+
+func TestAdamClipDoesNotMutateGrad(t *testing.T) {
+	p := tensor.FromSlice(1, 1, []float64{0})
+	g := tensor.FromSlice(1, 1, []float64{100})
+	opt := NewAdam(0.01, 1)
+	opt.Step([]*tensor.Matrix{p}, []*tensor.Matrix{g})
+	if g.At(0, 0) != 100 {
+		t.Fatal("gradient mutated")
+	}
+}
+
+func TestAdamLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAdam(0.1, 0).Step([]*tensor.Matrix{tensor.New(1, 1)}, nil)
+}
+
+func TestAdamTrainsTheModel(t *testing.T) {
+	// End-to-end: Adam should reduce loss on the stand-in model just like
+	// SGD does.
+	cfg := Config{Vocab: 7, Hidden: 8, Context: 2, Blocks: 2, Seed: 5}
+	stages, err := NewStages(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stages[0]
+	opt := NewAdam(0.01, 1)
+	contexts := [][]int{{1, 2}, {3, 4}, {5, 6}, {0, 1}}
+	targets := []int{3, 5, 0, 2}
+	var first, last float64
+	for it := 0; it < 200; it++ {
+		s.ZeroGrads()
+		h := s.ForwardTokens(contexts)
+		logits := s.Logits(h)
+		loss, dLogits := CrossEntropy(logits, targets)
+		s.BackwardLogits(dLogits)
+		opt.Step(s.Params(), s.Grads())
+		if it == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last >= first/2 {
+		t.Fatalf("Adam failed to learn: %v → %v", first, last)
+	}
+}

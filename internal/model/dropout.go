@@ -1,0 +1,68 @@
+package model
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dropout implements inverted dropout: during training each element is
+// zeroed with probability Rate and survivors are scaled by 1/(1−Rate), so
+// inference needs no rescaling. The Megatron-LM block (Fig. 2) applies
+// dropout after the MLP and attention paths; the stand-in model offers it
+// as an option (off in the reproduction's experiments so runs are exactly
+// reproducible across schedule variants).
+//
+// Masks are queued per micro-batch, like every other layer cache, so
+// multiple in-flight micro-batches backpropagate through their own masks.
+type Dropout struct {
+	Rate float64
+	rng  *rand.Rand
+	// masks holds the scale factor per element (0 or 1/(1−Rate)).
+	masks []*tensor.Matrix
+}
+
+// NewDropout returns a dropout layer with the given rate in [0, 1).
+func NewDropout(rate float64, seed int64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic("model: dropout rate outside [0,1)")
+	}
+	return &Dropout{Rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Forward applies a fresh mask and enqueues it.
+func (d *Dropout) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if d.Rate == 0 {
+		d.masks = append(d.masks, nil)
+		return x
+	}
+	scale := 1 / (1 - d.Rate)
+	mask := tensor.New(x.Rows, x.Cols)
+	out := tensor.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if d.rng.Float64() >= d.Rate {
+			mask.Data[i] = scale
+			out.Data[i] = v * scale
+		}
+	}
+	d.masks = append(d.masks, mask)
+	return out
+}
+
+// Backward scales dy by the oldest in-flight mask.
+func (d *Dropout) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	if len(d.masks) == 0 {
+		panic("model: Dropout.Backward with no in-flight forward")
+	}
+	mask := d.masks[0]
+	d.masks = d.masks[1:]
+	if mask == nil {
+		return dy
+	}
+	out := dy.Clone()
+	out.Hadamard(mask)
+	return out
+}
+
+// InFlight returns the queued mask count.
+func (d *Dropout) InFlight() int { return len(d.masks) }

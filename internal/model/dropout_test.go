@@ -1,0 +1,104 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestDropoutZeroRateIsIdentity(t *testing.T) {
+	d := NewDropout(0, 1)
+	x := tensor.FromSlice(2, 2, []float64{1, 2, 3, 4})
+	y := d.Forward(x)
+	if y != x {
+		t.Fatal("rate 0 must pass through")
+	}
+	dy := tensor.FromSlice(2, 2, []float64{5, 6, 7, 8})
+	if d.Backward(dy) != dy {
+		t.Fatal("rate 0 backward must pass through")
+	}
+}
+
+func TestDropoutRateBounds(t *testing.T) {
+	for _, r := range []float64{-0.1, 1.0, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("rate %v accepted", r)
+				}
+			}()
+			NewDropout(r, 1)
+		}()
+	}
+}
+
+func TestDropoutPreservesExpectation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.RandN(rng, 1, 1, 0)
+	x.Fill(1)
+	d := NewDropout(0.3, 3)
+	var sum float64
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		y := d.Forward(x)
+		sum += y.At(0, 0)
+		d.Backward(tensor.New(1, 1)) // drain the queue
+	}
+	if got := sum / trials; math.Abs(got-1) > 0.03 {
+		t.Fatalf("E[dropout(1)] = %v, want 1 (inverted scaling)", got)
+	}
+}
+
+func TestDropoutBackwardUsesSameMask(t *testing.T) {
+	d := NewDropout(0.5, 4)
+	x := tensor.New(4, 8)
+	x.Fill(1)
+	y := d.Forward(x)
+	dy := tensor.New(4, 8)
+	dy.Fill(1)
+	dx := d.Backward(dy)
+	// Gradient flows exactly where the forward survived, with the same
+	// scale.
+	for i := range y.Data {
+		if (y.Data[i] == 0) != (dx.Data[i] == 0) {
+			t.Fatalf("mask mismatch at %d: fwd %v bwd %v", i, y.Data[i], dx.Data[i])
+		}
+		if y.Data[i] != 0 && math.Abs(dx.Data[i]-2) > 1e-12 {
+			t.Fatalf("scale wrong at %d: %v", i, dx.Data[i])
+		}
+	}
+}
+
+func TestDropoutQueueSupportsInFlight(t *testing.T) {
+	d := NewDropout(0.5, 5)
+	x := tensor.New(2, 4)
+	x.Fill(1)
+	y1 := d.Forward(x)
+	y2 := d.Forward(x)
+	if d.InFlight() != 2 {
+		t.Fatalf("in-flight %d", d.InFlight())
+	}
+	ones := tensor.New(2, 4)
+	ones.Fill(1)
+	dx1 := d.Backward(ones)
+	dx2 := d.Backward(ones.Clone())
+	for i := range y1.Data {
+		if (y1.Data[i] == 0) != (dx1.Data[i] == 0) {
+			t.Fatal("first backward used wrong mask")
+		}
+		if (y2.Data[i] == 0) != (dx2.Data[i] == 0) {
+			t.Fatal("second backward used wrong mask")
+		}
+	}
+}
+
+func TestDropoutBackwardWithoutForwardPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDropout(0.5, 6).Backward(tensor.New(1, 1))
+}

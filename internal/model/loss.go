@@ -1,0 +1,76 @@
+package model
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// CrossEntropy computes the mean negative log-likelihood of targets under
+// softmax(logits), and the gradient dLogits = (softmax − onehot)/B. The
+// 1/B factor makes micro-batch gradient accumulation average-preserving.
+func CrossEntropy(logits *tensor.Matrix, targets []int) (loss float64, dLogits *tensor.Matrix) {
+	b := logits.Rows
+	if len(targets) != b {
+		panic("model: CrossEntropy target/batch mismatch")
+	}
+	dLogits = tensor.New(b, logits.Cols)
+	invB := 1 / float64(b)
+	for i := 0; i < b; i++ {
+		row := logits.Row(i)
+		lse := tensor.LogSumExpRow(row)
+		loss += lse - row[targets[i]]
+		drow := dLogits.Row(i)
+		for j, v := range row {
+			drow[j] = math.Exp(v-lse) * invB
+		}
+		drow[targets[i]] -= invB
+	}
+	return loss * invB, dLogits
+}
+
+// Perplexity converts a mean cross-entropy (nats) into perplexity, the
+// validation metric of Table 2 and Fig. 9.
+func Perplexity(meanLoss float64) float64 { return math.Exp(meanLoss) }
+
+// SGD is the optimizer used by the reproduction: momentum SGD with
+// gradient clipping. Each data-parallel replica applies the identical
+// update to its identical weights, so replicas stay synchronized bit-for-
+// bit given identical (averaged) gradients.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	Clip     float64 // element-wise clip on the (averaged) gradient; 0 = off
+	velocity map[*tensor.Matrix]*tensor.Matrix
+}
+
+// NewSGD returns a momentum-SGD optimizer.
+func NewSGD(lr, momentum, clip float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, Clip: clip, velocity: make(map[*tensor.Matrix]*tensor.Matrix)}
+}
+
+// Step applies one update: p ← p − lr·v where v ← μ·v + g. The gradient
+// matrices are not modified.
+func (o *SGD) Step(params, grads []*tensor.Matrix) {
+	if len(params) != len(grads) {
+		panic("model: SGD params/grads length mismatch")
+	}
+	for i, p := range params {
+		g := grads[i]
+		eff := g
+		if o.Clip > 0 {
+			eff = g.Clone()
+			tensor.ClipInPlace(eff, o.Clip)
+		}
+		if o.Momentum > 0 {
+			v := o.velocity[p]
+			if v == nil {
+				v = tensor.New(g.Rows, g.Cols)
+				o.velocity[p] = v
+			}
+			v.Scale(o.Momentum).Add(eff)
+			eff = v
+		}
+		p.AddScaled(-o.LR, eff)
+	}
+}

@@ -1,0 +1,153 @@
+package pipeline
+
+import "fmt"
+
+// Interleaved 1F1B scheduling (Narayanan et al., SC'21), the variant
+// Megatron-LM and the paper's implementation use (§8). Each device hosts
+// `chunks` non-contiguous model chunks ("virtual stages"); the pipeline
+// depth becomes devices×chunks while the per-device bubble shrinks by the
+// chunk factor.
+
+// VOp is one compute operation in an interleaved schedule: micro-batch
+// Micro of chunk Chunk on a device (the chunk's global stage index is
+// Chunk·devices + device).
+type VOp struct {
+	Kind  OpKind
+	Chunk int
+	Micro int
+}
+
+func (o VOp) String() string {
+	return fmt.Sprintf("%s(c%d,m%d)", o.Kind, o.Chunk, o.Micro)
+}
+
+// InterleavedSchedule is a per-device ordered op list over virtual stages.
+type InterleavedSchedule struct {
+	Devices    int
+	Chunks     int
+	MicroBatch int
+	PerDevice  [][]VOp
+}
+
+// VirtualStages returns devices × chunks.
+func (s *InterleavedSchedule) VirtualStages() int { return s.Devices * s.Chunks }
+
+// StageOf returns the global stage index of (device, chunk).
+func (s *InterleavedSchedule) StageOf(device, chunk int) int {
+	return chunk*s.Devices + device
+}
+
+// Interleaved builds the interleaved 1F1B schedule for p devices, m
+// micro-batches, and v chunks per device. Micro-batches advance through
+// chunk 0 of every device, then chunk 1, etc.; warmup issues forwards in
+// groups of p micro-batches per chunk before the steady 1F1B phase.
+//
+// m must be a multiple of p (the Megatron-LM constraint for this
+// schedule).
+func Interleaved(p, m, v int) (*InterleavedSchedule, error) {
+	if p < 1 || m < 1 || v < 1 {
+		return nil, fmt.Errorf("pipeline: invalid interleaved config p=%d m=%d v=%d", p, m, v)
+	}
+	if m%p != 0 {
+		return nil, fmt.Errorf("pipeline: interleaved schedule needs micro-batches %d divisible by devices %d", m, p)
+	}
+	s := &InterleavedSchedule{Devices: p, Chunks: v, MicroBatch: m, PerDevice: make([][]VOp, p)}
+	total := m * v // ops of each kind per device
+	for d := 0; d < p; d++ {
+		// Forward/backward issue orders as (chunk, micro) sequences.
+		fwdSeq := issueOrder(p, m, v)
+		bwdSeq := issueOrder(p, m, v)
+		warmup := (p - d - 1) * 2
+		warmup += (v - 1) * p
+		if warmup > total {
+			warmup = total
+		}
+		var ops []VOp
+		fi, bi := 0, 0
+		for ; fi < warmup; fi++ {
+			ops = append(ops, VOp{Kind: Forward, Chunk: fwdSeq[fi].chunk, Micro: fwdSeq[fi].micro})
+		}
+		for fi < total {
+			ops = append(ops, VOp{Kind: Forward, Chunk: fwdSeq[fi].chunk, Micro: fwdSeq[fi].micro})
+			fi++
+			ops = append(ops, VOp{Kind: Backward, Chunk: bwdSeq[bi].chunk, Micro: bwdSeq[bi].micro})
+			bi++
+		}
+		for bi < total {
+			ops = append(ops, VOp{Kind: Backward, Chunk: bwdSeq[bi].chunk, Micro: bwdSeq[bi].micro})
+			bi++
+		}
+		s.PerDevice[d] = ops
+	}
+	return s, nil
+}
+
+type cm struct{ chunk, micro int }
+
+// issueOrder enumerates (chunk, micro) in the interleaved order: groups of
+// p consecutive micro-batches sweep all chunks before the next group (the
+// Megatron-LM "groups of p" rule). Backward uses the same order with
+// chunks reversed conceptually; for bubble accounting the symmetric order
+// suffices.
+func issueOrder(p, m, v int) []cm {
+	var seq []cm
+	for g := 0; g < m/p; g++ {
+		for c := 0; c < v; c++ {
+			for i := 0; i < p; i++ {
+				seq = append(seq, cm{chunk: c, micro: g*p + i})
+			}
+		}
+	}
+	return seq
+}
+
+// Validate checks that every (chunk, micro) pair appears exactly once per
+// kind on every device and that each backward follows its forward.
+func (s *InterleavedSchedule) Validate() error {
+	for d, ops := range s.PerDevice {
+		fSeen := make(map[cm]bool)
+		bSeen := make(map[cm]bool)
+		for _, op := range ops {
+			key := cm{op.Chunk, op.Micro}
+			if op.Chunk < 0 || op.Chunk >= s.Chunks || op.Micro < 0 || op.Micro >= s.MicroBatch {
+				return fmt.Errorf("pipeline: device %d op %v out of range", d, op)
+			}
+			switch op.Kind {
+			case Forward:
+				if fSeen[key] {
+					return fmt.Errorf("pipeline: device %d duplicate forward %v", d, op)
+				}
+				fSeen[key] = true
+			case Backward:
+				if bSeen[key] {
+					return fmt.Errorf("pipeline: device %d duplicate backward %v", d, op)
+				}
+				if !fSeen[key] {
+					return fmt.Errorf("pipeline: device %d backward %v before forward", d, op)
+				}
+				bSeen[key] = true
+			}
+		}
+		if len(fSeen) != s.Chunks*s.MicroBatch || len(bSeen) != s.Chunks*s.MicroBatch {
+			return fmt.Errorf("pipeline: device %d incomplete schedule (%d fwd, %d bwd)", d, len(fSeen), len(bSeen))
+		}
+	}
+	return nil
+}
+
+// PeakInFlight returns the maximum number of forward activations held on
+// the device before their backwards run.
+func (s *InterleavedSchedule) PeakInFlight(device int) int {
+	cur, peak := 0, 0
+	for _, op := range s.PerDevice[device] {
+		if op.Kind == Forward {
+			cur++
+			if cur > peak {
+				peak = cur
+			}
+		} else {
+			cur--
+		}
+	}
+	return peak
+}

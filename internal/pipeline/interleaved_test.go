@@ -1,0 +1,135 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterleavedValidates(t *testing.T) {
+	for _, tc := range []struct{ p, m, v int }{
+		{4, 16, 2}, {4, 8, 1}, {2, 4, 3}, {8, 16, 2}, {1, 4, 2},
+	} {
+		s, err := Interleaved(tc.p, tc.m, tc.v)
+		if err != nil {
+			t.Fatalf("p=%d m=%d v=%d: %v", tc.p, tc.m, tc.v, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("p=%d m=%d v=%d: %v", tc.p, tc.m, tc.v, err)
+		}
+	}
+}
+
+func TestInterleavedErrors(t *testing.T) {
+	if _, err := Interleaved(0, 4, 1); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	if _, err := Interleaved(4, 6, 2); err == nil {
+		t.Fatal("m not divisible by p accepted")
+	}
+}
+
+func TestInterleavedOpCounts(t *testing.T) {
+	s, _ := Interleaved(4, 16, 2)
+	for d := 0; d < 4; d++ {
+		if got := len(s.PerDevice[d]); got != 2*16*2 {
+			t.Fatalf("device %d has %d ops, want %d", d, got, 2*16*2)
+		}
+	}
+	if s.VirtualStages() != 8 {
+		t.Fatalf("virtual stages %d", s.VirtualStages())
+	}
+	if s.StageOf(1, 1) != 5 {
+		t.Fatalf("StageOf(1,1)=%d want 5", s.StageOf(1, 1))
+	}
+}
+
+func TestInterleavedPeakInFlightBelowGPipe(t *testing.T) {
+	// Interleaving holds more activations than plain 1F1B but far fewer
+	// than all m·v.
+	s, _ := Interleaved(4, 16, 2)
+	for d := 0; d < 4; d++ {
+		peak := s.PeakInFlight(d)
+		if peak <= 0 || peak >= 32 {
+			t.Fatalf("device %d peak %d outside (0, 32)", d, peak)
+		}
+	}
+	// Earlier devices warm up deeper.
+	if s.PeakInFlight(0) < s.PeakInFlight(3) {
+		t.Fatal("device 0 should stash at least as much as device 3")
+	}
+}
+
+func TestBubbleFractions(t *testing.T) {
+	// p=4, m=16: 1F1B bubble 3/19; interleaved v=2 bubble 3/35.
+	if got := BubbleFraction1F1B(4, 16); math.Abs(got-3.0/19.0) > 1e-12 {
+		t.Fatalf("1F1B bubble %v", got)
+	}
+	if got := BubbleFractionInterleaved(4, 16, 2); math.Abs(got-3.0/35.0) > 1e-12 {
+		t.Fatalf("interleaved bubble %v", got)
+	}
+	if BubbleFraction1F1B(1, 16) != 0 {
+		t.Fatal("single stage has no bubble")
+	}
+}
+
+// Property: interleaving never increases the bubble fraction, and more
+// chunks monotonically shrink it.
+func TestInterleavingShrinksBubbleProperty(t *testing.T) {
+	f := func(p8, g8, v8 uint8) bool {
+		p := int(p8%7) + 2
+		m := p * (int(g8%4) + 1)
+		v := int(v8%4) + 1
+		b1 := BubbleFraction1F1B(p, m)
+		bv := BubbleFractionInterleaved(p, m, v)
+		if bv > b1+1e-12 {
+			return false
+		}
+		return BubbleFractionInterleaved(p, m, v+1) <= bv+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every generated interleaved schedule validates.
+func TestInterleavedValidProperty(t *testing.T) {
+	f := func(p8, g8, v8 uint8) bool {
+		p := int(p8%6) + 1
+		m := p * (int(g8%3) + 1)
+		v := int(v8%3) + 1
+		s, err := Interleaved(p, m, v)
+		if err != nil {
+			return false
+		}
+		return s.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActivationMemoryRatio(t *testing.T) {
+	// Stage 0 of a 4-stage, 16-micro 1F1B stashes 4/16 of GPipe's.
+	if got := ActivationMemoryRatio1F1B(4, 16, 0); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("ratio %v", got)
+	}
+	// Last stage stashes only 1/16.
+	if got := ActivationMemoryRatio1F1B(4, 16, 3); math.Abs(got-1.0/16) > 1e-12 {
+		t.Fatalf("ratio %v", got)
+	}
+}
+
+func TestCommVolumePerIteration(t *testing.T) {
+	if got := CommVolumePerIteration(4, 16, 1); got != 2*3*16 {
+		t.Fatalf("plain volume %d", got)
+	}
+	if got := CommVolumePerIteration(4, 16, 2); got != 2*7*16 {
+		t.Fatalf("interleaved volume %d", got)
+	}
+	// Interleaving trades more p2p messages for less bubble — the tension
+	// the paper's CB exploits.
+	if CommVolumePerIteration(4, 16, 2) <= CommVolumePerIteration(4, 16, 1) {
+		t.Fatal("interleaving should add transfers")
+	}
+}

@@ -1,0 +1,208 @@
+package pipeline
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOneFOneBValidates(t *testing.T) {
+	for _, tc := range []struct{ p, m int }{{1, 1}, {4, 8}, {4, 2}, {8, 8}, {2, 16}, {16, 16}} {
+		s, err := OneFOneB(tc.p, tc.m)
+		if err != nil {
+			t.Fatalf("p=%d m=%d: %v", tc.p, tc.m, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("p=%d m=%d: %v", tc.p, tc.m, err)
+		}
+	}
+}
+
+func TestOneFOneBErrors(t *testing.T) {
+	if _, err := OneFOneB(0, 4); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	if _, err := OneFOneB(4, 0); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+}
+
+func TestOneFOneBMatchesPaperFigure4(t *testing.T) {
+	// 4 stages, 8 micro-batches — the exact configuration of Fig. 4a.
+	s, err := OneFOneB(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Device 1 (stage 0): 3 warmup forwards, then 1F1B, then 3-deep
+	// epilogue of backwards.
+	ops := s.PerStage[0]
+	for i := 0; i < 3; i++ {
+		if ops[i].Kind != Forward || ops[i].Micro != i || ops[i].Phase != Warmup {
+			t.Fatalf("stage0 op %d = %v", i, ops[i])
+		}
+	}
+	if ops[3].Kind != Forward || ops[3].Micro != 3 || ops[4].Kind != Backward || ops[4].Micro != 0 {
+		t.Fatalf("steady start wrong: %v %v", ops[3], ops[4])
+	}
+	last := ops[len(ops)-1]
+	if last.Kind != Backward || last.Micro != 7 || last.Phase != Epilogue {
+		t.Fatalf("last op %v", last)
+	}
+	// Last stage (3): no warmup, strict 1F1B throughout, no epilogue.
+	for _, op := range s.PerStage[3] {
+		if op.Phase == Warmup || op.Phase == Epilogue {
+			t.Fatalf("last stage has non-steady op %v", op)
+		}
+	}
+}
+
+func TestEpilogueCountsMatchFig6(t *testing.T) {
+	// With p=4, m=8: stages 0..3 have 3,2,1,0 epilogue backwards — the
+	// shaded region of Fig. 6a.
+	s, _ := OneFOneB(4, 8)
+	want := []int{3, 2, 1, 0}
+	for st, w := range want {
+		if got := s.EpilogueBackwardCount(st); got != w {
+			t.Fatalf("stage %d epilogue count %d want %d", st, got, w)
+		}
+	}
+}
+
+func TestIsEpilogueBackwardBoundary(t *testing.T) {
+	s, _ := OneFOneB(4, 8)
+	if s.IsEpilogueBackward(0, 4) {
+		t.Fatal("micro 4 on stage 0 is steady")
+	}
+	if !s.IsEpilogueBackward(0, 5) {
+		t.Fatal("micro 5 on stage 0 is epilogue")
+	}
+	if s.IsEpilogueBackward(3, 7) {
+		t.Fatal("last stage has no epilogue")
+	}
+}
+
+func TestPeakInFlight(t *testing.T) {
+	// 1F1B bounds in-flight activations by the warmup depth + 1.
+	s, _ := OneFOneB(4, 8)
+	want := []int{4, 3, 2, 1}
+	for st, w := range want {
+		if got := s.PeakInFlight(st); got != w {
+			t.Fatalf("stage %d peak in-flight %d want %d", st, got, w)
+		}
+	}
+}
+
+func TestGPipePeakInFlightIsM(t *testing.T) {
+	g, err := GPipe(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for st := 0; st < 4; st++ {
+		if got := g.PeakInFlight(st); got != 8 {
+			t.Fatalf("GPipe stage %d peak %d want 8 (all micro-batches)", st, got)
+		}
+	}
+}
+
+func TestGPipeErrors(t *testing.T) {
+	if _, err := GPipe(0, 1); err == nil {
+		t.Fatal("invalid GPipe accepted")
+	}
+}
+
+func TestSingleStageDegenerates(t *testing.T) {
+	s, _ := OneFOneB(1, 4)
+	ops := s.PerStage[0]
+	// Strict F,B,F,B...: no pipeline at all.
+	for i, op := range ops {
+		wantKind := Forward
+		if i%2 == 1 {
+			wantKind = Backward
+		}
+		if op.Kind != wantKind {
+			t.Fatalf("op %d = %v", i, op)
+		}
+	}
+	if s.EpilogueBackwardCount(0) != 0 {
+		t.Fatal("single stage has no epilogue")
+	}
+}
+
+func TestMoreStagesThanMicroBatches(t *testing.T) {
+	// p=8, m=2: warmup clamps to m; schedule must still validate.
+	s, err := OneFOneB(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.EpilogueBackwardCount(0); got != 2 {
+		t.Fatalf("all backwards should be epilogue on stage 0, got %d", got)
+	}
+}
+
+// Property: for any valid (p, m), the 1F1B schedule validates and the
+// total op count is exactly 2m per stage.
+func TestOneFOneBProperty(t *testing.T) {
+	f := func(p8, m8 uint8) bool {
+		p := int(p8%12) + 1
+		m := int(m8%20) + 1
+		s, err := OneFOneB(p, m)
+		if err != nil {
+			return false
+		}
+		if s.Validate() != nil {
+			return false
+		}
+		for _, ops := range s.PerStage {
+			if len(ops) != 2*m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: epilogue count is min(p−s−1, m) for every stage.
+func TestEpilogueCountProperty(t *testing.T) {
+	f := func(p8, m8 uint8) bool {
+		p := int(p8%12) + 1
+		m := int(m8%20) + 1
+		s, err := OneFOneB(p, m)
+		if err != nil {
+			return false
+		}
+		for st := 0; st < p; st++ {
+			want := p - st - 1
+			if want > m {
+				want = m
+			}
+			if s.EpilogueBackwardCount(st) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpAndPhaseStrings(t *testing.T) {
+	op := Op{Kind: Forward, Stage: 1, Micro: 2, Phase: Steady}
+	if op.String() != "F(s1,m2,steady)" {
+		t.Fatalf("String() = %q", op.String())
+	}
+	if Warmup.String() != "warmup" || Epilogue.String() != "epilogue" {
+		t.Fatal("phase strings wrong")
+	}
+	if Backward.String() != "B" {
+		t.Fatal("kind string wrong")
+	}
+}

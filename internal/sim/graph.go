@@ -1,0 +1,296 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/simnet"
+)
+
+// durations bundles all task durations derived from a scenario.
+type durations struct {
+	fwd []float64 // per stage, per micro-batch
+	bwd []float64
+	// Inter-stage transfer components. Transfers are wire time; codec is
+	// the compression+decompression compute, which overlapping cannot
+	// hide.
+	sendFwdXfer    float64 // dense forward transfer
+	sendBwdXfer    float64 // dense backward transfer
+	sendBwdCmpXfer float64 // compressed backward transfer (wire only)
+	sendBwdCodec   float64 // compress+decompress time per backward send
+	dp             []float64
+	embPhase       []float64 // embedding tasks in order (baseline: EMB DP, EMB Sync; fused: one)
+}
+
+// zeroSet marks labels whose tasks get zero duration (the §3 CPI-stack
+// "turn off a component" methodology).
+type zeroSet map[string]bool
+
+func (z zeroSet) dur(label string, d float64) float64 {
+	if z[label] {
+		return 0
+	}
+	return d
+}
+
+// computeDurations derives every task duration from the scenario.
+func computeDurations(s Scenario) durations {
+	var d durations
+	p := s.Map.PP
+	tokens := float64(s.MicroBatch * s.Spec.SeqLen)
+	eff := s.Topo.EffectiveFLOPs() * float64(s.Map.TP)
+
+	actBytes := s.Spec.ActivationBytes(s.MicroBatch, 2)
+	tpAllReduce := s.Topo.Intra.AllReduceTime(actBytes, s.Map.TP)
+
+	d.fwd = make([]float64, p)
+	d.bwd = make([]float64, p)
+	for st := 0; st < p; st++ {
+		flops := float64(s.LayersPerStage()) * s.Spec.FwdFLOPsPerLayerPerToken() * tokens
+		if st == p-1 {
+			// Output head: logits = h·Embᵀ, 2·tokens·H·V FLOPs.
+			flops += 2 * tokens * float64(s.Spec.Hidden) * float64(s.Spec.VocabSize)
+		}
+		tp := float64(s.LayersPerStage()) * 2 * tpAllReduce
+		d.fwd[st] = flops/eff + tp
+		// Backward is ≈2× forward compute, with its own pair of TP
+		// all-reduces per layer.
+		d.bwd[st] = 2*flops/eff + 2*tp
+	}
+
+	// Inter-stage p2p transfers.
+	p2pLink := simnet.Link{
+		Name:         "p2p",
+		BandwidthBps: s.Topo.Inter.BandwidthBps * s.Comm.P2PEff,
+		LatencySec:   s.Topo.Inter.LatencySec,
+	}
+	d.sendFwdXfer = p2pLink.TransferTime(actBytes)
+	d.sendBwdXfer = p2pLink.TransferTime(actBytes)
+	d.sendBwdCmpXfer = d.sendBwdXfer
+	if s.Cfg.CompressBackprop {
+		n := s.MicroBatch * s.Spec.SeqLen
+		m := s.Spec.Hidden
+		wire := core.LowRankWireBytes(n, m, s.Cfg.CBRank, 2)
+		d.sendBwdCodec = s.Cost.CompressTime(n, m, s.Cfg.CBRank) + s.Cost.DecompressTime(n, m, s.Cfg.CBRank)
+		if s.Cfg.CBAlg == core.CBTopK {
+			// Top-k ships (value, index) pairs: 3× the low-rank payload for
+			// the same element budget (§2.3's gather/index overhead).
+			wire *= 3
+		}
+		d.sendBwdCmpXfer = p2pLink.TransferTime(wire)
+	}
+
+	// Data-parallel all-reduce per stage. Every GPU in a node runs its own
+	// ring concurrently, sharing the NIC.
+	dpLink := simnet.Link{
+		Name:         "dp",
+		BandwidthBps: s.Topo.Inter.BandwidthBps * s.Comm.DPEff / float64(s.Topo.GPUsPerNode),
+		LatencySec:   s.Topo.Inter.LatencySec,
+	}
+	compressed := s.Cfg.CompressedStages(p)
+	d.dp = make([]float64, p)
+	for st := 0; st < p; st++ {
+		shardBytes := s.StageParams(st) / int64(s.Map.TP) * 2
+		if s.Map.DP <= 1 {
+			d.dp[st] = 0
+			continue
+		}
+		if compressed[st] {
+			gr, gc := s.Spec.LayerGradShape()
+			frac := float64(core.LowRankWireBytes(gr, gc, s.Cfg.DPRank, 2)) /
+				float64(int64(gr)*int64(gc)*2)
+			wire := int64(float64(shardBytes) * frac)
+			codec := float64(s.LayersPerStage()) *
+				(s.Cost.CompressTime(gr, gc/s.Map.TP, s.Cfg.DPRank) +
+					s.Cost.DecompressTime(gr, gc/s.Map.TP, s.Cfg.DPRank))
+			d.dp[st] = s.Comm.CollOverheadSec + dpLink.AllReduceTime(wire, s.Map.DP) + codec
+		} else {
+			d.dp[st] = s.Comm.CollOverheadSec + dpLink.AllReduceTime(shardBytes, s.Map.DP)
+		}
+	}
+
+	// Embedding synchronization. The table is vocab-sharded across TP.
+	embBytes := s.Spec.EmbeddingParams() / int64(s.Map.TP) * 2
+	if p == 1 {
+		// First and last stage coincide: only the DP all-reduce remains.
+		if s.Map.DP > 1 {
+			d.embPhase = []float64{s.Comm.EmbPhaseOverheadSec + dpLink.AllReduceTime(embBytes, s.Map.DP)}
+		}
+	} else if s.Cfg.FuseEmbedding {
+		d.embPhase = []float64{
+			s.Comm.EmbPhaseOverheadSec + dpLink.AllReduceTime(embBytes, 2*s.Map.DP),
+		}
+	} else {
+		dpPart := dpLink.AllReduceTime(embBytes, s.Map.DP)
+		if s.Map.DP <= 1 {
+			dpPart = 0
+		}
+		d.embPhase = []float64{
+			s.Comm.EmbPhaseOverheadSec + dpPart,
+			s.Comm.EmbPhaseOverheadSec + dpLink.AllReduceTime(embBytes, 2),
+		}
+	}
+	return d
+}
+
+// BuildGraph assembles one training iteration as a task graph. zero lists
+// component labels whose durations are forced to zero (for breakdowns).
+func BuildGraph(s Scenario, zero zeroSet) (*simnet.Graph, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	p := s.Map.PP
+	m := s.MicroBatches()
+	sched, err := pipeline.OneFOneB(p, m)
+	if err != nil {
+		return nil, err
+	}
+	d := computeDurations(s)
+	g := simnet.NewGraph()
+
+	dev := func(st int) string { return fmt.Sprintf("dev%d", st) }
+	fid := func(st, mi int) string { return fmt.Sprintf("F/%d/%d", st, mi) }
+	bid := func(st, mi int) string { return fmt.Sprintf("B/%d/%d", st, mi) }
+	sfid := func(st, mi int) string { return fmt.Sprintf("SF/%d/%d", st, mi) }
+	sbid := func(st, mi int) string { return fmt.Sprintf("SB/%d/%d", st, mi) }
+
+	// Compute tasks in per-device schedule order (fixes resource order).
+	for st := 0; st < p; st++ {
+		for _, op := range sched.PerStage[st] {
+			switch op.Kind {
+			case pipeline.Forward:
+				g.Add(fid(st, op.Micro), LabelFwd, zero.dur(LabelFwd, d.fwd[st]), dev(st))
+			case pipeline.Backward:
+				g.Add(bid(st, op.Micro), LabelBwd, zero.dur(LabelBwd, d.bwd[st]), dev(st))
+			}
+		}
+	}
+	// Inter-stage transfers: forward sends stage st → st+1, backward sends
+	// stage st → st−1. Each boundary/direction is its own link resource.
+	// Steady-phase transfers are partially hidden by Megatron's async
+	// send/recv (CommParams.SteadyOverlap); warmup forwards (pipeline
+	// fill) and epilogue backwards (drain) are fully exposed.
+	hide := 1 - s.Comm.SteadyOverlap
+	fwdPhase := make(map[[2]int]pipeline.Phase)
+	for st := 0; st < p; st++ {
+		for _, op := range sched.PerStage[st] {
+			if op.Kind == pipeline.Forward {
+				fwdPhase[[2]int{st, op.Micro}] = op.Phase
+			}
+		}
+	}
+	for st := 0; st < p-1; st++ {
+		for mi := 0; mi < m; mi++ {
+			dur := d.sendFwdXfer
+			if fwdPhase[[2]int{st, mi}] != pipeline.Warmup {
+				dur *= hide
+			}
+			t := g.Add(sfid(st, mi), LabelInterStage, zero.dur(LabelInterStage, dur),
+				fmt.Sprintf("linkF%d", st))
+			g.Dep(g.Get(fid(st, mi)), t)
+			g.Dep(t, g.Get(fid(st+1, mi)))
+		}
+	}
+	for st := 1; st < p; st++ {
+		for mi := 0; mi < m; mi++ {
+			epilogue := sched.IsEpilogueBackward(st, mi)
+			compressed := s.Cfg.CompressBackprop && (!s.Cfg.EpilogueOnly || epilogue)
+			xfer := d.sendBwdXfer
+			var codec float64
+			if compressed {
+				xfer = d.sendBwdCmpXfer
+				codec = d.sendBwdCodec
+			}
+			if !epilogue {
+				xfer *= hide
+			}
+			t := g.Add(sbid(st, mi), LabelInterStage, zero.dur(LabelInterStage, xfer+codec),
+				fmt.Sprintf("linkB%d", st))
+			g.Dep(g.Get(bid(st, mi)), t)
+			g.Dep(t, g.Get(bid(st-1, mi)))
+		}
+	}
+	// Data-parallel all-reduce per stage, after the stage's last backward.
+	for st := 0; st < p; st++ {
+		t := g.Add(fmt.Sprintf("DP/%d", st), LabelDP, zero.dur(LabelDP, d.dp[st]),
+			fmt.Sprintf("nic%d", st))
+		g.Dep(g.Get(bid(st, m-1)), t)
+	}
+	// Embedding synchronization: baseline is two chained phases (EMB DP
+	// then EMB Sync, Fig. 4a); fused is a single phase (§6). Both involve
+	// the first and last stages' NICs, after those stages' DP traffic.
+	var prev *simnet.Task
+	for i, dur := range d.embPhase {
+		t := g.Add(fmt.Sprintf("EMB/%d", i), LabelEmb, zero.dur(LabelEmb, dur), "nicEmb")
+		g.Dep(g.Get(bid(0, m-1)), t)
+		g.Dep(g.Get(bid(p-1, m-1)), t)
+		g.Dep(g.Get("DP/0"), t)
+		g.Dep(g.Get(fmt.Sprintf("DP/%d", p-1)), t)
+		if prev != nil {
+			g.Dep(prev, t)
+		}
+		prev = t
+	}
+	return g, nil
+}
+
+// Simulate resolves one iteration and projects total training time.
+func Simulate(s Scenario) (Result, error) {
+	g, err := BuildGraph(s, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	iter, err := g.Solve()
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		IterationSec: iter,
+		Days:         iter * float64(s.Iterations) / 86400,
+		Exposed:      make(map[string]float64, len(AllLabels)),
+		Busy:         g.TotalByLabel(),
+	}
+	for _, label := range AllLabels {
+		g2, err := BuildGraph(s, zeroSet{label: true})
+		if err != nil {
+			return Result{}, err
+		}
+		mk, err := g2.Solve()
+		if err != nil {
+			return Result{}, err
+		}
+		res.Exposed[label] = iter - mk
+	}
+	return res, nil
+}
+
+// Calibrate fits the topology's compute efficiency so the scenario's
+// iteration time matches targetIterationSec (bisection; communication
+// times do not depend on the efficiency, compute scales as 1/eff).
+func Calibrate(s Scenario, targetIterationSec float64) (float64, error) {
+	lo, hi := 0.001, 1.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		s.Topo.Efficiency = mid
+		r, err := Simulate(s)
+		if err != nil {
+			return 0, err
+		}
+		if r.IterationSec > targetIterationSec {
+			lo = mid // too slow → raise efficiency
+		} else {
+			hi = mid
+		}
+	}
+	s.Topo.Efficiency = (lo + hi) / 2
+	r, err := Simulate(s)
+	if err != nil {
+		return 0, err
+	}
+	if diff := r.IterationSec - targetIterationSec; diff > 0.05*targetIterationSec || diff < -0.05*targetIterationSec {
+		return 0, fmt.Errorf("sim: calibration failed: got %.3fs want %.3fs (comm floor too high?)",
+			r.IterationSec, targetIterationSec)
+	}
+	return (lo + hi) / 2, nil
+}

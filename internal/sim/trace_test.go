@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+func TestWriteTraceValidJSON(t *testing.T) {
+	sc := PaperScenario(cluster.GPT25B, core.CBFESC())
+	sc.Topo.Efficiency = eff(t)
+	var buf bytes.Buffer
+	if err := WriteTrace(sc, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var records []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &records); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var events, metas int
+	cats := map[string]bool{}
+	for _, r := range records {
+		switch r["ph"] {
+		case "X":
+			events++
+			if cat, ok := r["cat"].(string); ok {
+				cats[cat] = true
+			}
+			if r["dur"].(float64) <= 0 {
+				t.Fatal("zero-duration event emitted")
+			}
+		case "M":
+			metas++
+		}
+	}
+	if events < 100 {
+		t.Fatalf("only %d events — expected a full iteration", events)
+	}
+	if metas < 4 {
+		t.Fatalf("only %d track names", metas)
+	}
+	for _, want := range []string{LabelFwd, LabelBwd, LabelInterStage, LabelDP, LabelEmb} {
+		if !cats[want] {
+			t.Fatalf("trace missing category %s", want)
+		}
+	}
+}
+
+func TestSummarizeUtilization(t *testing.T) {
+	sc := PaperScenario(cluster.GPT25B, core.Baseline())
+	sc.Topo.Efficiency = eff(t)
+	sum, err := Summarize(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Makespan <= 0 {
+		t.Fatal("empty makespan")
+	}
+	for res, u := range sum.Utilization {
+		if u < 0 || u > 1+1e-9 {
+			t.Fatalf("resource %s utilization %v outside [0,1]", res, u)
+		}
+	}
+	// Devices must be the busiest resources in a compute-dominated run.
+	if sum.Utilization["dev0"] < 0.3 {
+		t.Fatalf("dev0 utilization %v suspiciously low", sum.Utilization["dev0"])
+	}
+}

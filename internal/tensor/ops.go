@@ -1,0 +1,181 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandN fills a new rows×cols matrix with N(0, std²) samples from rng.
+func RandN(rng *rand.Rand, rows, cols int, std float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+	return m
+}
+
+// RandUniform fills a new rows×cols matrix with U(-a, a) samples.
+func RandUniform(rng *rand.Rand, rows, cols int, a float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * a
+	}
+	return m
+}
+
+// XavierInit returns a fanIn×fanOut matrix initialized with the Glorot
+// uniform scheme, the standard initialization for the MLP stand-in model.
+func XavierInit(rng *rand.Rand, fanIn, fanOut int) *Matrix {
+	a := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	return RandUniform(rng, fanIn, fanOut, a)
+}
+
+// GramSchmidt orthonormalizes the columns of m in place (modified
+// Gram–Schmidt). Near-zero columns are replaced with zeros rather than
+// blowing up — PowerSGD calls this on random sketches, where exact rank
+// deficiency is measure-zero but numerically possible.
+//
+// This is the orthogonalization phase the paper identifies as ~80% of the
+// compression cost in §9.6.
+func GramSchmidt(m *Matrix) {
+	cols := m.Cols
+	rows := m.Rows
+	for j := 0; j < cols; j++ {
+		// Subtract projections onto previous columns.
+		for k := 0; k < j; k++ {
+			var dot float64
+			for i := 0; i < rows; i++ {
+				dot += m.Data[i*cols+j] * m.Data[i*cols+k]
+			}
+			for i := 0; i < rows; i++ {
+				m.Data[i*cols+j] -= dot * m.Data[i*cols+k]
+			}
+		}
+		var norm float64
+		for i := 0; i < rows; i++ {
+			v := m.Data[i*cols+j]
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			for i := 0; i < rows; i++ {
+				m.Data[i*cols+j] = 0
+			}
+			continue
+		}
+		inv := 1 / norm
+		for i := 0; i < rows; i++ {
+			m.Data[i*cols+j] *= inv
+		}
+	}
+}
+
+// SoftmaxRows applies a numerically stable softmax to each row in place.
+func SoftmaxRows(m *Matrix) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		mx := math.Inf(-1)
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - mx)
+			row[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// LogSumExpRow returns log Σ exp(row) computed stably.
+func LogSumExpRow(row []float64) float64 {
+	mx := math.Inf(-1)
+	for _, v := range row {
+		if v > mx {
+			mx = v
+		}
+	}
+	if math.IsInf(mx, -1) {
+		return mx
+	}
+	var s float64
+	for _, v := range row {
+		s += math.Exp(v - mx)
+	}
+	return mx + math.Log(s)
+}
+
+// Tanh applies tanh element-wise in place.
+func Tanh(m *Matrix) *Matrix { return m.Apply(math.Tanh) }
+
+// GELU applies the tanh-approximation GELU activation in place, matching
+// the activation used in the Megatron-LM transformer block (Fig. 2).
+func GELU(m *Matrix) *Matrix {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	return m.Apply(func(x float64) float64 {
+		return 0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x)))
+	})
+}
+
+// GELUGrad returns dGELU/dx evaluated element-wise at x (tanh approximation).
+func GELUGrad(x float64) float64 {
+	const c = 0.7978845608028654
+	t := math.Tanh(c * (x + 0.044715*x*x*x))
+	dt := (1 - t*t) * c * (1 + 3*0.044715*x*x)
+	return 0.5*(1+t) + 0.5*x*dt
+}
+
+// ArgmaxRow returns the index of the largest value in row.
+func ArgmaxRow(row []float64) int {
+	best, bi := math.Inf(-1), 0
+	for j, v := range row {
+		if v > best {
+			best, bi = v, j
+		}
+	}
+	return bi
+}
+
+// ClipInPlace clamps every element of m to [-c, c]. Gradient clipping keeps
+// the tiny stand-in model stable under aggressive compression.
+func ClipInPlace(m *Matrix, c float64) {
+	for i, v := range m.Data {
+		if v > c {
+			m.Data[i] = c
+		} else if v < -c {
+			m.Data[i] = -c
+		}
+	}
+}
+
+// Mean returns the arithmetic mean of v, or 0 for an empty slice.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Variance returns the population variance of v.
+func Variance(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	mu := Mean(v)
+	var s float64
+	for _, x := range v {
+		d := x - mu
+		s += d * d
+	}
+	return s / float64(len(v))
+}

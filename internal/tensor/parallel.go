@@ -1,0 +1,106 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel kernels. The Fig. 15 throughput measurements and the training
+// loop spend nearly all their time in matmul; these goroutine-parallel
+// variants split work by output rows. Results are bit-identical to the
+// serial kernels (each output element is produced by exactly one
+// goroutine with the same summation order).
+
+// maxWorkers bounds kernel parallelism; 0 means GOMAXPROCS.
+var maxWorkers = 0
+
+// SetMaxWorkers overrides the kernel worker count (0 restores the
+// default). Intended for benchmarks and tests.
+func SetMaxWorkers(n int) { maxWorkers = n }
+
+func workers(rows int) int {
+	w := maxWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > rows {
+		w = rows
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelRows runs fn over [0, rows) split into contiguous chunks.
+func parallelRows(rows int, fn func(lo, hi int)) {
+	w := workers(rows)
+	if w == 1 {
+		fn(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + w - 1) / w
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParMatMulInto computes dst = a×b in parallel. Same contract as
+// MatMulInto.
+func ParMatMulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		MatMulInto(dst, a, b) // reuse the serial kernel's panic messages
+		return
+	}
+	parallelRows(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for j := range drow {
+				drow[j] = 0
+			}
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// ParMatMulBTInto computes dst = a×bᵀ in parallel. Same contract as
+// MatMulBTInto.
+func ParMatMulBTInto(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		MatMulBTInto(dst, a, b)
+		return
+	}
+	parallelRows(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				var s float64
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				drow[j] = s
+			}
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParMatMulMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandN(rng, 33, 17, 1)
+	b := RandN(rng, 17, 29, 1)
+	want := New(33, 29)
+	MatMulInto(want, a, b)
+	got := New(33, 29)
+	ParMatMulInto(got, a, b)
+	if !got.Equal(want, 0) {
+		t.Fatal("parallel matmul differs from serial (must be bit-identical)")
+	}
+}
+
+func TestParMatMulBTMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := RandN(rng, 21, 13, 1)
+	b := RandN(rng, 19, 13, 1)
+	want := New(21, 19)
+	MatMulBTInto(want, a, b)
+	got := New(21, 19)
+	ParMatMulBTInto(got, a, b)
+	if !got.Equal(want, 0) {
+		t.Fatal("parallel BT matmul differs from serial")
+	}
+}
+
+func TestParMatMulSingleWorker(t *testing.T) {
+	SetMaxWorkers(1)
+	defer SetMaxWorkers(0)
+	rng := rand.New(rand.NewSource(3))
+	a := RandN(rng, 8, 8, 1)
+	b := RandN(rng, 8, 8, 1)
+	got := New(8, 8)
+	ParMatMulInto(got, a, b)
+	want := MatMul(a, b)
+	if !got.Equal(want, 0) {
+		t.Fatal("single-worker path broken")
+	}
+}
+
+func TestParMatMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ParMatMulInto(New(2, 2), New(2, 3), New(2, 3))
+}
+
+// Property: parallel and serial kernels agree bit-for-bit on random
+// shapes and worker counts.
+func TestParMatMulEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(r8, k8, c8, w8 uint8) bool {
+		r := int(r8%20) + 1
+		k := int(k8%20) + 1
+		c := int(c8%20) + 1
+		SetMaxWorkers(int(w8%8) + 1)
+		defer SetMaxWorkers(0)
+		a := RandN(rng, r, k, 1)
+		b := RandN(rng, k, c, 1)
+		s := New(r, c)
+		MatMulInto(s, a, b)
+		p := New(r, c)
+		ParMatMulInto(p, a, b)
+		return p.Equal(s, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package train
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/tensor"
+)
+
+// Checkpointing: serialize and restore replica-0 model weights. Because
+// all DP replicas hold identical weights (an invariant the tests assert),
+// one replica's weights restore the whole trainer; optimizer momentum is
+// deliberately not persisted, matching how pretraining checkpoints are
+// typically consumed for evaluation.
+//
+// Format: a small header (magic, version, matrix count), then each matrix
+// as rows/cols/float64 data, little-endian.
+
+const (
+	checkpointMagic   = 0x4f437043 // "OpCC"
+	checkpointVersion = 1
+)
+
+// SaveCheckpoint writes replica 0's weights to w.
+func (t *Trainer) SaveCheckpoint(w io.Writer) error {
+	var mats []*tensor.Matrix
+	for _, s := range t.replicas[0] {
+		mats = append(mats, s.Params()...)
+	}
+	hdr := []uint32{checkpointMagic, checkpointVersion, uint32(len(mats))}
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("train: checkpoint header: %w", err)
+		}
+	}
+	for i, m := range mats {
+		if err := binary.Write(w, binary.LittleEndian, uint32(m.Rows)); err != nil {
+			return fmt.Errorf("train: checkpoint matrix %d: %w", i, err)
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(m.Cols)); err != nil {
+			return fmt.Errorf("train: checkpoint matrix %d: %w", i, err)
+		}
+		if err := binary.Write(w, binary.LittleEndian, m.Data); err != nil {
+			return fmt.Errorf("train: checkpoint matrix %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// LoadCheckpoint restores weights from r into every replica. The
+// trainer's architecture must match the checkpoint's.
+func (t *Trainer) LoadCheckpoint(r io.Reader) error {
+	var magic, version, count uint32
+	for _, p := range []*uint32{&magic, &version, &count} {
+		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+			return fmt.Errorf("train: checkpoint header: %w", err)
+		}
+	}
+	if magic != checkpointMagic {
+		return fmt.Errorf("train: bad checkpoint magic %#x", magic)
+	}
+	if version != checkpointVersion {
+		return fmt.Errorf("train: unsupported checkpoint version %d", version)
+	}
+	var mats []*tensor.Matrix
+	for _, s := range t.replicas[0] {
+		mats = append(mats, s.Params()...)
+	}
+	if int(count) != len(mats) {
+		return fmt.Errorf("train: checkpoint has %d matrices, model has %d", count, len(mats))
+	}
+	for i, m := range mats {
+		var rows, cols uint32
+		if err := binary.Read(r, binary.LittleEndian, &rows); err != nil {
+			return fmt.Errorf("train: checkpoint matrix %d: %w", i, err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &cols); err != nil {
+			return fmt.Errorf("train: checkpoint matrix %d: %w", i, err)
+		}
+		if int(rows) != m.Rows || int(cols) != m.Cols {
+			return fmt.Errorf("train: checkpoint matrix %d shape %dx%d, model wants %dx%d",
+				i, rows, cols, m.Rows, m.Cols)
+		}
+		if err := binary.Read(r, binary.LittleEndian, m.Data); err != nil {
+			return fmt.Errorf("train: checkpoint matrix %d: %w", i, err)
+		}
+	}
+	// Broadcast to all other replicas, as Megatron broadcasts initial
+	// weights to every data-parallel group.
+	for d := 1; d < t.cfg.DPGroups; d++ {
+		srcIdx := 0
+		for _, s := range t.replicas[d] {
+			for _, p := range s.Params() {
+				p.CopyFrom(mats[srcIdx])
+				srcIdx++
+			}
+		}
+	}
+	return nil
+}
+
+// CheckpointBytes serializes replica 0's weights to a byte slice.
+func (t *Trainer) CheckpointBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := t.SaveCheckpoint(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,135 @@
+package train
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	c := testCorpus(t)
+	a, err := New(testConfig(core.Baseline()), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Train(10, nil)
+	wantPPL := a.ValidationPerplexity(150)
+
+	blob, err := a.CheckpointBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := New(testConfig(core.Baseline()), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.LoadCheckpoint(bytes.NewReader(blob)); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.ValidationPerplexity(150); got != wantPPL {
+		t.Fatalf("restored PPL %v != saved %v", got, wantPPL)
+	}
+	// All replicas must receive the broadcast.
+	for s := 0; s < b.cfg.Stages; s++ {
+		p0 := b.replicas[0][s].Params()
+		p1 := b.replicas[1][s].Params()
+		for i := range p0 {
+			if !p0[i].Equal(p1[i], 0) {
+				t.Fatalf("replica 1 stage %d param %d not broadcast", s, i)
+			}
+		}
+	}
+}
+
+func TestCheckpointResumeTrainsOn(t *testing.T) {
+	c := testCorpus(t)
+	a, _ := New(testConfig(core.Baseline()), c)
+	a.Train(20, nil)
+	blob, err := a.CheckpointBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := New(testConfig(core.Baseline()), c)
+	if err := b.LoadCheckpoint(bytes.NewReader(blob)); err != nil {
+		t.Fatal(err)
+	}
+	before := b.ValidationPerplexity(150)
+	b.Train(30, nil)
+	after := b.ValidationPerplexity(150)
+	if after >= before {
+		t.Fatalf("resumed training did not improve: %v → %v", before, after)
+	}
+}
+
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	c := testCorpus(t)
+	a, _ := New(testConfig(core.Baseline()), c)
+	blob, err := a.CheckpointBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := append([]byte{}, blob...)
+	bad[0] ^= 0xff // break the magic
+	if err := a.LoadCheckpoint(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupted magic accepted")
+	}
+
+	if err := a.LoadCheckpoint(bytes.NewReader(blob[:10])); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}
+
+func TestCheckpointRejectsArchitectureMismatch(t *testing.T) {
+	c := testCorpus(t)
+	a, _ := New(testConfig(core.Baseline()), c)
+	blob, err := a.CheckpointBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := testConfig(core.Baseline())
+	other.Model.Hidden = 24
+	b, err := New(other, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.LoadCheckpoint(bytes.NewReader(blob)); err == nil {
+		t.Fatal("architecture mismatch accepted")
+	}
+}
+
+func TestParallelGroupsBitIdentical(t *testing.T) {
+	c := testCorpus(t)
+	seq := testConfig(core.CBFESC())
+	seq.Opt.CBRank = 2
+	seq.Opt.DPRank = 2
+	par := seq
+	par.ParallelGroups = true
+
+	a, err := New(seq, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(par, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		la := a.TrainIteration()
+		lb := b.TrainIteration()
+		if la != lb {
+			t.Fatalf("iteration %d: parallel loss %v != sequential %v", i, lb, la)
+		}
+	}
+	for s := 0; s < seq.Stages; s++ {
+		pa := a.replicas[0][s].Params()
+		pb := b.replicas[0][s].Params()
+		for i := range pa {
+			if !pa[i].Equal(pb[i], 0) {
+				t.Fatalf("stage %d param %d differs between parallel and sequential", s, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package train
+
+import (
+	"repro/internal/compress"
+	"repro/internal/tensor"
+)
+
+// syncDataParallel averages gradients across DP groups per stage. Stages
+// selected by selective stage compression (§7) go through a lossy
+// PowerSGD round with error feedback per group (the §2.3 mechanism);
+// everything else is averaged exactly. Embedding-table gradients are
+// excluded here — they belong to the embedding-synchronization phase (§6).
+func (t *Trainer) syncDataParallel() {
+	cfg := t.cfg
+	d := cfg.DPGroups
+	if d <= 1 {
+		return
+	}
+	compressedStages := cfg.Opt.CompressedStages(cfg.Stages)
+	for s := 0; s < cfg.Stages; s++ {
+		embGrad := make(map[*tensor.Matrix]bool)
+		for dd := 0; dd < d; dd++ {
+			if eg := t.replicas[dd][s].EmbeddingGrad(); eg != nil {
+				embGrad[eg] = true
+			}
+		}
+		grads := make([][]*tensor.Matrix, d)
+		for dd := 0; dd < d; dd++ {
+			grads[dd] = t.replicas[dd][s].Grads()
+		}
+		for gi := range grads[0] {
+			if embGrad[grads[0][gi]] || embGrad[grads[d-1][gi]] {
+				continue
+			}
+			g0 := grads[0][gi]
+			avg := tensor.New(g0.Rows, g0.Cols)
+			for dd := 0; dd < d; dd++ {
+				g := grads[dd][gi]
+				if compressedStages[s] && compressibleShape(g) {
+					_, recon := t.dpEF(s, dd, gi).CompressWithFeedback(g)
+					avg.Add(recon)
+				} else {
+					avg.Add(g)
+				}
+			}
+			avg.Scale(1 / float64(d))
+			for dd := 0; dd < d; dd++ {
+				grads[dd][gi].CopyFrom(avg)
+			}
+		}
+	}
+}
+
+// compressibleShape reports whether low-rank compression of g is
+// meaningful: vectors (biases, norm parameters) are left dense, as real
+// PowerSGD deployments do.
+func compressibleShape(g *tensor.Matrix) bool { return g.Rows > 1 && g.Cols > 1 }
+
+// dpEF returns (lazily creating) the error-feedback compressor for
+// gradient matrix gi of stage s in group dd.
+func (t *Trainer) dpEF(s, dd, gi int) *compress.ErrorFeedback {
+	key := [3]int{s, dd, gi}
+	ef := t.dpc[key]
+	if ef == nil {
+		ef = compress.NewErrorFeedback(compress.NewPowerSGD(t.cfg.Opt.DPRank,
+			t.cfg.Seed+int64(100000+s*1000+dd*100+gi)))
+		t.dpc[key] = ef
+	}
+	return ef
+}
+
+// syncEmbedding synchronizes the tied embedding table's gradients: the
+// input-side gradient (first stage) and the output-side gradient (last
+// stage) must be summed, and the sum averaged across DP groups. The
+// baseline does this in two phases (a D-way average per side, then a
+// 2-way sum between the sides: Fig. 7a); fused embedding synchronization
+// does it in one 2D-way operation (Fig. 7b). The results are
+// mathematically identical — only the communication cost differs, which
+// tests assert.
+func (t *Trainer) syncEmbedding() {
+	cfg := t.cfg
+	dN := float64(cfg.DPGroups)
+	if cfg.Stages == 1 {
+		// Single stage: the table is shared in-place (no inter-stage sync);
+		// only the DP average remains.
+		if cfg.DPGroups <= 1 {
+			return
+		}
+		g0 := t.replicas[0][0].EmbeddingGrad()
+		avg := tensor.New(g0.Rows, g0.Cols)
+		for dd := 0; dd < cfg.DPGroups; dd++ {
+			avg.Add(t.replicas[dd][0].EmbeddingGrad())
+		}
+		avg.Scale(1 / dN)
+		for dd := 0; dd < cfg.DPGroups; dd++ {
+			t.replicas[dd][0].EmbeddingGrad().CopyFrom(avg)
+		}
+		return
+	}
+	last := cfg.Stages - 1
+	if cfg.Opt.FuseEmbedding {
+		// One 2D-way all-reduce: Σ over both sides and all groups, /D.
+		g0 := t.replicas[0][0].EmbeddingGrad()
+		total := tensor.New(g0.Rows, g0.Cols)
+		for dd := 0; dd < cfg.DPGroups; dd++ {
+			total.Add(t.replicas[dd][0].EmbeddingGrad())
+			total.Add(t.replicas[dd][last].EmbeddingGrad())
+		}
+		total.Scale(1 / dN)
+		for dd := 0; dd < cfg.DPGroups; dd++ {
+			t.replicas[dd][0].EmbeddingGrad().CopyFrom(total)
+			t.replicas[dd][last].EmbeddingGrad().CopyFrom(total)
+		}
+		return
+	}
+	// Phase 1: EMB DP — D-way average per side.
+	for _, stage := range []int{0, last} {
+		g0 := t.replicas[0][stage].EmbeddingGrad()
+		avg := tensor.New(g0.Rows, g0.Cols)
+		for dd := 0; dd < cfg.DPGroups; dd++ {
+			avg.Add(t.replicas[dd][stage].EmbeddingGrad())
+		}
+		avg.Scale(1 / dN)
+		for dd := 0; dd < cfg.DPGroups; dd++ {
+			t.replicas[dd][stage].EmbeddingGrad().CopyFrom(avg)
+		}
+	}
+	// Phase 2: EMB Sync — 2-way sum between first and last stages.
+	for dd := 0; dd < cfg.DPGroups; dd++ {
+		sum := t.replicas[dd][0].EmbeddingGrad().Clone()
+		sum.Add(t.replicas[dd][last].EmbeddingGrad())
+		t.replicas[dd][0].EmbeddingGrad().CopyFrom(sum)
+		t.replicas[dd][last].EmbeddingGrad().CopyFrom(sum)
+	}
+}

@@ -1,0 +1,47 @@
+package train
+
+import (
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// ValidationPerplexity evaluates replica 0 on up to limit held-out windows
+// and returns exp(mean NLL) — the metric of Table 2 and Fig. 9.
+func (t *Trainer) ValidationPerplexity(limit int) float64 {
+	contexts, targets := t.corpus.ValWindows(t.cfg.Model.Context, limit)
+	if len(contexts) == 0 {
+		return 0
+	}
+	logits := model.InferLogits(t.replicas[0], contexts)
+	var nll float64
+	for i := range targets {
+		row := logits.Row(i)
+		nll += tensor.LogSumExpRow(row) - row[targets[i]]
+	}
+	return model.Perplexity(nll / float64(len(targets)))
+}
+
+// TaskAccuracies evaluates replica 0 zero-shot on the given probe tasks
+// (Table 3/4's substitute benchmarks) and returns name → accuracy.
+func (t *Trainer) TaskAccuracies(tasks []*data.Task) map[string]float64 {
+	inf := model.Inferencer{Stages: t.replicas[0]}
+	out := make(map[string]float64, len(tasks))
+	for _, task := range tasks {
+		out[task.Name] = task.Accuracy(inf)
+	}
+	return out
+}
+
+// Train runs n iterations, invoking observe (if non-nil) after each with
+// the iteration index and training loss. Returns the final loss.
+func (t *Trainer) Train(n int, observe func(iter int, loss float64)) float64 {
+	var loss float64
+	for i := 0; i < n; i++ {
+		loss = t.TrainIteration()
+		if observe != nil {
+			observe(t.iter, loss)
+		}
+	}
+	return loss
+}

@@ -1,0 +1,108 @@
+package train
+
+import (
+	"repro/internal/tensor"
+)
+
+// Stats collects the Fig. 11 evidence for the Eq. 14 conditions: the
+// compression error ε⁽ⁱ⁾ has near-zero mean, consecutive-micro-batch
+// activation differences Y⁽ⁱ⁾−Y⁽ⁱ⁺ⁿ⁾ have near-zero mean, and the two are
+// uncorrelated (cosine similarity around zero).
+type Stats struct {
+	EpsMean     []float64 // Avg(ε⁽ⁱ⁾) per compressed send
+	ActDiffMean []float64 // Avg(Y⁽ⁱ⁾−Y⁽ⁱ⁺ⁿ⁾) per consecutive pair
+	Cosine      []float64 // cos(ε⁽ⁱ⁾, Y⁽ⁱ⁾−Y⁽ⁱ⁺ⁿ⁾)
+
+	prevAct *tensor.Matrix
+	prevErr *tensor.Matrix
+}
+
+// NewStats returns an empty collector.
+func NewStats() *Stats { return &Stats{} }
+
+// Record logs one compressed backward send: g is the true activation
+// gradient, recon its reconstruction, act the forward activation at the
+// same boundary.
+func (st *Stats) Record(g, recon, act *tensor.Matrix) {
+	err := g.Clone()
+	err.Sub(recon)
+	st.EpsMean = append(st.EpsMean, err.Mean())
+	if st.prevAct != nil && st.prevAct.Rows == act.Rows && st.prevAct.Cols == act.Cols {
+		diff := st.prevAct.Clone()
+		diff.Sub(act)
+		st.ActDiffMean = append(st.ActDiffMean, diff.Mean())
+		st.Cosine = append(st.Cosine, tensor.CosineSimilarity(st.prevErr.Data, diff.Data))
+	}
+	st.prevAct = act.Clone()
+	st.prevErr = err
+}
+
+// Summary returns the mean absolute values of the three series — the
+// numbers Fig. 11 shows hovering near zero.
+func (st *Stats) Summary() (epsMeanAbs, actDiffMeanAbs, cosineAbs float64) {
+	return meanAbs(st.EpsMean), meanAbs(st.ActDiffMean), meanAbs(st.Cosine)
+}
+
+func meanAbs(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		if x < 0 {
+			x = -x
+		}
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// MemoryBreakdown is the Fig. 12 accounting: bytes per component on one
+// pipeline stage of one replica, at float64 precision (the trainer's
+// native width).
+type MemoryBreakdown struct {
+	ParamBytes      int64 // weights
+	GradBytes       int64 // gradient accumulators
+	OptimizerBytes  int64 // momentum state
+	ActivationBytes int64 // peak in-flight activation stash (1F1B)
+	LowRankBytes    int64 // P/Q factor buffers for compression
+	ResidualBytes   int64 // lazy-error-propagation residuals
+}
+
+// Total sums all components.
+func (m MemoryBreakdown) Total() int64 {
+	return m.ParamBytes + m.GradBytes + m.OptimizerBytes + m.ActivationBytes +
+		m.LowRankBytes + m.ResidualBytes
+}
+
+// MemoryPerStage returns the Fig. 12 breakdown for each stage of replica 0.
+func (t *Trainer) MemoryPerStage() []MemoryBreakdown {
+	cfg := t.cfg
+	out := make([]MemoryBreakdown, cfg.Stages)
+	b := cfg.MicroBatch
+	h := cfg.Model.Hidden
+	actPerMicroPerBlock := int64(3*b*h) * 8 // linear input, LN xHat, pre-GELU
+	for s, stage := range t.replicas[0] {
+		var mb MemoryBreakdown
+		mb.ParamBytes = stage.ParamBytes(8)
+		mb.GradBytes = mb.ParamBytes
+		mb.OptimizerBytes = mb.ParamBytes // momentum mirrors parameters
+		peak := int64(t.sched.PeakInFlight(s))
+		mb.ActivationBytes = peak * actPerMicroPerBlock * int64(len(stage.Blocks))
+		if cfg.Opt.CompressBackprop && s > 0 {
+			r := cfg.Opt.CBRank
+			if r > b {
+				r = b
+			}
+			mb.LowRankBytes = int64(r*(b+h)) * 8 // P (b×r) + Q (h×r)
+			if cfg.Opt.LazyErrorPropagation {
+				mb.ResidualBytes = t.cb[0][s].ResidualBytes()
+				if mb.ResidualBytes == 0 {
+					mb.ResidualBytes = int64(b*h) * 8 // pre-first-send estimate
+				}
+			}
+		}
+		out[s] = mb
+	}
+	return out
+}

@@ -1,0 +1,439 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/model"
+)
+
+func testCorpus(t *testing.T) *data.Corpus {
+	t.Helper()
+	c, err := data.Generate(data.Config{
+		Vocab: 16, Length: 8000, ValFrac: 0.1, Peakiness: 0.8, Branch: 3, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func testConfig(opt core.Config) Config {
+	return Config{
+		Model:        model.Config{Vocab: 16, Hidden: 16, Context: 2, Blocks: 4, Seed: 3},
+		Stages:       4,
+		DPGroups:     2,
+		MicroBatch:   8,
+		MicroBatches: 4,
+		Opt:          opt,
+		LR:           0.3,
+		Momentum:     0.9,
+		Clip:         1.0,
+		Seed:         3,
+	}
+}
+
+// scaledCB returns the CB preset with a rank suited to the test-scale
+// boundary matrices (8×16).
+func scaledCB() core.Config {
+	c := core.CB()
+	c.CBRank = 2
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig(core.Baseline()).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := testConfig(core.Baseline())
+	bad.Stages = 9
+	if bad.Validate() == nil {
+		t.Fatal("stages > blocks accepted")
+	}
+	bad = testConfig(core.Baseline())
+	bad.LR = 0
+	if bad.Validate() == nil {
+		t.Fatal("LR=0 accepted")
+	}
+	bad = testConfig(core.Baseline())
+	bad.DPGroups = 0
+	if bad.Validate() == nil {
+		t.Fatal("DPGroups=0 accepted")
+	}
+}
+
+func TestNewRejectsVocabMismatch(t *testing.T) {
+	c := testCorpus(t)
+	cfg := testConfig(core.Baseline())
+	cfg.Model.Vocab = 32
+	if _, err := New(cfg, c); err == nil {
+		t.Fatal("vocab mismatch accepted")
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	tr, err := New(testConfig(core.Baseline()), testCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tr.TrainIteration()
+	last := tr.Train(80, nil)
+	if last >= first {
+		t.Fatalf("loss did not fall: %v → %v", first, last)
+	}
+	ppl := tr.ValidationPerplexity(200)
+	if ppl >= 16 {
+		t.Fatalf("PPL %v not below vocab size (no learning)", ppl)
+	}
+	if tr.Iteration() != 81 {
+		t.Fatalf("iteration counter %d", tr.Iteration())
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	c := testCorpus(t)
+	a, _ := New(testConfig(scaledCB()), c)
+	b, _ := New(testConfig(scaledCB()), c)
+	la := a.Train(10, nil)
+	lb := b.Train(10, nil)
+	if la != lb {
+		t.Fatalf("loss diverged: %v vs %v", la, lb)
+	}
+	if pa, pb := a.ValidationPerplexity(100), b.ValidationPerplexity(100); pa != pb {
+		t.Fatalf("PPL diverged: %v vs %v", pa, pb)
+	}
+}
+
+func TestDPReplicasStayIdentical(t *testing.T) {
+	// The core data-parallel invariant: after every iteration, all DP
+	// groups hold bit-identical weights (they apply the same averaged
+	// gradient to the same initial weights).
+	for _, opt := range []core.Config{core.Baseline(), scaledCB(), core.CBFESC()} {
+		cfg := testConfig(opt)
+		if cfg.Opt.DPCompress() {
+			cfg.Opt.DPRank = 2
+		}
+		tr, err := New(cfg, testCorpus(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Train(5, nil)
+		for s := 0; s < cfg.Stages; s++ {
+			p0 := tr.replicas[0][s].Params()
+			p1 := tr.replicas[1][s].Params()
+			for i := range p0 {
+				if !p0[i].Equal(p1[i], 1e-12) {
+					t.Fatalf("%s: stage %d param %d diverged across DP groups", opt.Name(), s, i)
+				}
+			}
+		}
+	}
+}
+
+func TestTiedEmbeddingReplicasStayIdentical(t *testing.T) {
+	// §6's correctness requirement: the first and last stages' embedding
+	// tables remain identical after synchronized updates.
+	tr, err := New(testConfig(core.Baseline()), testCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Train(5, nil)
+	w0 := tr.replicas[0][0].EmbeddingWeight()
+	wL := tr.replicas[0][3].EmbeddingWeight()
+	if !w0.Equal(wL, 1e-12) {
+		t.Fatal("tied embedding replicas diverged")
+	}
+}
+
+func TestFusedEmbeddingMathematicallyIdentical(t *testing.T) {
+	// Fused embedding synchronization must not change training at all
+	// (§6: "without changing the mathematical outcome"). Verified to
+	// floating-point reassociation tolerance over several iterations.
+	c := testCorpus(t)
+	base := testConfig(core.Baseline())
+	fused := base
+	fusedOpt := core.Baseline()
+	fusedOpt.FuseEmbedding = true
+	fused.Opt = fusedOpt
+
+	a, _ := New(base, c)
+	b, _ := New(fused, c)
+	a.Train(5, nil)
+	b.Train(5, nil)
+	for s := 0; s < base.Stages; s++ {
+		pa := a.replicas[0][s].Params()
+		pb := b.replicas[0][s].Params()
+		for i := range pa {
+			if !pa[i].Equal(pb[i], 1e-9) {
+				t.Fatalf("stage %d param %d differs between fused and two-phase sync", s, i)
+			}
+		}
+	}
+}
+
+// TestCompressedBackpropQualityOrdering reproduces the central quality
+// claim (Fig. 3 + §5): naive inter-stage compression (all micro-batches,
+// no lazy error propagation) badly damages the model, while CB with lazy
+// error propagation + epilogue-only compression stays close to baseline.
+func TestCompressedBackpropQualityOrdering(t *testing.T) {
+	corpus, err := data.Generate(data.Config{
+		Vocab: 16, Length: 12000, ValFrac: 0.1, Peakiness: 0.8, Branch: 3, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(opt core.Config) float64 {
+		cfg := Config{
+			Model:  model.Config{Vocab: 16, Hidden: 32, Context: 3, Blocks: 4, Seed: 7},
+			Stages: 4, DPGroups: 2, MicroBatch: 16, MicroBatches: 4,
+			Opt: opt, LR: 0.3, Momentum: 0.9, Clip: 1.0, Seed: 7,
+		}
+		tr, err := New(cfg, corpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Train(300, nil)
+		return tr.ValidationPerplexity(300)
+	}
+	cb := core.CB()
+	cb.CBRank = 1 // ~10× compression at this scale, like the paper's rank 16
+	naive := core.NaiveCB()
+	naive.CBRank = 1
+
+	base := run(core.Baseline())
+	withCB := run(cb)
+	withNaive := run(naive)
+
+	if withCB > base*1.3 {
+		t.Fatalf("CB (LEP+epilogue-only) PPL %.3f too far above baseline %.3f", withCB, base)
+	}
+	if withNaive < base*1.4 {
+		t.Fatalf("naive CB PPL %.3f should be much worse than baseline %.3f", withNaive, base)
+	}
+	if withCB >= withNaive {
+		t.Fatalf("CB %.3f should beat naive CB %.3f", withCB, withNaive)
+	}
+}
+
+func TestEpilogueOnlyCompressesLess(t *testing.T) {
+	// With epilogue-only on, steady-phase sends bypass compression, so
+	// quality is at least as good as compressing everything.
+	c := testCorpus(t)
+	mk := func(epilogueOnly bool) float64 {
+		opt := scaledCB()
+		opt.EpilogueOnly = epilogueOnly
+		tr, err := New(testConfig(opt), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Train(100, nil)
+		return tr.ValidationPerplexity(200)
+	}
+	epi := mk(true)
+	all := mk(false)
+	if epi > all+0.3 {
+		t.Fatalf("epilogue-only PPL %.3f much worse than compress-all %.3f", epi, all)
+	}
+}
+
+func TestStatsCollection(t *testing.T) {
+	cfg := testConfig(scaledCB())
+	cfg.CollectStats = true
+	tr, err := New(cfg, testCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Train(20, nil)
+	st := tr.Stats()
+	if st == nil || len(st.EpsMean) == 0 || len(st.Cosine) == 0 {
+		t.Fatal("stats not collected")
+	}
+	epsAbs, diffAbs, cosAbs := st.Summary()
+	// Eq. 14's conditions: all three hover near zero. The thresholds are
+	// generous — Fig. 11 only claims "mostly stays around zero".
+	if epsAbs > 0.1 {
+		t.Fatalf("Avg|ε| = %v too large", epsAbs)
+	}
+	if diffAbs > 0.5 {
+		t.Fatalf("Avg|ΔY| = %v too large", diffAbs)
+	}
+	if cosAbs > 0.5 {
+		t.Fatalf("Avg|cos| = %v — errors correlate with activations", cosAbs)
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	c := testCorpus(t)
+	base, _ := New(testConfig(core.Baseline()), c)
+	cb, _ := New(testConfig(scaledCB()), c)
+	cb.Train(2, nil)
+
+	mbBase := base.MemoryPerStage()
+	mbCB := cb.MemoryPerStage()
+	for s := range mbBase {
+		if mbBase[s].LowRankBytes != 0 || mbBase[s].ResidualBytes != 0 {
+			t.Fatalf("baseline stage %d has compression buffers", s)
+		}
+		if mbBase[s].ParamBytes <= 0 || mbBase[s].ActivationBytes <= 0 {
+			t.Fatalf("stage %d degenerate accounting: %+v", s, mbBase[s])
+		}
+	}
+	// CB adds low-rank buffers on receiving stages (s ≥ 1) and LEP adds
+	// residuals — Fig. 12's 5–10% and ~1% overheads respectively.
+	if mbCB[1].LowRankBytes == 0 || mbCB[1].ResidualBytes == 0 {
+		t.Fatalf("CB stage 1 missing compression buffers: %+v", mbCB[1])
+	}
+	if mbCB[1].ResidualBytes >= mbCB[1].Total()/2 {
+		t.Fatal("LEP residual implausibly large")
+	}
+}
+
+func TestTaskEvaluation(t *testing.T) {
+	c := testCorpus(t)
+	tr, _ := New(testConfig(core.Baseline()), c)
+	tr.Train(60, nil)
+	tasks := data.TaskSuite(c, 2, 50, 5)
+	accs := tr.TaskAccuracies(tasks)
+	if len(accs) != 5 {
+		t.Fatalf("want 5 task accuracies, got %d", len(accs))
+	}
+	for name, a := range accs {
+		if a < 0 || a > 1 {
+			t.Fatalf("task %s accuracy %v out of range", name, a)
+		}
+	}
+	// A trained model must beat chance on the in-distribution last-word
+	// task (chance = 1/16).
+	if accs["last-word"] < 0.2 {
+		t.Fatalf("last-word accuracy %v barely above chance", accs["last-word"])
+	}
+}
+
+func TestSingleStageAndSingleGroup(t *testing.T) {
+	cfg := testConfig(core.Baseline())
+	cfg.Stages = 1
+	cfg.DPGroups = 1
+	tr, err := New(cfg, testCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tr.TrainIteration()
+	last := tr.Train(40, nil)
+	if last >= first {
+		t.Fatalf("degenerate config did not learn: %v → %v", first, last)
+	}
+}
+
+func TestPipelineEquivalentToSingleStage(t *testing.T) {
+	// With no compression, splitting into stages must not change the math:
+	// same seed, same data order → same loss trajectory as 1 stage.
+	c := testCorpus(t)
+	one := testConfig(core.Baseline())
+	one.Stages = 1
+	four := testConfig(core.Baseline())
+
+	a, _ := New(one, c)
+	b, _ := New(four, c)
+	for i := 0; i < 5; i++ {
+		la := a.TrainIteration()
+		lb := b.TrainIteration()
+		if math.Abs(la-lb) > 1e-9 {
+			t.Fatalf("iteration %d: losses diverge (%v vs %v)", i, la, lb)
+		}
+	}
+}
+
+func TestInferMatchesTrainingForward(t *testing.T) {
+	c := testCorpus(t)
+	tr, _ := New(testConfig(core.Baseline()), c)
+	tr.Train(3, nil)
+	stages := tr.Stages()
+	contexts, _ := c.ValWindows(2, 4)
+
+	inferred := model.InferLogits(stages, contexts)
+
+	h := stages[0].ForwardTokens(contexts)
+	for _, s := range stages[1:] {
+		h = s.ForwardHidden(h)
+	}
+	trained := stages[len(stages)-1].Logits(h)
+	if !inferred.Equal(trained, 1e-9) {
+		t.Fatal("inference path disagrees with training forward")
+	}
+}
+
+func TestTopKCBVariantRuns(t *testing.T) {
+	opt := scaledCB()
+	opt.CBAlg = core.CBTopK
+	tr, err := New(testConfig(opt), testCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tr.TrainIteration()
+	last := tr.Train(30, nil)
+	if math.IsNaN(last) || last >= first*2 {
+		t.Fatalf("top-k CB diverged: %v → %v", first, last)
+	}
+}
+
+func TestSelectiveStageCompressionRuns(t *testing.T) {
+	opt := core.CBFESC()
+	opt.CBRank = 2
+	opt.DPRank = 2
+	tr, err := New(testConfig(opt), testCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tr.TrainIteration()
+	last := tr.Train(60, nil)
+	if last >= first {
+		t.Fatalf("full Optimus-CC config did not learn: %v → %v", first, last)
+	}
+}
+
+func TestLRScheduleDrivesTraining(t *testing.T) {
+	c := testCorpus(t)
+	cfg := testConfig(core.Baseline())
+	sched, err := model.NewWarmupCosine(0.3, 0.01, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Schedule = sched
+	tr, err := New(cfg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tr.TrainIteration()
+	last := tr.Train(60, nil)
+	if last >= first {
+		t.Fatalf("scheduled training did not learn: %v → %v", first, last)
+	}
+	// The optimizer must be tracking the schedule, not the static LR.
+	want := sched.LR(tr.Iteration() - 1)
+	if got := tr.opt.LR; got != want {
+		t.Fatalf("optimizer LR %v, schedule says %v", got, want)
+	}
+}
+
+func TestDocumentCorpusTrains(t *testing.T) {
+	// The §9.1 document pipeline's output must plug into the trainer.
+	domains := []data.DocConfig{
+		{Domain: "news", Count: 200, MinLen: 10, MaxLen: 60, Vocab: 16, Peakiness: 0.8, Branch: 3, Seed: 1},
+		{Domain: "wiki", Count: 200, MinLen: 10, MaxLen: 60, Vocab: 16, Peakiness: 0.8, Branch: 3, Seed: 2},
+	}
+	c, err := data.BuildCorpusFromDocuments(domains, 12, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(testConfig(core.Baseline()), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tr.TrainIteration()
+	last := tr.Train(40, nil)
+	if last >= first {
+		t.Fatalf("document corpus did not train: %v → %v", first, last)
+	}
+}

@@ -1,0 +1,326 @@
+// Package train executes real distributed training of the stand-in
+// language model under 3D-parallelism semantics, with the Optimus-CC
+// techniques applied to genuine tensors:
+//
+//   - Pipeline parallelism: the model is split into stages; micro-batches
+//     flow through per the 1F1B schedule, and the inter-stage backward
+//     traffic is the actual activation-gradient matrix.
+//   - Compressed backpropagation (§5): that matrix is compressed with
+//     PowerSGD (or top-k), optionally with lazy error propagation (§5.1,
+//     residuals carried to the next micro-batch) and epilogue-only
+//     compression (§5.2, driven by the schedule's phase classification).
+//   - Data parallelism: DPGroups replicas train on disjoint batches; their
+//     gradients are averaged (optionally compressed with error feedback,
+//     restricted by selective stage compression, §7).
+//   - Embedding synchronization (§6): the tied table's gradients from the
+//     first and last stages are combined, either in two phases (baseline)
+//     or fused; the two are mathematically identical, which tests assert.
+//
+// Replicas execute sequentially in-process; because gradient averaging is
+// order-independent, the math is identical to a concurrent run, and runs
+// are bit-reproducible given a seed.
+package train
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/tensor"
+)
+
+// Config fully describes a training run.
+type Config struct {
+	Model        model.Config
+	Stages       int // pipeline-parallel ways
+	DPGroups     int // data-parallel ways
+	MicroBatch   int // samples per micro-batch
+	MicroBatches int // micro-batches per DP group per iteration
+	Opt          core.Config
+
+	LR       float64
+	Momentum float64
+	Clip     float64
+	// Schedule, when non-nil, overrides LR per iteration (e.g.
+	// model.WarmupCosine — the §9.1 warm-up practice).
+	Schedule model.LRSchedule
+
+	// CollectStats enables Fig. 11 error/activation tracking (boundary 0).
+	CollectStats bool
+	// ParallelGroups executes data-parallel groups on separate goroutines.
+	// Batches are pre-sampled in a fixed order first, so results are
+	// bit-identical to the sequential mode (which tests assert).
+	ParallelGroups bool
+	Seed           int64
+}
+
+// DefaultConfig returns the configuration used by the quality experiments:
+// a 4-stage, 2-way-data-parallel model large enough to show compression
+// effects but small enough to pretrain in seconds.
+func DefaultConfig() Config {
+	return Config{
+		Model:        model.Config{Vocab: 32, Hidden: 48, Context: 3, Blocks: 8, Seed: 7},
+		Stages:       4,
+		DPGroups:     2,
+		MicroBatch:   16,
+		MicroBatches: 4,
+		Opt:          core.Baseline(),
+		LR:           0.35,
+		Momentum:     0.9,
+		Clip:         1.0,
+		Seed:         7,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if err := c.Opt.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Stages < 1 || c.Stages > c.Model.Blocks:
+		return fmt.Errorf("train: Stages %d outside [1, %d]", c.Stages, c.Model.Blocks)
+	case c.DPGroups < 1:
+		return fmt.Errorf("train: DPGroups %d < 1", c.DPGroups)
+	case c.MicroBatch < 1 || c.MicroBatches < 1:
+		return fmt.Errorf("train: micro-batch settings must be ≥ 1")
+	case c.LR <= 0:
+		return fmt.Errorf("train: LR %v <= 0", c.LR)
+	}
+	return nil
+}
+
+// Trainer holds the replicated pipeline and all compression state.
+type Trainer struct {
+	cfg    Config
+	corpus *data.Corpus
+	sched  *pipeline.Schedule
+	// replicas[d][s] is pipeline stage s of data-parallel group d.
+	replicas [][]*model.Stage
+	opt      *model.SGD
+	rng      *rand.Rand
+
+	// cb[d][s] compresses the backward send from stage s to s−1 of group
+	// d (s ≥ 1). The ErrorFeedback residual IS lazy error propagation.
+	cb [][]*compress.ErrorFeedback
+	// dpc[s][g] compresses gradient matrix g of stage s (shared input
+	// across groups is modeled per group: dpc[s] indexed by d×grad).
+	dpc map[[3]int]*compress.ErrorFeedback
+
+	stats *Stats
+	iter  int
+}
+
+// New builds a trainer over the given corpus.
+func New(cfg Config, corpus *data.Corpus) (*Trainer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if corpus.Vocab != cfg.Model.Vocab {
+		return nil, fmt.Errorf("train: corpus vocab %d != model vocab %d", corpus.Vocab, cfg.Model.Vocab)
+	}
+	sched, err := pipeline.OneFOneB(cfg.Stages, cfg.MicroBatches)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trainer{
+		cfg:    cfg,
+		corpus: corpus,
+		sched:  sched,
+		opt:    model.NewSGD(cfg.LR, cfg.Momentum, cfg.Clip),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		dpc:    make(map[[3]int]*compress.ErrorFeedback),
+	}
+	for d := 0; d < cfg.DPGroups; d++ {
+		stages, err := model.NewStages(cfg.Model, cfg.Stages)
+		if err != nil {
+			return nil, err
+		}
+		t.replicas = append(t.replicas, stages)
+	}
+	if cfg.Opt.CompressBackprop {
+		for d := 0; d < cfg.DPGroups; d++ {
+			row := make([]*compress.ErrorFeedback, cfg.Stages)
+			for s := 1; s < cfg.Stages; s++ {
+				ef := compress.NewErrorFeedback(t.newCBCompressor(int64(d*100 + s)))
+				ef.SetEnabled(cfg.Opt.LazyErrorPropagation)
+				row[s] = ef
+			}
+			t.cb = append(t.cb, row)
+		}
+	}
+	if cfg.CollectStats {
+		t.stats = NewStats()
+	}
+	return t, nil
+}
+
+func (t *Trainer) newCBCompressor(seed int64) compress.Compressor {
+	if t.cfg.Opt.CBAlg == core.CBTopK {
+		// Match the low-rank element budget: r(n+m)/(n·m) of elements.
+		n := t.cfg.MicroBatch
+		m := t.cfg.Model.Hidden
+		frac := float64(t.cfg.Opt.CBRank*(n+m)) / float64(n*m)
+		if frac > 1 {
+			frac = 1
+		}
+		return compress.NewTopK(frac)
+	}
+	return compress.NewPowerSGD(t.cfg.Opt.CBRank, t.cfg.Seed+seed)
+}
+
+// Stages returns replica 0's stage chain (for evaluation).
+func (t *Trainer) Stages() []*model.Stage { return t.replicas[0] }
+
+// Config returns the trainer's configuration.
+func (t *Trainer) Config() Config { return t.cfg }
+
+// Stats returns collected Fig. 11 statistics (nil unless enabled).
+func (t *Trainer) Stats() *Stats { return t.stats }
+
+// Iteration returns the number of completed training iterations.
+func (t *Trainer) Iteration() int { return t.iter }
+
+// TrainIteration runs one full iteration (all micro-batches on all DP
+// groups, gradient synchronization, embedding sync, optimizer step) and
+// returns the mean training loss.
+func (t *Trainer) TrainIteration() float64 {
+	cfg := t.cfg
+	// Pre-sample every micro-batch in a fixed order so parallel and
+	// sequential group execution see identical data.
+	batches := make([][]microBatch, cfg.DPGroups)
+	for d := 0; d < cfg.DPGroups; d++ {
+		batches[d] = make([]microBatch, cfg.MicroBatches)
+		for mi := 0; mi < cfg.MicroBatches; mi++ {
+			ctx, tgt := t.corpus.SampleBatch(t.rng, cfg.MicroBatch, cfg.Model.Context)
+			batches[d][mi] = microBatch{contexts: ctx, targets: tgt}
+		}
+	}
+	losses := make([]float64, cfg.DPGroups)
+	runGroup := func(d int) {
+		stages := t.replicas[d]
+		for _, s := range stages {
+			s.ZeroGrads()
+		}
+		for mi := 0; mi < cfg.MicroBatches; mi++ {
+			losses[d] += t.runMicroBatch(d, mi, batches[d][mi])
+		}
+		// Average gradient over micro-batches (each micro's loss gradient
+		// is already 1/MicroBatch).
+		inv := 1.0 / float64(cfg.MicroBatches)
+		for _, s := range stages {
+			for _, g := range s.Grads() {
+				g.Scale(inv)
+			}
+		}
+	}
+	if cfg.ParallelGroups && cfg.DPGroups > 1 {
+		var wg sync.WaitGroup
+		for d := 0; d < cfg.DPGroups; d++ {
+			wg.Add(1)
+			go func(d int) {
+				defer wg.Done()
+				runGroup(d)
+			}(d)
+		}
+		wg.Wait()
+	} else {
+		for d := 0; d < cfg.DPGroups; d++ {
+			runGroup(d)
+		}
+	}
+	var lossSum float64
+	for _, l := range losses {
+		lossSum += l
+	}
+	t.syncDataParallel()
+	t.syncEmbedding()
+	if cfg.Schedule != nil {
+		t.opt.LR = cfg.Schedule.LR(t.iter)
+	}
+	for d := 0; d < cfg.DPGroups; d++ {
+		for _, s := range t.replicas[d] {
+			t.opt.Step(s.Params(), s.Grads())
+		}
+	}
+	t.iter++
+	return lossSum / float64(cfg.DPGroups*cfg.MicroBatches)
+}
+
+// microBatch is one pre-sampled (contexts, targets) pair.
+type microBatch struct {
+	contexts [][]int
+	targets  []int
+}
+
+// runMicroBatch executes forward + backward for one micro-batch on one DP
+// group, applying compressed backpropagation to the inter-stage backward
+// traffic.
+func (t *Trainer) runMicroBatch(d, mi int, mb microBatch) float64 {
+	cfg := t.cfg
+	stages := t.replicas[d]
+	contexts, targets := mb.contexts, mb.targets
+
+	// Forward wave (uncompressed: §5 notes compressing forward traffic
+	// breaks convergence).
+	acts := make([]*tensor.Matrix, cfg.Stages)
+	h := stages[0].ForwardTokens(contexts)
+	acts[0] = h
+	for s := 1; s < cfg.Stages; s++ {
+		h = stages[s].ForwardHidden(h)
+		acts[s] = h
+	}
+	last := stages[cfg.Stages-1]
+	logits := last.Logits(h)
+	loss, dLogits := model.CrossEntropy(logits, targets)
+
+	// Backward wave with compressed backpropagation on each boundary.
+	var g *tensor.Matrix
+	if cfg.Stages == 1 {
+		last.BackwardLogits(dLogits)
+		return loss
+	}
+	g = last.BackwardLogits(dLogits)
+	for s := cfg.Stages - 1; s >= 1; s-- {
+		sent := t.transferBackward(d, s, mi, g, acts[s-1])
+		if s-1 == 0 {
+			stages[0].BackwardHidden(sent)
+		} else {
+			g = stages[s-1].BackwardHidden(sent)
+		}
+	}
+	return loss
+}
+
+// transferBackward ships the activation gradient g from stage s to s−1,
+// compressing per the configuration. fwdAct is the forward activation at
+// the boundary (for Fig. 11 statistics).
+func (t *Trainer) transferBackward(d, s, mi int, g, fwdAct *tensor.Matrix) *tensor.Matrix {
+	cfg := t.cfg
+	if !cfg.Opt.CompressBackprop {
+		return g
+	}
+	if cfg.Opt.EpilogueOnly && !t.sched.IsEpilogueBackward(s, mi) {
+		return g
+	}
+	ef := t.cb[d][s]
+	var recon *tensor.Matrix
+	if cfg.Opt.LazyErrorPropagation {
+		_, recon = ef.CompressWithFeedback(g)
+	} else {
+		pl := ef.Inner().Compress(g)
+		recon = ef.Inner().Decompress(pl)
+	}
+	if t.stats != nil && d == 0 && s == 1 {
+		t.stats.Record(g, recon, fwdAct)
+	}
+	return recon
+}
