@@ -151,6 +151,10 @@ func BenchmarkAblateSchedules(b *testing.B) {
 }
 
 // ---- substrate micro-benchmarks ----
+//
+// All compression benchmarks run with -benchmem semantics in mind: the
+// pooled-workspace engine makes every steady-state path report
+// 0 allocs/op, which is the refactor's headline property.
 
 func benchMatrix(n, m int) *tensor.Matrix {
 	return tensor.RandN(rand.New(rand.NewSource(1)), n, m, 1)
@@ -163,21 +167,40 @@ func BenchmarkPowerSGDCompressRank16(b *testing.B) {
 	c := compress.NewPowerSGD(16, 1)
 	c.Compress(g) // warm start
 	b.SetBytes(g.SizeBytes(compress.ElemBytes))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Compress(g)
 	}
 }
 
-// BenchmarkPowerSGDDecompressRank16 measures reconstruction cost.
+// BenchmarkPowerSGDDecompressRank16 measures reconstruction cost through
+// the allocating Decompress path (kept as the allocator-bound contrast to
+// the Into variant below).
 func BenchmarkPowerSGDDecompressRank16(b *testing.B) {
 	g := benchMatrix(1024, 3072)
 	c := compress.NewPowerSGD(16, 1)
 	pl := c.Compress(g)
 	b.SetBytes(g.SizeBytes(compress.ElemBytes))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Decompress(pl)
+	}
+}
+
+// BenchmarkPowerSGDDecompressIntoRank16 measures reconstruction through
+// the zero-allocation DecompressInto path the trainer uses.
+func BenchmarkPowerSGDDecompressIntoRank16(b *testing.B) {
+	g := benchMatrix(1024, 3072)
+	c := compress.NewPowerSGD(16, 1)
+	pl := c.Compress(g)
+	dst := tensor.New(1024, 3072)
+	b.SetBytes(g.SizeBytes(compress.ElemBytes))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.DecompressInto(dst, pl)
 	}
 }
 
@@ -187,9 +210,26 @@ func BenchmarkPowerSGDCompressRank128(b *testing.B) {
 	c := compress.NewPowerSGD(128, 1)
 	c.Compress(g)
 	b.SetBytes(g.SizeBytes(compress.ElemBytes))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Compress(g)
+	}
+}
+
+// BenchmarkErrorFeedbackRoundTrip measures the full DP-compression unit of
+// work (feedback add + compress + reconstruct + residual update), the
+// inner loop of syncDataParallel.
+func BenchmarkErrorFeedbackRoundTrip(b *testing.B) {
+	g := benchMatrix(256, 256)
+	ef := compress.NewErrorFeedback(compress.NewPowerSGD(4, 1))
+	ef.CompressWithFeedback(g)
+	ef.CompressWithFeedback(g) // second call warms the residual-path scratch
+	b.SetBytes(g.SizeBytes(compress.ElemBytes))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ef.CompressWithFeedback(g)
 	}
 }
 
@@ -197,7 +237,9 @@ func BenchmarkPowerSGDCompressRank128(b *testing.B) {
 func BenchmarkTopKCompress(b *testing.B) {
 	g := benchMatrix(512, 512)
 	c := compress.NewTopK(0.1)
+	c.Compress(g) // size the selection scratch
 	b.SetBytes(g.SizeBytes(compress.ElemBytes))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Compress(g)
@@ -208,18 +250,35 @@ func BenchmarkTopKCompress(b *testing.B) {
 func BenchmarkTernGradCompress(b *testing.B) {
 	g := benchMatrix(512, 512)
 	c := compress.NewTernGrad(1)
+	c.Compress(g)
 	b.SetBytes(g.SizeBytes(compress.ElemBytes))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Compress(g)
 	}
 }
 
-// BenchmarkMatMul measures the tensor substrate's core kernel.
+// BenchmarkMatMul measures the tensor substrate's core kernel (now
+// cache-blocked over the reduction dimension).
 func BenchmarkMatMul(b *testing.B) {
 	x := benchMatrix(256, 256)
 	y := benchMatrix(256, 256)
 	dst := tensor.New(256, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInto(dst, x, y)
+	}
+}
+
+// BenchmarkMatMulPowerSGDShape measures the dominant compression matmul:
+// a wide gradient times a skinny warm-start sketch.
+func BenchmarkMatMulPowerSGDShape(b *testing.B) {
+	x := benchMatrix(1024, 3072)
+	y := benchMatrix(3072, 16)
+	dst := tensor.New(1024, 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tensor.MatMulInto(dst, x, y)
@@ -263,6 +322,8 @@ func BenchmarkTrainIteration(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	tr.TrainIteration() // warm the pooled workspaces
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.TrainIteration()

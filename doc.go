@@ -10,9 +10,10 @@
 // technique layer itself (internal/core, compress) and an experiment
 // harness (internal/experiments) that regenerates each table and figure.
 //
-// See README.md for a guided tour, DESIGN.md for the system inventory and
-// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
-// The root-level benchmarks (bench_test.go) regenerate each artifact:
+// See README.md for a guided tour (quickstart, package map, and the
+// pooled zero-allocation compression API) and CHANGES.md for the per-PR
+// change log. The root-level benchmarks (bench_test.go) regenerate each
+// artifact:
 //
 //	go test -bench=Fig3 -benchtime=1x .
 //	go test -bench=. -benchmem ./...

@@ -11,17 +11,39 @@ import (
 // propagation* (§5.1) is the same residual machinery applied across
 // micro-batches of inter-stage activation gradients.
 //
+// All per-shape scratch (the feedback-adjusted input, the reconstruction,
+// and the residual itself) is drawn from a tensor.Pool and reused, so a
+// steady-state CompressWithFeedback performs zero allocations. The
+// returned reconstruction aliases that scratch: it is valid until the next
+// CompressWithFeedback call of the same shape.
+//
 // An ErrorFeedback instance keeps one residual per matrix shape and is not
 // safe for concurrent use; give each communication channel its own.
 type ErrorFeedback struct {
-	inner    Compressor
-	residual map[[2]int]*tensor.Matrix
-	enabled  bool
+	inner   Compressor
+	pool    *tensor.Pool
+	states  shapeStates[*efState]
+	enabled bool
+}
+
+// efState is the per-shape scratch of an ErrorFeedback instance.
+type efState struct {
+	residual *tensor.Matrix // nil until feedback stores one
+	input    *tensor.Matrix // m + residual scratch
+	recon    *tensor.Matrix // reconstruction scratch
 }
 
 // NewErrorFeedback wraps inner with residual accumulation (enabled).
 func NewErrorFeedback(inner Compressor) *ErrorFeedback {
-	return &ErrorFeedback{inner: inner, residual: make(map[[2]int]*tensor.Matrix), enabled: true}
+	return &ErrorFeedback{inner: inner, states: newShapeStates[*efState](maxShapeStates, 0), enabled: true}
+}
+
+// SetPool implements PoolAware (and forwards to the wrapped compressor).
+func (ef *ErrorFeedback) SetPool(p *tensor.Pool) {
+	ef.pool = p
+	if pa, ok := ef.inner.(PoolAware); ok {
+		pa.SetPool(p)
+	}
 }
 
 // SetEnabled toggles feedback; disabled, CompressWithFeedback degenerates
@@ -41,48 +63,85 @@ func (ef *ErrorFeedback) Name() string { return ef.inner.Name() + "+ef" }
 // so the trainer can report lazy-error statistics (Fig. 11) and memory
 // overhead (Fig. 12).
 func (ef *ErrorFeedback) Residual(rows, cols int) *tensor.Matrix {
-	return ef.residual[[2]int{rows, cols}]
+	st, ok := ef.states.peek([2]int{rows, cols})
+	if !ok {
+		return nil
+	}
+	return st.residual
 }
 
 // ResidualBytes returns the total memory held by residuals at float64
 // precision, for the Fig. 12 memory accounting.
 func (ef *ErrorFeedback) ResidualBytes() int64 {
 	var total int64
-	for _, r := range ef.residual {
-		total += int64(r.NumElements()) * 8
-	}
+	ef.states.each(func(st *efState) {
+		if st.residual != nil {
+			total += int64(st.residual.NumElements()) * 8
+		}
+	})
 	return total
 }
 
-// Reset drops all stored residuals (used at iteration boundaries when a
-// policy wants errors to die with the mini-batch).
+// Reset drops all stored residuals, recycling them through the pool (used
+// at iteration boundaries when a policy wants errors to die with the
+// mini-batch).
 func (ef *ErrorFeedback) Reset() {
-	for k := range ef.residual {
-		delete(ef.residual, k)
+	pool := poolOrShared(ef.pool)
+	ef.states.each(func(st *efState) {
+		pool.Put(st.residual)
+		st.residual = nil
+	})
+}
+
+// state returns (lazily creating) the scratch for a rows×cols input. The
+// state map is bounded (maxShapeStates): under shape churn the LRU shape
+// loses its scratch and residual — a cold restart of feedback for that
+// shape, mirroring PowerSGD's warm-start eviction.
+func (ef *ErrorFeedback) state(rows, cols int) *efState {
+	key := [2]int{rows, cols}
+	if st, ok := ef.states.get(key); ok {
+		return st
 	}
+	st := &efState{recon: poolOrShared(ef.pool).GetUninit(rows, cols)}
+	ef.states.put(key, st, ef.evict)
+	return st
+}
+
+// evict recycles an evicted shape's private scratch. The recon buffer may
+// still be held by the caller of that shape's last CompressWithFeedback,
+// so it is left to the GC.
+func (ef *ErrorFeedback) evict(st *efState) {
+	pool := poolOrShared(ef.pool)
+	pool.Put(st.residual)
+	pool.Put(st.input)
 }
 
 // CompressWithFeedback compresses m plus the stored residual, updates the
 // residual to the new compression error, and returns both the payload and
 // the dense reconstruction (what the receiver will see). The input m is
-// not modified.
+// not modified. The reconstruction is scratch owned by this instance —
+// consume it before the next same-shape call.
 func (ef *ErrorFeedback) CompressWithFeedback(m *tensor.Matrix) (Payload, *tensor.Matrix) {
+	st := ef.state(m.Rows, m.Cols)
 	input := m
-	key := [2]int{m.Rows, m.Cols}
-	if ef.enabled {
-		if r := ef.residual[key]; r != nil {
-			input = m.Clone().Add(r)
+	if ef.enabled && st.residual != nil {
+		if st.input == nil {
+			st.input = poolOrShared(ef.pool).GetUninit(m.Rows, m.Cols)
 		}
+		// input = m + residual (the feedback step).
+		tensor.AddScaledInto(st.input, m, 1, st.residual)
+		input = st.input
 	}
 	pl := ef.inner.Compress(input)
-	recon := ef.inner.Decompress(pl)
+	ef.inner.DecompressInto(st.recon, pl)
 	if ef.enabled {
+		if st.residual == nil {
+			st.residual = poolOrShared(ef.pool).GetUninit(m.Rows, m.Cols)
+		}
 		// residual = input − recon.
-		res := input.Clone()
-		res.Sub(recon)
-		ef.residual[key] = res
+		tensor.AddScaledInto(st.residual, input, -1, st.recon)
 	}
-	return pl, recon
+	return pl, st.recon
 }
 
 var _ interface{ Name() string } = (*ErrorFeedback)(nil)

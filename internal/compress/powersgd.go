@@ -23,6 +23,12 @@ import (
 // gradient compression stage", §2.3), which is what makes a single power
 // iteration sufficient in practice.
 //
+// All working memory — the P/Q payload factors, the warm-start Q, and the
+// cold-start sketch — lives in per-shape workspaces drawn from a
+// tensor.Pool, so steady-state compression performs zero allocations. The
+// returned Payload aliases those workspaces and is valid until the next
+// Compress call of the same shape on this instance.
+//
 // PowerSGD instances carry per-shape warm-start state and are not safe for
 // concurrent use; give each communication channel its own instance, as the
 // paper does with private PowerSVD variables per stage boundary.
@@ -36,9 +42,34 @@ type PowerSGD struct {
 	// (§2.3: "iterating power-iteration, which is required for classical
 	// SVD, only once").
 	iterations int
-	// prevQ caches the last Q per matrix shape for warm starting.
-	prevQ map[[2]int]*tensor.Matrix
+	pool       *tensor.Pool
+	// states caches per-shape workspaces and the warm-start Q, bounded by
+	// the package LRU policy (see maxShapeStates in compress.go).
+	states shapeStates[*psState]
 }
+
+// psState is the per-shape workspace of a PowerSGD instance.
+type psState struct {
+	warmQ   *tensor.Matrix // last Q factor, for warm starting (nil until stored)
+	initQ   *tensor.Matrix // cold-start random sketch buffer
+	p, qOut *tensor.Matrix // payload factor buffers, reused every call
+	payload *LowRankPayload
+}
+
+// Warm-start eviction policy: the per-shape state map is bounded so a
+// workload cycling through many tensor shapes (e.g. a sweep over model
+// configurations reusing one compressor) cannot grow it without limit.
+// When the map exceeds MaxWarmShapes, states unused for WarmEvictAfter
+// recency-clock ticks are dropped first, then least-recently-used states
+// until the cap holds. Evicting a shape only costs that shape a cold
+// restart on its next appearance.
+const (
+	// MaxWarmShapes caps the number of shapes with live warm-start state.
+	MaxWarmShapes = 64
+	// WarmEvictAfter is the staleness horizon beyond which a shape's
+	// state is considered dead once the cap is exceeded.
+	WarmEvictAfter = 512
+)
 
 // NewPowerSGD returns a rank-r compressor seeded deterministically. Warm
 // starting is enabled, matching the paper's configuration.
@@ -51,9 +82,12 @@ func NewPowerSGD(rank int, seed int64) *PowerSGD {
 		rng:        rand.New(rand.NewSource(seed)),
 		warmStart:  true,
 		iterations: 1,
-		prevQ:      make(map[[2]int]*tensor.Matrix),
+		states:     newShapeStates[*psState](MaxWarmShapes, WarmEvictAfter),
 	}
 }
+
+// SetPool implements PoolAware.
+func (c *PowerSGD) SetPool(p *tensor.Pool) { c.pool = p }
 
 // SetIterations sets the power-iteration count per Compress (≥1).
 func (c *PowerSGD) SetIterations(n int) {
@@ -69,6 +103,10 @@ func (c *PowerSGD) SetWarmStart(on bool) { c.warmStart = on }
 
 // Rank returns the configured approximation rank.
 func (c *PowerSGD) Rank() int { return c.rank }
+
+// WarmShapeCount returns the number of shapes with cached state (for the
+// eviction tests and Fig. 12-style memory accounting).
+func (c *PowerSGD) WarmShapeCount() int { return c.states.size() }
 
 // Name implements Compressor.
 func (c *PowerSGD) Name() string { return fmt.Sprintf("powersgd(r=%d)", c.rank) }
@@ -107,23 +145,54 @@ func (p *LowRankPayload) WireBytes() int64 {
 // Shape implements Payload.
 func (p *LowRankPayload) Shape() (int, int) { return p.rows, p.cols }
 
+// state returns (lazily creating) the workspace for an rows×cols input.
+func (c *PowerSGD) state(rows, cols, r int) *psState {
+	key := [2]int{rows, cols}
+	if st, ok := c.states.get(key); ok {
+		return st
+	}
+	// All four workspaces are fully overwritten before use (the matmul
+	// kernels zero dst themselves), so none needs the zeroing Get.
+	pool := poolOrShared(c.pool)
+	st := &psState{
+		p:    pool.GetUninit(rows, r),
+		qOut: pool.GetUninit(cols, r),
+	}
+	st.payload = &LowRankPayload{P: st.p, Q: st.qOut, rows: rows, cols: cols}
+	c.states.put(key, st, c.evict)
+	return st
+}
+
+// evict recycles an evicted shape's private buffers. The payload factors
+// may still back an outstanding Payload, so they are left to the GC.
+func (c *PowerSGD) evict(st *psState) {
+	pool := poolOrShared(c.pool)
+	pool.Put(st.warmQ)
+	pool.Put(st.initQ)
+}
+
 // Compress implements Compressor with one power iteration and
 // Gram–Schmidt orthogonalization — the phase §9.6 identifies as ~80% of
-// the compression cost.
+// the compression cost. Steady state performs zero allocations.
 func (c *PowerSGD) Compress(m *tensor.Matrix) Payload {
 	r := c.effectiveRank(m.Rows, m.Cols)
-	key := [2]int{m.Rows, m.Cols}
+	st := c.state(m.Rows, m.Cols, r)
 
-	q := c.prevQ[key]
-	if q == nil || !c.warmStart || q.Cols != r {
-		q = tensor.RandN(c.rng, m.Cols, r, 1)
-		tensor.GramSchmidt(q)
+	var q *tensor.Matrix
+	if c.warmStart && st.warmQ != nil && st.warmQ.Cols == r {
+		q = st.warmQ
+	} else {
+		if st.initQ == nil {
+			st.initQ = poolOrShared(c.pool).GetUninit(m.Cols, r)
+		}
+		tensor.RandNInto(c.rng, st.initQ, 1)
+		tensor.GramSchmidt(st.initQ)
+		q = st.initQ
 	}
 
 	// Power iterations: P = orth(M·Q); Q = Mᵀ·P. One pass with warm start
 	// is the PowerSGD setting; more passes converge toward truncated SVD.
-	p := tensor.New(m.Rows, r)
-	qNew := tensor.New(m.Cols, r)
+	p, qNew := st.p, st.qOut
 	for it := 0; it < c.iterations; it++ {
 		tensor.MatMulInto(p, m, q)
 		tensor.GramSchmidt(p)
@@ -132,20 +201,33 @@ func (c *PowerSGD) Compress(m *tensor.Matrix) Payload {
 	}
 
 	if c.warmStart {
-		c.prevQ[key] = qNew.Clone()
+		if st.warmQ == nil {
+			st.warmQ = poolOrShared(c.pool).GetUninit(m.Cols, r)
+		}
+		st.warmQ.CopyFrom(qNew)
 	}
-	return &LowRankPayload{P: p, Q: qNew, rows: m.Rows, cols: m.Cols}
+	return st.payload
 }
 
 // Decompress implements Compressor: reconstruction is P·Qᵀ.
 func (c *PowerSGD) Decompress(pl Payload) *tensor.Matrix {
+	r, cl := pl.Shape()
+	out := tensor.New(r, cl)
+	c.DecompressInto(out, pl)
+	return out
+}
+
+// DecompressInto implements Compressor.
+func (c *PowerSGD) DecompressInto(dst *tensor.Matrix, pl Payload) {
 	p, ok := pl.(*LowRankPayload)
 	if !ok {
 		panic(fmt.Sprintf("compress: PowerSGD.Decompress got %T", pl))
 	}
-	out := tensor.New(p.rows, p.cols)
-	tensor.MatMulBTInto(out, p.P, p.Q)
-	return out
+	mustShape(dst, pl, "PowerSGD")
+	tensor.MatMulBTInto(dst, p.P, p.Q)
 }
 
-var _ Compressor = (*PowerSGD)(nil)
+var (
+	_ Compressor = (*PowerSGD)(nil)
+	_ PoolAware  = (*PowerSGD)(nil)
+)

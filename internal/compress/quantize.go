@@ -9,7 +9,8 @@ import (
 )
 
 // quantPayload stores per-element small codes plus a scale. Codes travel
-// at a sub-byte bit width; WireBytes rounds up to whole bytes.
+// at a sub-byte bit width; WireBytes rounds up to whole bytes. The code
+// buffer is owned by the emitting quantizer and reused across calls.
 type quantPayload struct {
 	codes      []int8
 	scale      float64
@@ -26,10 +27,38 @@ func (p *quantPayload) WireBytes() int64 {
 // Shape implements Payload.
 func (p *quantPayload) Shape() (int, int) { return p.rows, p.cols }
 
+// reuse resizes the code buffer to n entries (reusing capacity, contents
+// unspecified) and restamps the payload metadata. Callers that write codes
+// sparsely (TernGrad) must zero the buffer themselves; the dense
+// quantizers overwrite every code, and the scale==0 early-return paths
+// never read codes (DecompressInto checks scale first).
+func (p *quantPayload) reuse(n, bits, rows, cols int, scale float64) {
+	if cap(p.codes) < n {
+		p.codes = make([]int8, n)
+	}
+	p.codes = p.codes[:n]
+	p.bits, p.rows, p.cols, p.scale = bits, rows, cols, scale
+}
+
+// quantDecompressInto expands codes·scale into dst (shared by TernGrad
+// and SignSGD; a zero scale reconstructs to zero).
+func quantDecompressInto(dst *tensor.Matrix, pl Payload, who string) {
+	p := mustQuant(pl, who)
+	mustShape(dst, pl, who)
+	if p.scale == 0 {
+		dst.Zero()
+		return
+	}
+	for i, code := range p.codes {
+		dst.Data[i] = float64(code) * p.scale
+	}
+}
+
 // TernGrad quantizes each element to {-1, 0, +1}·s with stochastic
 // rounding, s = max|x| (Wen et al., NeurIPS 2017; §2.3).
 type TernGrad struct {
-	rng *rand.Rand
+	rng     *rand.Rand
+	payload quantPayload
 }
 
 // NewTernGrad returns a deterministic-seeded ternary quantizer.
@@ -50,37 +79,45 @@ func (c *TernGrad) Ratio(rows, cols int) float64 {
 // (unbiasedness is TernGrad's key property).
 func (c *TernGrad) Compress(m *tensor.Matrix) Payload {
 	s := m.AbsMax()
-	p := &quantPayload{codes: make([]int8, m.NumElements()), scale: s, bits: 2, rows: m.Rows, cols: m.Cols}
+	c.payload.reuse(m.NumElements(), 2, m.Rows, m.Cols, s)
 	if s == 0 {
-		return p
+		return &c.payload
+	}
+	for i := range c.payload.codes {
+		c.payload.codes[i] = 0 // ternary codes are written sparsely below
 	}
 	for i, v := range m.Data {
 		prob := math.Abs(v) / s
 		if c.rng.Float64() < prob {
 			if v > 0 {
-				p.codes[i] = 1
+				c.payload.codes[i] = 1
 			} else {
-				p.codes[i] = -1
+				c.payload.codes[i] = -1
 			}
 		}
 	}
-	return p
+	return &c.payload
 }
 
 // Decompress implements Compressor.
 func (c *TernGrad) Decompress(pl Payload) *tensor.Matrix {
-	p := mustQuant(pl, "TernGrad")
-	out := tensor.New(p.rows, p.cols)
-	for i, code := range p.codes {
-		out.Data[i] = float64(code) * p.scale
-	}
+	r, cl := pl.Shape()
+	out := tensor.New(r, cl)
+	c.DecompressInto(out, pl)
 	return out
+}
+
+// DecompressInto implements Compressor.
+func (c *TernGrad) DecompressInto(dst *tensor.Matrix, pl Payload) {
+	quantDecompressInto(dst, pl, "TernGrad")
 }
 
 // SignSGD keeps only the sign of each element, scaled by the mean absolute
 // value so the reconstruction has matching L1 mass (Bernstein et al., ICML
 // 2018; §2.3).
-type SignSGD struct{}
+type SignSGD struct {
+	payload quantPayload
+}
 
 // NewSignSGD returns the 1-bit sign quantizer.
 func NewSignSGD() *SignSGD { return &SignSGD{} }
@@ -96,38 +133,44 @@ func (c *SignSGD) Ratio(rows, cols int) float64 {
 
 // Compress implements Compressor.
 func (c *SignSGD) Compress(m *tensor.Matrix) Payload {
-	p := &quantPayload{codes: make([]int8, m.NumElements()), bits: 1, rows: m.Rows, cols: m.Cols}
+	n := m.NumElements()
 	var l1 float64
 	for _, v := range m.Data {
 		l1 += math.Abs(v)
 	}
-	n := m.NumElements()
+	var scale float64
 	if n > 0 {
-		p.scale = l1 / float64(n)
+		scale = l1 / float64(n)
 	}
+	c.payload.reuse(n, 1, m.Rows, m.Cols, scale)
 	for i, v := range m.Data {
 		if v >= 0 {
-			p.codes[i] = 1
+			c.payload.codes[i] = 1
 		} else {
-			p.codes[i] = -1
+			c.payload.codes[i] = -1
 		}
 	}
-	return p
+	return &c.payload
 }
 
 // Decompress implements Compressor.
 func (c *SignSGD) Decompress(pl Payload) *tensor.Matrix {
-	p := mustQuant(pl, "SignSGD")
-	out := tensor.New(p.rows, p.cols)
-	for i, code := range p.codes {
-		out.Data[i] = float64(code) * p.scale
-	}
+	r, cl := pl.Shape()
+	out := tensor.New(r, cl)
+	c.DecompressInto(out, pl)
 	return out
+}
+
+// DecompressInto implements Compressor.
+func (c *SignSGD) DecompressInto(dst *tensor.Matrix, pl Payload) {
+	quantDecompressInto(dst, pl, "SignSGD")
 }
 
 // Uniform8Bit linearly quantizes to 8-bit codes over [-max|x|, +max|x|],
 // the simple quantization baseline in the paper's related-work spectrum.
-type Uniform8Bit struct{}
+type Uniform8Bit struct {
+	payload quantPayload
+}
 
 // NewUniform8Bit returns the 8-bit linear quantizer.
 func NewUniform8Bit() *Uniform8Bit { return &Uniform8Bit{} }
@@ -144,9 +187,9 @@ func (c *Uniform8Bit) Ratio(rows, cols int) float64 {
 // Compress implements Compressor.
 func (c *Uniform8Bit) Compress(m *tensor.Matrix) Payload {
 	s := m.AbsMax()
-	p := &quantPayload{codes: make([]int8, m.NumElements()), scale: s, bits: 8, rows: m.Rows, cols: m.Cols}
+	c.payload.reuse(m.NumElements(), 8, m.Rows, m.Cols, s)
 	if s == 0 {
-		return p
+		return &c.payload
 	}
 	for i, v := range m.Data {
 		q := math.Round(v / s * 127)
@@ -155,22 +198,31 @@ func (c *Uniform8Bit) Compress(m *tensor.Matrix) Payload {
 		} else if q < -127 {
 			q = -127
 		}
-		p.codes[i] = int8(q)
+		c.payload.codes[i] = int8(q)
 	}
-	return p
+	return &c.payload
 }
 
 // Decompress implements Compressor.
 func (c *Uniform8Bit) Decompress(pl Payload) *tensor.Matrix {
+	r, cl := pl.Shape()
+	out := tensor.New(r, cl)
+	c.DecompressInto(out, pl)
+	return out
+}
+
+// DecompressInto implements Compressor: reconstruction is code/127·scale
+// (the exact op order matters for bit-identity with the historical path).
+func (c *Uniform8Bit) DecompressInto(dst *tensor.Matrix, pl Payload) {
 	p := mustQuant(pl, "Uniform8Bit")
-	out := tensor.New(p.rows, p.cols)
+	mustShape(dst, pl, "Uniform8Bit")
 	if p.scale == 0 {
-		return out
+		dst.Zero()
+		return
 	}
 	for i, code := range p.codes {
-		out.Data[i] = float64(code) / 127 * p.scale
+		dst.Data[i] = float64(code) / 127 * p.scale
 	}
-	return out
 }
 
 func mustQuant(pl Payload, who string) *quantPayload {

@@ -14,9 +14,15 @@ import (
 // TopK it needs no selection pass and no index agreement, but it discards
 // energy indiscriminately — the ablation experiments use it to show why
 // magnitude-aware schemes win.
+//
+// The permutation scratch and payload slices are reused across calls;
+// steady-state compression is allocation-free.
 type RandomK struct {
 	Fraction float64
 	rng      *rand.Rand
+
+	perm    []int
+	payload SparsePayload
 }
 
 // NewRandomK returns a compressor keeping ceil(fraction·N) random
@@ -50,31 +56,49 @@ func (c *RandomK) keep(n int) int {
 }
 
 // Compress implements Compressor: sample k indices without replacement,
-// store values scaled by n/k for unbiasedness.
+// store values scaled by n/k for unbiasedness. The Fisher–Yates fill below
+// draws exactly like rand.Perm, so results are bit-identical to the
+// allocating path for the same seed.
 func (c *RandomK) Compress(m *tensor.Matrix) Payload {
 	n := m.NumElements()
 	k := c.keep(n)
-	perm := c.rng.Perm(n)[:k]
-	scale := float64(n) / float64(k)
-	p := &SparsePayload{Indices: make([]int, k), Values: make([]float64, k), rows: m.Rows, cols: m.Cols}
-	copy(p.Indices, perm)
-	for i, fi := range p.Indices {
-		p.Values[i] = m.Data[fi] * scale
+	if cap(c.perm) < n {
+		c.perm = make([]int, n)
 	}
-	return p
+	perm := c.perm[:n]
+	for i := range perm {
+		j := c.rng.Intn(i + 1)
+		perm[i] = perm[j]
+		perm[j] = i
+	}
+	scale := float64(n) / float64(k)
+	c.payload.reuse(k, m.Rows, m.Cols)
+	copy(c.payload.Indices, perm[:k])
+	for i, fi := range c.payload.Indices {
+		c.payload.Values[i] = m.Data[fi] * scale
+	}
+	return &c.payload
 }
 
 // Decompress implements Compressor.
 func (c *RandomK) Decompress(pl Payload) *tensor.Matrix {
+	r, cl := pl.Shape()
+	out := tensor.New(r, cl)
+	c.DecompressInto(out, pl)
+	return out
+}
+
+// DecompressInto implements Compressor.
+func (c *RandomK) DecompressInto(dst *tensor.Matrix, pl Payload) {
 	p, ok := pl.(*SparsePayload)
 	if !ok {
 		panic(fmt.Sprintf("compress: RandomK.Decompress got %T", pl))
 	}
-	out := tensor.New(p.rows, p.cols)
+	mustShape(dst, pl, "RandomK")
+	dst.Zero()
 	for i, fi := range p.Indices {
-		out.Data[fi] = p.Values[i]
+		dst.Data[fi] = p.Values[i]
 	}
-	return out
 }
 
 var _ Compressor = (*RandomK)(nil)
@@ -82,9 +106,13 @@ var _ Compressor = (*RandomK)(nil)
 // Instrumented wraps a Compressor and accumulates traffic statistics:
 // dense vs wire bytes and reconstruction error energy. The ablation
 // experiments and Fig. 10-style accounting use it to report achieved
-// compression ratios of real training runs.
+// compression ratios of real training runs. The error probe reconstructs
+// into a pooled per-shape scratch, so instrumentation adds no steady-state
+// allocations.
 type Instrumented struct {
 	inner Compressor
+	pool  *tensor.Pool
+	recon shapeStates[*tensor.Matrix]
 
 	Calls      int
 	DenseBytes int64
@@ -95,7 +123,15 @@ type Instrumented struct {
 
 // NewInstrumented wraps inner.
 func NewInstrumented(inner Compressor) *Instrumented {
-	return &Instrumented{inner: inner}
+	return &Instrumented{inner: inner, recon: newShapeStates[*tensor.Matrix](maxShapeStates, 0)}
+}
+
+// SetPool implements PoolAware (and forwards to the wrapped compressor).
+func (c *Instrumented) SetPool(p *tensor.Pool) {
+	c.pool = p
+	if pa, ok := c.inner.(PoolAware); ok {
+		pa.SetPool(p)
+	}
 }
 
 // Name implements Compressor.
@@ -110,13 +146,25 @@ func (c *Instrumented) Compress(m *tensor.Matrix) Payload {
 	c.Calls++
 	c.DenseBytes += DenseBytes(m.Rows, m.Cols)
 	c.WireBytes += pl.WireBytes()
-	recon := c.inner.Decompress(pl)
+	key := [2]int{m.Rows, m.Cols}
+	recon, ok := c.recon.get(key)
+	if !ok {
+		recon = poolOrShared(c.pool).GetUninit(m.Rows, m.Cols)
+		// The probe scratch never escapes, so evicted buffers recycle.
+		c.recon.put(key, recon, poolOrShared(c.pool).Put)
+	}
+	c.inner.DecompressInto(recon, pl)
 	c.SumRelErr += RelativeError(m, recon)
 	return pl
 }
 
 // Decompress implements Compressor.
 func (c *Instrumented) Decompress(pl Payload) *tensor.Matrix { return c.inner.Decompress(pl) }
+
+// DecompressInto implements Compressor.
+func (c *Instrumented) DecompressInto(dst *tensor.Matrix, pl Payload) {
+	c.inner.DecompressInto(dst, pl)
+}
 
 // AchievedRatio returns cumulative dense/wire bytes (0 before any call).
 func (c *Instrumented) AchievedRatio() float64 {
@@ -134,4 +182,7 @@ func (c *Instrumented) MeanRelError() float64 {
 	return c.SumRelErr / float64(c.Calls)
 }
 
-var _ Compressor = (*Instrumented)(nil)
+var (
+	_ Compressor = (*Instrumented)(nil)
+	_ PoolAware  = (*Instrumented)(nil)
+)

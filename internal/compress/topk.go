@@ -14,9 +14,17 @@ import (
 // The wire payload per kept element is one value at ElemBytes plus a
 // 4-byte index — the index overhead the paper calls out as a weakness of
 // top-k for point-to-point traffic ("Opt-CC (TopK)" in Fig. 3).
+//
+// The selection scratch and payload slices are reused across calls, so
+// steady-state compression is allocation-free. Like the other compressors,
+// a TopK instance is not safe for concurrent use.
 type TopK struct {
 	// Fraction of elements kept, in (0, 1].
 	Fraction float64
+
+	order   magOrder
+	asc     ascInts
+	payload SparsePayload
 }
 
 // IndexBytes is the per-element index cost of sparse payloads.
@@ -66,49 +74,92 @@ func (p *SparsePayload) WireBytes() int64 {
 // Shape implements Payload.
 func (p *SparsePayload) Shape() (int, int) { return p.rows, p.cols }
 
+// reuse resizes the payload's slices to k entries without allocating when
+// capacity suffices, and restamps the dense shape.
+func (p *SparsePayload) reuse(k, rows, cols int) {
+	if cap(p.Indices) < k {
+		p.Indices = make([]int, k)
+		p.Values = make([]float64, k)
+	}
+	p.Indices = p.Indices[:k]
+	p.Values = p.Values[:k]
+	p.rows, p.cols = rows, cols
+}
+
+// magOrder sorts flat indices by |value| descending, ties by index
+// ascending — a strict total order, so every correct sort produces the
+// same permutation (determinism does not depend on sort stability).
+type magOrder struct {
+	idx  []int
+	data []float64
+}
+
+func (o *magOrder) Len() int      { return len(o.idx) }
+func (o *magOrder) Swap(a, b int) { o.idx[a], o.idx[b] = o.idx[b], o.idx[a] }
+func (o *magOrder) Less(a, b int) bool {
+	va, vb := math.Abs(o.data[o.idx[a]]), math.Abs(o.data[o.idx[b]])
+	if va != vb {
+		return va > vb
+	}
+	return o.idx[a] < o.idx[b]
+}
+
+// ascInts sorts ints ascending via a pre-boxed sort.Interface (avoids the
+// per-call boxing allocation of sort.Ints).
+type ascInts struct{ v []int }
+
+func (o *ascInts) Len() int           { return len(o.v) }
+func (o *ascInts) Swap(a, b int)      { o.v[a], o.v[b] = o.v[b], o.v[a] }
+func (o *ascInts) Less(a, b int) bool { return o.v[a] < o.v[b] }
+
 // Compress implements Compressor by full selection (the paper notes real
 // systems use quasi-sort to cut this cost; exact selection is fine for the
 // reproduction and strictly more favourable to top-k quality).
 func (c *TopK) Compress(m *tensor.Matrix) Payload {
 	n := m.NumElements()
 	k := c.keep(n)
-	idx := make([]int, n)
+	if cap(c.order.idx) < n {
+		c.order.idx = make([]int, n)
+	}
+	idx := c.order.idx[:n]
 	for i := range idx {
 		idx[i] = i
 	}
 	// Partial selection via full sort on |value| descending, ties by index
 	// for determinism.
-	sort.Slice(idx, func(a, b int) bool {
-		va, vb := math.Abs(m.Data[idx[a]]), math.Abs(m.Data[idx[b]])
-		if va != vb {
-			return va > vb
-		}
-		return idx[a] < idx[b]
-	})
+	c.order.idx, c.order.data = idx, m.Data
+	sort.Sort(&c.order)
+	c.order.data = nil // don't pin the input between calls
 	kept := idx[:k]
-	sort.Ints(kept)
-	p := &SparsePayload{
-		Indices: kept,
-		Values:  make([]float64, k),
-		rows:    m.Rows, cols: m.Cols,
-	}
+	c.asc.v = kept
+	sort.Sort(&c.asc)
+	c.payload.reuse(k, m.Rows, m.Cols)
+	copy(c.payload.Indices, kept)
 	for i, fi := range kept {
-		p.Values[i] = m.Data[fi]
+		c.payload.Values[i] = m.Data[fi]
 	}
-	return p
+	return &c.payload
 }
 
 // Decompress implements Compressor.
 func (c *TopK) Decompress(pl Payload) *tensor.Matrix {
+	r, cl := pl.Shape()
+	out := tensor.New(r, cl)
+	c.DecompressInto(out, pl)
+	return out
+}
+
+// DecompressInto implements Compressor.
+func (c *TopK) DecompressInto(dst *tensor.Matrix, pl Payload) {
 	p, ok := pl.(*SparsePayload)
 	if !ok {
 		panic(fmt.Sprintf("compress: TopK.Decompress got %T", pl))
 	}
-	out := tensor.New(p.rows, p.cols)
+	mustShape(dst, pl, "TopK")
+	dst.Zero()
 	for i, fi := range p.Indices {
-		out.Data[fi] = p.Values[i]
+		dst.Data[fi] = p.Values[i]
 	}
-	return out
 }
 
 var _ Compressor = (*TopK)(nil)

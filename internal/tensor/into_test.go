@@ -1,0 +1,217 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Reference kernels: straightforward triple loops accumulating over k in
+// ascending order — the exact summation order the blocked kernels promise
+// to preserve. Equality below is exact (tol 0), which is the point: tiling
+// must not change a single bit.
+
+func refMatMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			av := a.At(i, k)
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += av * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+func refMatMulAT(a, b *Matrix) *Matrix {
+	out := New(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		for i := 0; i < a.Cols; i++ {
+			av := a.At(k, i)
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += av * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+func refMatMulBT(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Rows; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(j, k)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+// matmulShapes crosses the blocking boundaries: below one block, exactly
+// one block, straddling blocks, and (for AT) past the dst-resident
+// threshold.
+var matmulShapes = []struct{ n, k, m int }{
+	{3, 5, 4},
+	{blockK, blockK, blockJ},
+	{blockK + 7, 2*blockK + 3, blockJ + 9},
+	{17, 300, 260},
+}
+
+func TestBlockedMatMulBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, sh := range matmulShapes {
+		a := RandN(rng, sh.n, sh.k, 1)
+		b := RandN(rng, sh.k, sh.m, 1)
+		got := New(sh.n, sh.m)
+		MatMulInto(got, a, b)
+		if !got.Equal(refMatMul(a, b), 0) {
+			t.Fatalf("MatMulInto %dx%dx%d differs from reference", sh.n, sh.k, sh.m)
+		}
+	}
+}
+
+func TestBlockedMatMulATBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, sh := range matmulShapes {
+		a := RandN(rng, sh.k, sh.n, 1)
+		b := RandN(rng, sh.k, sh.m, 1)
+		got := New(sh.n, sh.m)
+		MatMulATInto(got, a, b)
+		if !got.Equal(refMatMulAT(a, b), 0) {
+			t.Fatalf("MatMulATInto %dx%dx%d differs from reference", sh.n, sh.k, sh.m)
+		}
+	}
+}
+
+func TestBlockedMatMulATLargeDstBitIdentical(t *testing.T) {
+	// Force the tiled (non-dst-resident) path: dst is 300×300 = 720KB,
+	// above atDstResident.
+	if int64(300*300*8) <= atDstResident {
+		t.Fatal("test shape no longer exceeds atDstResident; grow it")
+	}
+	rng := rand.New(rand.NewSource(43))
+	a := RandN(rng, 40, 300, 1)
+	b := RandN(rng, 40, 300, 1)
+	got := New(300, 300)
+	MatMulATInto(got, a, b)
+	if !got.Equal(refMatMulAT(a, b), 0) {
+		t.Fatal("tiled MatMulATInto differs from reference")
+	}
+}
+
+func TestBlockedMatMulBTBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, sh := range matmulShapes {
+		a := RandN(rng, sh.n, sh.k, 1)
+		b := RandN(rng, sh.m, sh.k, 1)
+		got := New(sh.n, sh.m)
+		MatMulBTInto(got, a, b)
+		if !got.Equal(refMatMulBT(a, b), 0) {
+			t.Fatalf("MatMulBTInto %dx%dx%d differs from reference", sh.n, sh.k, sh.m)
+		}
+	}
+}
+
+func TestParMatMulATMatchesSerialBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for _, w := range []int{1, 3, 8} {
+		SetMaxWorkers(w)
+		a := RandN(rng, 70, 90, 1)
+		b := RandN(rng, 70, 30, 1)
+		got := New(90, 30)
+		ParMatMulATInto(got, a, b)
+		want := New(90, 30)
+		MatMulATInto(want, a, b)
+		if !got.Equal(want, 0) {
+			t.Fatalf("ParMatMulATInto (workers=%d) differs from serial", w)
+		}
+	}
+	SetMaxWorkers(0)
+}
+
+func TestParMatMulATShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ParMatMulATInto(New(2, 2), New(3, 2), New(4, 2))
+}
+
+func TestTInto(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	dst := New(3, 2)
+	TInto(dst, m)
+	if !dst.Equal(m.T(), 0) {
+		t.Fatalf("TInto mismatch: %v", dst.Data)
+	}
+}
+
+func TestTIntoShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TInto(New(2, 3), New(2, 3))
+}
+
+func TestAddScaledInto(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, 2, 3})
+	b := FromSlice(1, 3, []float64{10, 20, 30})
+	dst := New(1, 3)
+	AddScaledInto(dst, a, 0.5, b)
+	want := []float64{6, 12, 18}
+	for i, v := range dst.Data {
+		if v != want[i] {
+			t.Fatalf("AddScaledInto: got %v want %v", dst.Data, want)
+		}
+	}
+	// Must match the allocating path bit-for-bit.
+	alloc := a.Clone().AddScaled(0.5, b)
+	if !dst.Equal(alloc, 0) {
+		t.Fatal("AddScaledInto differs from Clone().AddScaled()")
+	}
+	// Aliasing dst with a is allowed.
+	AddScaledInto(a, a, 0.5, b)
+	if !a.Equal(alloc, 0) {
+		t.Fatal("aliased AddScaledInto wrong")
+	}
+}
+
+func TestRandNIntoMatchesRandN(t *testing.T) {
+	r1 := rand.New(rand.NewSource(9))
+	r2 := rand.New(rand.NewSource(9))
+	fresh := RandN(r1, 6, 7, 0.5)
+	reused := New(6, 7)
+	reused.Fill(99) // stale contents must be fully overwritten
+	RandNInto(r2, reused, 0.5)
+	if !fresh.Equal(reused, 0) {
+		t.Fatal("RandNInto differs from RandN for the same seed")
+	}
+}
+
+func TestMatMulIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := RandN(rng, 64, 64, 1)
+	b := RandN(rng, 64, 64, 1)
+	dst := New(64, 64)
+	if n := testing.AllocsPerRun(10, func() { MatMulInto(dst, a, b) }); n != 0 {
+		t.Fatalf("MatMulInto allocates %v per run", n)
+	}
+	if n := testing.AllocsPerRun(10, func() { MatMulATInto(dst, a, b) }); n != 0 {
+		t.Fatalf("MatMulATInto allocates %v per run", n)
+	}
+	if n := testing.AllocsPerRun(10, func() { MatMulBTInto(dst, a, b) }); n != 0 {
+		t.Fatalf("MatMulBTInto allocates %v per run", n)
+	}
+}

@@ -147,13 +147,33 @@ func (m *Matrix) Apply(f func(float64) float64) *Matrix {
 // T returns a newly allocated transpose of m.
 func (m *Matrix) T() *Matrix {
 	out := New(m.Cols, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
+	TInto(out, m)
+	return out
+}
+
+// TInto writes the transpose of src into dst without allocating. dst must
+// be src.Cols × src.Rows and must not alias src.
+func TInto(dst, src *Matrix) {
+	if dst.Rows != src.Cols || dst.Cols != src.Rows {
+		panic(fmt.Sprintf("tensor: TInto dst %dx%d want %dx%d", dst.Rows, dst.Cols, src.Cols, src.Rows))
+	}
+	for i := 0; i < src.Rows; i++ {
+		row := src.Row(i)
 		for j, v := range row {
-			out.Data[j*m.Rows+i] = v
+			dst.Data[j*src.Rows+i] = v
 		}
 	}
-	return out
+}
+
+// AddScaledInto computes dst = a + s*b without allocating (fused axpy into
+// a destination). dst may alias a or b; shapes must match.
+func AddScaledInto(dst, a *Matrix, s float64, b *Matrix) {
+	dst.mustSameShape(a, "AddScaledInto")
+	dst.mustSameShape(b, "AddScaledInto")
+	bd := b.Data
+	for i, av := range a.Data {
+		dst.Data[i] = av + s*bd[i]
+	}
 }
 
 // MatMul returns a new matrix a×b. Panics if inner dimensions differ.
@@ -162,6 +182,28 @@ func MatMul(a, b *Matrix) *Matrix {
 	MatMulInto(out, a, b)
 	return out
 }
+
+// Cache-blocking parameters for the matmul kernels. The tilings below are
+// chosen so that every output element's accumulation order over k is
+// exactly the order of the untiled kernels — k-blocks are visited in
+// ascending order and each block's k's in ascending order — which keeps
+// results bit-identical while shrinking the working set to cache-resident
+// panels.
+const (
+	// blockK tiles the reduction dimension of MatMulInto: a blockK-row
+	// panel of b (blockK × b.Cols float64s) stays hot across all rows of a.
+	blockK = 64
+	// blockJ tiles the b rows of MatMulBTInto: a blockJ-row panel of b
+	// stays hot while streaming the rows of a against it.
+	blockJ = 128
+	// atDstResident is the dst footprint (bytes) below which MatMulATInto
+	// keeps the whole dst in cache and streams a/b once (the common
+	// PowerSGD case, where dst is a skinny m×rank factor). Above it, dst is
+	// tiled into row panels instead.
+	atDstResident = 1 << 19
+	// blockIAT is the dst row-panel height used when dst does not fit.
+	blockIAT = 64
+)
 
 // MatMulInto computes dst = a×b without allocating. dst must be a.Rows ×
 // b.Cols and must not alias a or b.
@@ -173,18 +215,31 @@ func MatMulInto(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: MatMulInto dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
 	dst.Zero()
-	// ikj loop order keeps the inner loop streaming over contiguous rows of
-	// b and dst, which matters for the Fig. 15 throughput benchmarks.
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				drow[j] += av * bv
+	matMulRange(dst, a, b, 0, a.Rows)
+}
+
+// matMulRange accumulates rows [lo, hi) of dst = a×b. dst rows must
+// already be zeroed. The k-blocked ikj order keeps the inner loop
+// streaming over contiguous rows of b and dst while a blockK-row panel of
+// b stays cache-resident across the i sweep.
+func matMulRange(dst, a, b *Matrix, lo, hi int) {
+	for kb := 0; kb < a.Cols; kb += blockK {
+		kEnd := kb + blockK
+		if kEnd > a.Cols {
+			kEnd = a.Cols
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for k := kb; k < kEnd; k++ {
+				av := arow[k]
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
 			}
 		}
 	}
@@ -200,10 +255,31 @@ func MatMulATInto(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: MatMulATInto dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
 	}
 	dst.Zero()
+	if int64(dst.Rows)*int64(dst.Cols)*8 <= atDstResident {
+		// dst fits in cache: stream a and b exactly once (PowerSGD's
+		// Q = Mᵀ·P shape, where dst is m×rank).
+		matMulATRange(dst, a, b, 0, a.Cols)
+		return
+	}
+	// Large dst: tile into row panels so each panel stays resident across
+	// the full k sweep, at the cost of re-streaming a per panel.
+	for ib := 0; ib < a.Cols; ib += blockIAT {
+		iEnd := ib + blockIAT
+		if iEnd > a.Cols {
+			iEnd = a.Cols
+		}
+		matMulATRange(dst, a, b, ib, iEnd)
+	}
+}
+
+// matMulATRange accumulates dst rows [lo, hi) of dst = aᵀ×b. dst rows
+// must already be zeroed.
+func matMulATRange(dst, a, b *Matrix, lo, hi int) {
 	for k := 0; k < a.Rows; k++ {
 		arow := a.Row(k)
 		brow := b.Row(k)
-		for i, av := range arow {
+		for i := lo; i < hi; i++ {
+			av := arow[i]
 			if av == 0 {
 				continue
 			}
@@ -224,16 +300,30 @@ func MatMulBTInto(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulBTInto dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
-			var s float64
-			for k, av := range arow {
-				s += av * brow[k]
+	matMulBTRange(dst, a, b, 0, a.Rows)
+}
+
+// matMulBTRange computes rows [lo, hi) of dst = a×bᵀ. Each output element
+// is a single full-length dot product, so the j tiling below only changes
+// traversal order, never accumulation order. A blockJ-row panel of b stays
+// cache-resident while the rows of a stream against it.
+func matMulBTRange(dst, a, b *Matrix, lo, hi int) {
+	for jb := 0; jb < b.Rows; jb += blockJ {
+		jEnd := jb + blockJ
+		if jEnd > b.Rows {
+			jEnd = b.Rows
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for j := jb; j < jEnd; j++ {
+				brow := b.Row(j)
+				var s float64
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				drow[j] = s
 			}
-			drow[j] = s
 		}
 	}
 }

@@ -8,10 +8,17 @@ import (
 // RandN fills a new rows×cols matrix with N(0, std²) samples from rng.
 func RandN(rng *rand.Rand, rows, cols int, std float64) *Matrix {
 	m := New(rows, cols)
-	for i := range m.Data {
-		m.Data[i] = rng.NormFloat64() * std
-	}
+	RandNInto(rng, m, std)
 	return m
+}
+
+// RandNInto fills dst with N(0, std²) samples from rng without allocating,
+// drawing in the same element order as RandN (so reusing a buffer is
+// bit-identical to allocating a fresh one).
+func RandNInto(rng *rand.Rand, dst *Matrix, std float64) {
+	for i := range dst.Data {
+		dst.Data[i] = rng.NormFloat64() * std
+	}
 }
 
 // RandUniform fills a new rows×cols matrix with U(-a, a) samples.

@@ -64,21 +64,31 @@ func ParMatMulInto(dst, a, b *Matrix) {
 	}
 	parallelRows(a.Rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
 			drow := dst.Row(i)
 			for j := range drow {
 				drow[j] = 0
 			}
-			for k, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b.Row(k)
-				for j, bv := range brow {
-					drow[j] += av * bv
-				}
+		}
+		matMulRange(dst, a, b, lo, hi)
+	})
+}
+
+// ParMatMulATInto computes dst = aᵀ×b in parallel, split by output rows
+// (columns of a). Same contract — and bit-identical results — as
+// MatMulATInto: each output row's k-accumulation order is unchanged.
+func ParMatMulATInto(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		MatMulATInto(dst, a, b)
+		return
+	}
+	parallelRows(a.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			drow := dst.Row(i)
+			for j := range drow {
+				drow[j] = 0
 			}
 		}
+		matMulATRange(dst, a, b, lo, hi)
 	})
 }
 
@@ -90,17 +100,6 @@ func ParMatMulBTInto(dst, a, b *Matrix) {
 		return
 	}
 	parallelRows(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			drow := dst.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				brow := b.Row(j)
-				var s float64
-				for k, av := range arow {
-					s += av * brow[k]
-				}
-				drow[j] = s
-			}
-		}
+		matMulBTRange(dst, a, b, lo, hi)
 	})
 }

@@ -1,0 +1,143 @@
+package tensor
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a concurrency-safe free-list of matrices keyed by shape. The
+// compression and gradient-synchronization hot paths allocate the same
+// handful of shapes every iteration; recycling them through a Pool makes
+// steady-state training allocation-free, so the Fig. 15-style throughput
+// benchmarks measure the algorithms rather than the Go allocator.
+//
+// Get returns a zeroed matrix (same contract as New); Put recycles one.
+// A matrix must not be used after it is Put. The per-shape free list is
+// capped so a transient burst of odd shapes cannot pin memory forever.
+type Pool struct {
+	mu   sync.Mutex
+	free map[[2]int][]*Matrix
+
+	// maxPerShape caps each shape's free list (0 means DefaultMaxPerShape).
+	maxPerShape int
+
+	gets   atomic.Uint64
+	hits   atomic.Uint64
+	puts   atomic.Uint64
+	drops  atomic.Uint64
+	inPool atomic.Int64
+}
+
+// DefaultMaxPerShape is the per-shape free-list cap used when a Pool is
+// constructed with NewPool. The trainer's widest fan-out (DP groups ×
+// stages × worker pool) stays well under this.
+const DefaultMaxPerShape = 64
+
+// NewPool returns an empty pool with the default per-shape cap.
+func NewPool() *Pool { return &Pool{free: make(map[[2]int][]*Matrix)} }
+
+// NewPoolWithCap returns an empty pool capping each shape's free list at
+// maxPerShape entries (≤0 means DefaultMaxPerShape).
+func NewPoolWithCap(maxPerShape int) *Pool {
+	return &Pool{free: make(map[[2]int][]*Matrix), maxPerShape: maxPerShape}
+}
+
+func (p *Pool) cap() int {
+	if p.maxPerShape > 0 {
+		return p.maxPerShape
+	}
+	return DefaultMaxPerShape
+}
+
+// Get returns a zeroed rows×cols matrix, recycling a previously Put one
+// when available.
+func (p *Pool) Get(rows, cols int) *Matrix {
+	m, recycled := p.take(rows, cols)
+	if recycled {
+		m.Zero()
+	}
+	return m
+}
+
+// GetUninit returns a rows×cols matrix with unspecified contents —
+// recycled without the zeroing pass. Use it when every element will be
+// overwritten anyway (DecompressInto destinations, AddScaledInto outputs,
+// matmul dst buffers); use Get when the caller accumulates into the
+// buffer.
+func (p *Pool) GetUninit(rows, cols int) *Matrix {
+	m, _ := p.take(rows, cols)
+	return m
+}
+
+// take pops a pooled matrix (recycled=true) or allocates a zeroed one.
+func (p *Pool) take(rows, cols int) (m *Matrix, recycled bool) {
+	p.gets.Add(1)
+	key := [2]int{rows, cols}
+	p.mu.Lock()
+	list := p.free[key]
+	if n := len(list); n > 0 {
+		m = list[n-1]
+		list[n-1] = nil
+		p.free[key] = list[:n-1]
+		p.mu.Unlock()
+		p.hits.Add(1)
+		p.inPool.Add(-1)
+		return m, true
+	}
+	p.mu.Unlock()
+	return New(rows, cols), false
+}
+
+// Put recycles m for a future Get of the same shape. Put(nil) is a no-op.
+// The caller must not retain or touch m afterwards.
+func (p *Pool) Put(m *Matrix) {
+	if m == nil {
+		return
+	}
+	p.puts.Add(1)
+	key := [2]int{m.Rows, m.Cols}
+	p.mu.Lock()
+	if len(p.free[key]) >= p.cap() {
+		p.mu.Unlock()
+		p.drops.Add(1)
+		return
+	}
+	p.free[key] = append(p.free[key], m)
+	p.mu.Unlock()
+	p.inPool.Add(1)
+}
+
+// Reset drops every pooled matrix (they become garbage).
+func (p *Pool) Reset() {
+	p.mu.Lock()
+	p.free = make(map[[2]int][]*Matrix)
+	p.mu.Unlock()
+	p.inPool.Store(0)
+}
+
+// PoolStats is a snapshot of pool traffic.
+type PoolStats struct {
+	Gets, Hits, Puts, Drops uint64
+	// InPool is the number of matrices currently parked in free lists.
+	InPool int64
+}
+
+// Stats returns a snapshot of cumulative pool traffic. HitRate ≈ 1 on
+// steady state is what "zero-allocation" means in practice.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Gets:   p.gets.Load(),
+		Hits:   p.hits.Load(),
+		Puts:   p.puts.Load(),
+		Drops:  p.drops.Load(),
+		InPool: p.inPool.Load(),
+	}
+}
+
+// HitRate returns Hits/Gets (0 before any Get).
+func (s PoolStats) HitRate() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Gets)
+}

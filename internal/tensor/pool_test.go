@@ -1,0 +1,148 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolGetReturnsZeroed(t *testing.T) {
+	p := NewPool()
+	m := p.Get(3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("bad shape %dx%d", m.Rows, m.Cols)
+	}
+	m.Fill(7)
+	p.Put(m)
+	m2 := p.Get(3, 4)
+	if m2 != m {
+		t.Fatal("expected the recycled matrix back")
+	}
+	for i, v := range m2.Data {
+		if v != 0 {
+			t.Fatalf("recycled matrix not zeroed at %d: %v", i, v)
+		}
+	}
+}
+
+func TestPoolShapeKeying(t *testing.T) {
+	p := NewPool()
+	a := p.Get(2, 3)
+	p.Put(a)
+	b := p.Get(3, 2) // different shape must not reuse a
+	if b == a {
+		t.Fatal("pool returned a matrix of the wrong shape")
+	}
+	c := p.Get(2, 3)
+	if c != a {
+		t.Fatal("same shape should have been recycled")
+	}
+}
+
+func TestPoolGetUninitSkipsZeroing(t *testing.T) {
+	p := NewPool()
+	m := p.Get(2, 2)
+	m.Fill(5)
+	p.Put(m)
+	m2 := p.GetUninit(2, 2)
+	if m2 != m {
+		t.Fatal("expected the recycled matrix back")
+	}
+	if m2.At(0, 0) != 5 {
+		t.Fatal("GetUninit should not zero recycled contents")
+	}
+	// A fresh (non-recycled) GetUninit still comes from New, i.e. zeroed.
+	f := p.GetUninit(9, 9)
+	for _, v := range f.Data {
+		if v != 0 {
+			t.Fatal("fresh allocation must be zeroed")
+		}
+	}
+}
+
+func TestPoolPutNilNoop(t *testing.T) {
+	p := NewPool()
+	p.Put(nil)
+	if s := p.Stats(); s.Puts != 0 {
+		t.Fatalf("nil Put counted: %+v", s)
+	}
+}
+
+func TestPoolCap(t *testing.T) {
+	p := NewPoolWithCap(2)
+	ms := []*Matrix{New(1, 1), New(1, 1), New(1, 1)}
+	for _, m := range ms {
+		p.Put(m)
+	}
+	s := p.Stats()
+	if s.InPool != 2 || s.Drops != 1 {
+		t.Fatalf("cap not enforced: %+v", s)
+	}
+}
+
+func TestPoolStatsAndHitRate(t *testing.T) {
+	p := NewPool()
+	m := p.Get(4, 4) // miss
+	p.Put(m)
+	_ = p.Get(4, 4) // hit
+	s := p.Stats()
+	if s.Gets != 2 || s.Hits != 1 || s.Puts != 1 {
+		t.Fatalf("stats wrong: %+v", s)
+	}
+	if got := s.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate %v want 0.5", got)
+	}
+}
+
+func TestPoolReset(t *testing.T) {
+	p := NewPool()
+	p.Put(New(2, 2))
+	p.Reset()
+	if s := p.Stats(); s.InPool != 0 {
+		t.Fatalf("Reset left %d in pool", s.InPool)
+	}
+}
+
+// TestPoolConcurrentGetPut exercises the pool from many goroutines; run
+// under -race it proves the free list is data-race free, and the
+// exclusive-ownership check proves no matrix is handed to two goroutines
+// at once.
+func TestPoolConcurrentGetPut(t *testing.T) {
+	p := NewPool()
+	var mu sync.Mutex
+	owned := make(map[*Matrix]bool)
+
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rows := 1 + (i+w)%3
+				m := p.Get(rows, 5)
+				mu.Lock()
+				if owned[m] {
+					mu.Unlock()
+					t.Error("pool handed the same matrix to two goroutines")
+					return
+				}
+				owned[m] = true
+				mu.Unlock()
+				m.Fill(float64(w)) // touch the memory to surface races
+				mu.Lock()
+				delete(owned, m)
+				mu.Unlock()
+				p.Put(m)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := p.Stats()
+	if s.Gets != workers*iters {
+		t.Fatalf("lost gets: %+v", s)
+	}
+	if s.HitRate() < 0.9 {
+		t.Fatalf("hit rate %v suspiciously low for a steady-state loop", s.HitRate())
+	}
+}

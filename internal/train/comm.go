@@ -1,6 +1,9 @@
 package train
 
 import (
+	"runtime"
+	"sync"
+
 	"repro/internal/compress"
 	"repro/internal/tensor"
 )
@@ -10,44 +13,76 @@ import (
 // PowerSGD round with error feedback per group (the §2.3 mechanism);
 // everything else is averaged exactly. Embedding-table gradients are
 // excluded here — they belong to the embedding-synchronization phase (§6).
+//
+// Stages are independent (disjoint gradient tensors, private compressor
+// state per (stage, group, grad) key), so they are fanned out over a
+// bounded worker pool; results are bit-identical to the serial order.
+// Averaging buffers come from the trainer's pool, so steady-state sync
+// performs no matrix allocations.
 func (t *Trainer) syncDataParallel() {
 	cfg := t.cfg
 	d := cfg.DPGroups
 	if d <= 1 {
 		return
 	}
-	compressedStages := cfg.Opt.CompressedStages(cfg.Stages)
+	compressedStages := t.compressedStages
+	workers := t.syncWorkers()
+	if workers <= 1 || cfg.Stages == 1 {
+		for s := 0; s < cfg.Stages; s++ {
+			t.syncStage(s, compressedStages[s])
+		}
+		return
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
 	for s := 0; s < cfg.Stages; s++ {
-		embGrad := make(map[*tensor.Matrix]bool)
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(s int) {
+			defer wg.Done()
+			t.syncStage(s, compressedStages[s])
+			<-sem
+		}(s)
+	}
+	wg.Wait()
+}
+
+// syncWorkers resolves the worker-pool bound for DP-group×stage sync.
+func (t *Trainer) syncWorkers() int {
+	w := t.cfg.SyncWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > t.cfg.Stages {
+		w = t.cfg.Stages
+	}
+	return w
+}
+
+// syncStage averages (optionally compressing) every non-embedding gradient
+// of stage s across the DP groups, in place.
+func (t *Trainer) syncStage(s int, compressed bool) {
+	d := t.cfg.DPGroups
+	for gi := range t.grads[0][s] {
+		if t.embSkip[t.grads[0][s][gi]] || t.embSkip[t.grads[d-1][s][gi]] {
+			continue
+		}
+		g0 := t.grads[0][s][gi]
+		avg := t.pool.Get(g0.Rows, g0.Cols)
 		for dd := 0; dd < d; dd++ {
-			if eg := t.replicas[dd][s].EmbeddingGrad(); eg != nil {
-				embGrad[eg] = true
+			g := t.grads[dd][s][gi]
+			if compressed && compressibleShape(g) {
+				_, recon := t.dpEF(s, dd, gi).CompressWithFeedback(g)
+				avg.Add(recon)
+			} else {
+				avg.Add(g)
 			}
 		}
-		grads := make([][]*tensor.Matrix, d)
+		avg.Scale(1 / float64(d))
 		for dd := 0; dd < d; dd++ {
-			grads[dd] = t.replicas[dd][s].Grads()
+			t.grads[dd][s][gi].CopyFrom(avg)
 		}
-		for gi := range grads[0] {
-			if embGrad[grads[0][gi]] || embGrad[grads[d-1][gi]] {
-				continue
-			}
-			g0 := grads[0][gi]
-			avg := tensor.New(g0.Rows, g0.Cols)
-			for dd := 0; dd < d; dd++ {
-				g := grads[dd][gi]
-				if compressedStages[s] && compressibleShape(g) {
-					_, recon := t.dpEF(s, dd, gi).CompressWithFeedback(g)
-					avg.Add(recon)
-				} else {
-					avg.Add(g)
-				}
-			}
-			avg.Scale(1 / float64(d))
-			for dd := 0; dd < d; dd++ {
-				grads[dd][gi].CopyFrom(avg)
-			}
-		}
+		t.pool.Put(avg)
 	}
 }
 
@@ -57,15 +92,20 @@ func (t *Trainer) syncDataParallel() {
 func compressibleShape(g *tensor.Matrix) bool { return g.Rows > 1 && g.Cols > 1 }
 
 // dpEF returns (lazily creating) the error-feedback compressor for
-// gradient matrix gi of stage s in group dd.
+// gradient matrix gi of stage s in group dd. Creation is guarded by a
+// mutex because stages sync concurrently; each compressor instance is
+// only ever used by its own (s, dd, gi) task, so use needs no lock.
 func (t *Trainer) dpEF(s, dd, gi int) *compress.ErrorFeedback {
 	key := [3]int{s, dd, gi}
+	t.dpcMu.Lock()
 	ef := t.dpc[key]
 	if ef == nil {
 		ef = compress.NewErrorFeedback(compress.NewPowerSGD(t.cfg.Opt.DPRank,
 			t.cfg.Seed+int64(100000+s*1000+dd*100+gi)))
+		ef.SetPool(t.pool)
 		t.dpc[key] = ef
 	}
+	t.dpcMu.Unlock()
 	return ef
 }
 
@@ -76,7 +116,7 @@ func (t *Trainer) dpEF(s, dd, gi int) *compress.ErrorFeedback {
 // 2-way sum between the sides: Fig. 7a); fused embedding synchronization
 // does it in one 2D-way operation (Fig. 7b). The results are
 // mathematically identical — only the communication cost differs, which
-// tests assert.
+// tests assert. All scratch comes from the trainer's pool.
 func (t *Trainer) syncEmbedding() {
 	cfg := t.cfg
 	dN := float64(cfg.DPGroups)
@@ -87,7 +127,7 @@ func (t *Trainer) syncEmbedding() {
 			return
 		}
 		g0 := t.replicas[0][0].EmbeddingGrad()
-		avg := tensor.New(g0.Rows, g0.Cols)
+		avg := t.pool.Get(g0.Rows, g0.Cols)
 		for dd := 0; dd < cfg.DPGroups; dd++ {
 			avg.Add(t.replicas[dd][0].EmbeddingGrad())
 		}
@@ -95,13 +135,14 @@ func (t *Trainer) syncEmbedding() {
 		for dd := 0; dd < cfg.DPGroups; dd++ {
 			t.replicas[dd][0].EmbeddingGrad().CopyFrom(avg)
 		}
+		t.pool.Put(avg)
 		return
 	}
 	last := cfg.Stages - 1
 	if cfg.Opt.FuseEmbedding {
 		// One 2D-way all-reduce: Σ over both sides and all groups, /D.
 		g0 := t.replicas[0][0].EmbeddingGrad()
-		total := tensor.New(g0.Rows, g0.Cols)
+		total := t.pool.Get(g0.Rows, g0.Cols)
 		for dd := 0; dd < cfg.DPGroups; dd++ {
 			total.Add(t.replicas[dd][0].EmbeddingGrad())
 			total.Add(t.replicas[dd][last].EmbeddingGrad())
@@ -111,12 +152,13 @@ func (t *Trainer) syncEmbedding() {
 			t.replicas[dd][0].EmbeddingGrad().CopyFrom(total)
 			t.replicas[dd][last].EmbeddingGrad().CopyFrom(total)
 		}
+		t.pool.Put(total)
 		return
 	}
 	// Phase 1: EMB DP — D-way average per side.
 	for _, stage := range []int{0, last} {
 		g0 := t.replicas[0][stage].EmbeddingGrad()
-		avg := tensor.New(g0.Rows, g0.Cols)
+		avg := t.pool.Get(g0.Rows, g0.Cols)
 		for dd := 0; dd < cfg.DPGroups; dd++ {
 			avg.Add(t.replicas[dd][stage].EmbeddingGrad())
 		}
@@ -124,12 +166,16 @@ func (t *Trainer) syncEmbedding() {
 		for dd := 0; dd < cfg.DPGroups; dd++ {
 			t.replicas[dd][stage].EmbeddingGrad().CopyFrom(avg)
 		}
+		t.pool.Put(avg)
 	}
 	// Phase 2: EMB Sync — 2-way sum between first and last stages.
 	for dd := 0; dd < cfg.DPGroups; dd++ {
-		sum := t.replicas[dd][0].EmbeddingGrad().Clone()
-		sum.Add(t.replicas[dd][last].EmbeddingGrad())
-		t.replicas[dd][0].EmbeddingGrad().CopyFrom(sum)
-		t.replicas[dd][last].EmbeddingGrad().CopyFrom(sum)
+		first := t.replicas[dd][0].EmbeddingGrad()
+		lastG := t.replicas[dd][last].EmbeddingGrad()
+		sum := t.pool.GetUninit(first.Rows, first.Cols) // AddScaledInto writes every element
+		tensor.AddScaledInto(sum, first, 1, lastG)
+		first.CopyFrom(sum)
+		lastG.CopyFrom(sum)
+		t.pool.Put(sum)
 	}
 }

@@ -1,0 +1,72 @@
+package train
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSyncWorkersBitIdentical pins the worker-pool fan-out contract:
+// stage-parallel gradient synchronization produces bit-identical weights
+// to the serial order, because stages share no tensors and each
+// (stage, group, grad) compressor is private.
+func TestSyncWorkersBitIdentical(t *testing.T) {
+	c := testCorpus(t)
+	opt := core.CBFESC()
+	opt.CBRank = 2
+	opt.DPRank = 2
+
+	serial := testConfig(opt)
+	serial.SyncWorkers = 1
+	parallel := testConfig(opt)
+	parallel.SyncWorkers = 0 // GOMAXPROCS
+
+	a, err := New(serial, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(parallel, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		la, lb := a.TrainIteration(), b.TrainIteration()
+		if la != lb {
+			t.Fatalf("iteration %d: losses diverged (%v vs %v)", i, la, lb)
+		}
+	}
+	for s := 0; s < serial.Stages; s++ {
+		pa := a.replicas[0][s].Params()
+		pb := b.replicas[0][s].Params()
+		for i := range pa {
+			if !pa[i].Equal(pb[i], 0) {
+				t.Fatalf("stage %d param %d differs between serial and parallel sync", s, i)
+			}
+		}
+	}
+}
+
+// TestSyncSteadyStateReusesPool asserts the zero-allocation design goal at
+// the trainer level: after the first iteration warms the workspaces, the
+// sync path's pool traffic is all hits.
+func TestSyncSteadyStateReusesPool(t *testing.T) {
+	opt := core.CBFESC()
+	opt.CBRank = 2
+	opt.DPRank = 2
+	tr, err := New(testConfig(opt), testCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Train(2, nil) // warm-up: first iteration faults workspaces in
+	before := tr.Pool().Stats()
+	tr.Train(3, nil)
+	after := tr.Pool().Stats()
+	gets := after.Gets - before.Gets
+	hits := after.Hits - before.Hits
+	if gets == 0 {
+		t.Fatal("pool unused on the sync path")
+	}
+	if hits != gets {
+		t.Fatalf("steady state missed the pool: %d gets, %d hits", gets, hits)
+	}
+}

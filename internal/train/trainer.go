@@ -56,7 +56,11 @@ type Config struct {
 	// Batches are pre-sampled in a fixed order first, so results are
 	// bit-identical to the sequential mode (which tests assert).
 	ParallelGroups bool
-	Seed           int64
+	// SyncWorkers bounds the worker pool that fans DP-group×stage gradient
+	// synchronization out over independent stages (0 = GOMAXPROCS,
+	// 1 = serial). Results are bit-identical at any setting.
+	SyncWorkers int
+	Seed        int64
 }
 
 // DefaultConfig returns the configuration used by the quality experiments:
@@ -108,12 +112,29 @@ type Trainer struct {
 	opt      *model.SGD
 	rng      *rand.Rand
 
+	// pool recycles every transient matrix of the sync and comm hot paths
+	// (averaging buffers, compressor workspaces, reconstructions), making
+	// steady-state iterations allocation-free outside the model itself.
+	pool *tensor.Pool
+	// grads[d][s] / params[d][s] cache the stages' tensor lists, which are
+	// rebuilt on every Grads()/Params() call otherwise.
+	grads  [][][]*tensor.Matrix
+	params [][][]*tensor.Matrix
+	// embSkip marks every embedding-table gradient; DP sync skips them
+	// (they belong to the §6 embedding-synchronization phase).
+	embSkip map[*tensor.Matrix]bool
+	// compressedStages caches cfg.Opt.CompressedStages (selective stage
+	// compression, §7), which is pure in the config.
+	compressedStages []bool
+
 	// cb[d][s] compresses the backward send from stage s to s−1 of group
 	// d (s ≥ 1). The ErrorFeedback residual IS lazy error propagation.
 	cb [][]*compress.ErrorFeedback
 	// dpc[s][g] compresses gradient matrix g of stage s (shared input
 	// across groups is modeled per group: dpc[s] indexed by d×grad).
-	dpc map[[3]int]*compress.ErrorFeedback
+	// dpcMu guards lazy creation under the stage-parallel sync fan-out.
+	dpc   map[[3]int]*compress.ErrorFeedback
+	dpcMu sync.Mutex
 
 	stats *Stats
 	iter  int
@@ -132,12 +153,16 @@ func New(cfg Config, corpus *data.Corpus) (*Trainer, error) {
 		return nil, err
 	}
 	t := &Trainer{
-		cfg:    cfg,
-		corpus: corpus,
-		sched:  sched,
-		opt:    model.NewSGD(cfg.LR, cfg.Momentum, cfg.Clip),
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		dpc:    make(map[[3]int]*compress.ErrorFeedback),
+		cfg:     cfg,
+		corpus:  corpus,
+		sched:   sched,
+		opt:     model.NewSGD(cfg.LR, cfg.Momentum, cfg.Clip),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		pool:    tensor.NewPool(),
+		dpc:     make(map[[3]int]*compress.ErrorFeedback),
+		embSkip: make(map[*tensor.Matrix]bool),
+
+		compressedStages: cfg.Opt.CompressedStages(cfg.Stages),
 	}
 	for d := 0; d < cfg.DPGroups; d++ {
 		stages, err := model.NewStages(cfg.Model, cfg.Stages)
@@ -145,6 +170,17 @@ func New(cfg Config, corpus *data.Corpus) (*Trainer, error) {
 			return nil, err
 		}
 		t.replicas = append(t.replicas, stages)
+		gRow := make([][]*tensor.Matrix, cfg.Stages)
+		pRow := make([][]*tensor.Matrix, cfg.Stages)
+		for s, stage := range stages {
+			gRow[s] = stage.Grads()
+			pRow[s] = stage.Params()
+			if eg := stage.EmbeddingGrad(); eg != nil {
+				t.embSkip[eg] = true
+			}
+		}
+		t.grads = append(t.grads, gRow)
+		t.params = append(t.params, pRow)
 	}
 	if cfg.Opt.CompressBackprop {
 		for d := 0; d < cfg.DPGroups; d++ {
@@ -152,6 +188,7 @@ func New(cfg Config, corpus *data.Corpus) (*Trainer, error) {
 			for s := 1; s < cfg.Stages; s++ {
 				ef := compress.NewErrorFeedback(t.newCBCompressor(int64(d*100 + s)))
 				ef.SetEnabled(cfg.Opt.LazyErrorPropagation)
+				ef.SetPool(t.pool)
 				row[s] = ef
 			}
 			t.cb = append(t.cb, row)
@@ -180,6 +217,10 @@ func (t *Trainer) newCBCompressor(seed int64) compress.Compressor {
 // Stages returns replica 0's stage chain (for evaluation).
 func (t *Trainer) Stages() []*model.Stage { return t.replicas[0] }
 
+// Pool returns the trainer's workspace pool (exposed for benchmarks and
+// pool-reuse assertions).
+func (t *Trainer) Pool() *tensor.Pool { return t.pool }
+
 // Config returns the trainer's configuration.
 func (t *Trainer) Config() Config { return t.cfg }
 
@@ -206,9 +247,10 @@ func (t *Trainer) TrainIteration() float64 {
 	}
 	losses := make([]float64, cfg.DPGroups)
 	runGroup := func(d int) {
-		stages := t.replicas[d]
-		for _, s := range stages {
-			s.ZeroGrads()
+		for _, gs := range t.grads[d] {
+			for _, g := range gs {
+				g.Zero()
+			}
 		}
 		for mi := 0; mi < cfg.MicroBatches; mi++ {
 			losses[d] += t.runMicroBatch(d, mi, batches[d][mi])
@@ -216,8 +258,8 @@ func (t *Trainer) TrainIteration() float64 {
 		// Average gradient over micro-batches (each micro's loss gradient
 		// is already 1/MicroBatch).
 		inv := 1.0 / float64(cfg.MicroBatches)
-		for _, s := range stages {
-			for _, g := range s.Grads() {
+		for _, gs := range t.grads[d] {
+			for _, g := range gs {
 				g.Scale(inv)
 			}
 		}
@@ -247,8 +289,8 @@ func (t *Trainer) TrainIteration() float64 {
 		t.opt.LR = cfg.Schedule.LR(t.iter)
 	}
 	for d := 0; d < cfg.DPGroups; d++ {
-		for _, s := range t.replicas[d] {
-			t.opt.Step(s.Params(), s.Grads())
+		for s := range t.replicas[d] {
+			t.opt.Step(t.params[d][s], t.grads[d][s])
 		}
 	}
 	t.iter++
@@ -290,11 +332,14 @@ func (t *Trainer) runMicroBatch(d, mi int, mb microBatch) float64 {
 	}
 	g = last.BackwardLogits(dLogits)
 	for s := cfg.Stages - 1; s >= 1; s-- {
-		sent := t.transferBackward(d, s, mi, g, acts[s-1])
+		sent, pooled := t.transferBackward(d, s, mi, g, acts[s-1])
 		if s-1 == 0 {
 			stages[0].BackwardHidden(sent)
 		} else {
 			g = stages[s-1].BackwardHidden(sent)
+		}
+		if pooled {
+			t.pool.Put(sent)
 		}
 	}
 	return loss
@@ -302,14 +347,18 @@ func (t *Trainer) runMicroBatch(d, mi int, mb microBatch) float64 {
 
 // transferBackward ships the activation gradient g from stage s to s−1,
 // compressing per the configuration. fwdAct is the forward activation at
-// the boundary (for Fig. 11 statistics).
-func (t *Trainer) transferBackward(d, s, mi int, g, fwdAct *tensor.Matrix) *tensor.Matrix {
+// the boundary (for Fig. 11 statistics). The second result reports whether
+// the returned matrix was borrowed from the trainer's pool — the caller
+// must Put it back once the receiving stage has consumed it. (The lazy-
+// error-propagation reconstruction is ErrorFeedback-owned scratch and must
+// not be returned to the pool.)
+func (t *Trainer) transferBackward(d, s, mi int, g, fwdAct *tensor.Matrix) (sent *tensor.Matrix, pooled bool) {
 	cfg := t.cfg
 	if !cfg.Opt.CompressBackprop {
-		return g
+		return g, false
 	}
 	if cfg.Opt.EpilogueOnly && !t.sched.IsEpilogueBackward(s, mi) {
-		return g
+		return g, false
 	}
 	ef := t.cb[d][s]
 	var recon *tensor.Matrix
@@ -317,10 +366,12 @@ func (t *Trainer) transferBackward(d, s, mi int, g, fwdAct *tensor.Matrix) *tens
 		_, recon = ef.CompressWithFeedback(g)
 	} else {
 		pl := ef.Inner().Compress(g)
-		recon = ef.Inner().Decompress(pl)
+		recon = t.pool.GetUninit(g.Rows, g.Cols) // DecompressInto writes every element
+		pooled = true
+		ef.Inner().DecompressInto(recon, pl)
 	}
 	if t.stats != nil && d == 0 && s == 1 {
 		t.stats.Record(g, recon, fwdAct)
 	}
-	return recon
+	return recon, pooled
 }
