@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/compress"
+	"repro/internal/tensor"
+)
+
+// collectiveBenchResult is one row of BENCH_collective.json — the
+// machine-readable perf trail the CI uploads so the repo has a
+// benchmark trajectory across PRs.
+type collectiveBenchResult struct {
+	Op          string  `json:"op"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  int64   `json:"bytes_op"`  // heap bytes allocated per op
+	AllocsPerOp int64   `json:"allocs_op"` // heap allocations per op
+	WireBytesOp int64   `json:"wire_bytes_op"`
+	StepsPerOp  int64   `json:"steps_op"`
+}
+
+// runCollectiveBenchmarks measures the collective runtime's hot ops with
+// the testing harness (benchtime bounds each measurement) and writes the
+// results as JSON to outPath, echoing a table to w.
+func runCollectiveBenchmarks(w io.Writer, outPath, benchtime string) error {
+	testing.Init() // register test.* flags so benchtime is settable
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		return fmt.Errorf("benchtime %q: %w", benchtime, err)
+	}
+	var results []collectiveBenchResult
+
+	fill := func(bufs []*tensor.Matrix) {
+		for i, b := range bufs {
+			for j := range b.Data {
+				b.Data[j] = float64((i*131+j)%23) / 23
+			}
+		}
+	}
+	measure := func(op string, rt *collective.Runtime, cls collective.Class, f func()) {
+		f() // warm workspaces, residuals, and payload buffers
+		f()
+		before := rt.Stats().For(cls)
+		// testing.Benchmark runs probe rounds before the final N, so count
+		// every execution: the traffic window spans all of them.
+		var ops int64
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f()
+			}
+			ops += int64(b.N)
+		})
+		after := rt.Stats().For(cls)
+		results = append(results, collectiveBenchResult{
+			Op:          op,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			WireBytesOp: (after.Bytes - before.Bytes) / ops,
+			StepsPerOp:  (after.Steps - before.Steps) / ops,
+		})
+	}
+
+	const rows, cols = 48, 48
+	for _, d := range []int{2, 4, 8} {
+		topo, err := collective.NewTopology(d, 2)
+		if err != nil {
+			return err
+		}
+		rt := collective.NewRuntime(topo, nil, nil)
+		grp := rt.NewGroup(collective.ClassDP, topo.DPGroup(0))
+		bufs := make([]*tensor.Matrix, d)
+		for i := range bufs {
+			bufs[i] = tensor.New(rows, cols)
+		}
+		fill(bufs)
+		measure(fmt.Sprintf("allreduce/d%d", d), rt, collective.ClassDP,
+			func() { grp.AllReduce(bufs, 1/float64(d)) })
+
+		if d == 4 {
+			efs := make([]*compress.ErrorFeedback, d)
+			for i := range efs {
+				efs[i] = compress.NewErrorFeedback(compress.NewPowerSGD(4, int64(i)))
+				efs[i].SetPool(rt.Pool())
+			}
+			measure("allreduce-compressed/d4-r4", rt, collective.ClassDP,
+				func() { grp.AllReduceCompressed(bufs, efs, 1/float64(d)) })
+
+			fused := rt.NewGroup(collective.ClassEmb, topo.EmbGroup())
+			fBufs := make([]*tensor.Matrix, 2*d)
+			for i := range fBufs {
+				fBufs[i] = tensor.New(rows, cols)
+			}
+			fill(fBufs)
+			measure("emb-fused-allreduce/d4", rt, collective.ClassEmb,
+				func() { fused.AllReduce(fBufs, 1/float64(d)) })
+
+			measure("broadcast/d4", rt, collective.ClassDP,
+				func() { grp.Broadcast(bufs, 0) })
+		}
+		rt.Close()
+	}
+
+	fmt.Fprintf(w, "### collective-bench (%d ops → %s)\n\n", len(results), outPath)
+	fmt.Fprintf(w, "%-28s %14s %12s %10s %14s %9s\n",
+		"op", "ns/op", "B/op", "allocs/op", "wire B/op", "steps/op")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-28s %14.0f %12d %10d %14d %9d\n",
+			r.Op, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.WireBytesOp, r.StepsPerOp)
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+}

@@ -1,12 +1,15 @@
 // Command optcc-bench regenerates the paper's tables and figures. Each
 // experiment prints a text table; -exp all regenerates everything (the
-// content of EXPERIMENTS.md's measured sections).
+// content of EXPERIMENTS.md's measured sections). -collective-bench
+// instead micro-benchmarks the collective runtime and writes the
+// machine-readable perf trail (BENCH_collective.json) that CI archives.
 //
 // Examples:
 //
 //	optcc-bench -exp table2
 //	optcc-bench -exp fig3 -quick
 //	optcc-bench -exp all -out results.txt
+//	optcc-bench -collective-bench -benchtime 1x -bench-out BENCH_collective.json
 package main
 
 import (
@@ -23,7 +26,18 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: all or one of "+fmt.Sprint(experiments.Names()))
 	quick := flag.Bool("quick", false, "use short training runs (smoke test)")
 	out := flag.String("out", "", "also write results to this file")
+	collBench := flag.Bool("collective-bench", false, "run collective-runtime micro-benchmarks and write machine-readable results")
+	benchOut := flag.String("bench-out", "BENCH_collective.json", "output path for -collective-bench JSON")
+	benchtime := flag.String("benchtime", "1s", "per-benchmark measurement budget for -collective-bench (e.g. 1s, 100x, 1x)")
 	flag.Parse()
+
+	if *collBench {
+		if err := runCollectiveBenchmarks(os.Stdout, *benchOut, *benchtime); err != nil {
+			fmt.Fprintln(os.Stderr, "optcc-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := experiments.DefaultOptions()
 	if *quick {

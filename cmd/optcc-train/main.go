@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/experiments"
@@ -39,6 +40,7 @@ func main() {
 	seed := flag.Int64("seed", 7, "random seed")
 	stats := flag.Bool("stats", false, "collect Fig. 11 error/activation statistics")
 	parallel := flag.Bool("parallel", false, "run data-parallel groups on separate goroutines (bit-identical results)")
+	noCollective := flag.Bool("no-collective", false, "use the serial sync reductions instead of the collective runtime (bit-identical results, no traffic accounting)")
 	checkpoint := flag.String("checkpoint", "", "write final model weights to this file")
 	flag.Parse()
 
@@ -59,12 +61,14 @@ func main() {
 	cfg.Model.Seed = *seed
 	cfg.CollectStats = *stats
 	cfg.ParallelGroups = *parallel
+	cfg.DisableCollective = *noCollective
 
 	tr, err := train.New(cfg, corpus)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "optcc-train:", err)
 		os.Exit(1)
 	}
+	defer tr.Close()
 	fmt.Printf("config=%s  model: V=%d H=%d blocks=%d  PP=%d DP=%d  micro=%d×%d\n",
 		cfg.Opt.Name(), cfg.Model.Vocab, cfg.Model.Hidden, cfg.Model.Blocks,
 		cfg.Stages, cfg.DPGroups, cfg.MicroBatch, cfg.MicroBatches)
@@ -90,6 +94,13 @@ func main() {
 		eps, diff, cos := tr.Stats().Summary()
 		fmt.Printf("Fig. 11 conditions: |Avg ε|=%.5f  |Avg ΔY|=%.5f  |cos|=%.5f over %d sends\n",
 			eps, diff, cos, len(tr.Stats().EpsMean))
+	}
+	if st, ok := tr.CollectiveStats(); ok {
+		fmt.Println("executed collective traffic:")
+		for _, c := range collective.Classes() {
+			cs := st.For(c)
+			fmt.Printf("  %-4s %12d bytes  %9d messages  %7d steps\n", c, cs.Bytes, cs.Messages, cs.Steps)
+		}
 	}
 	if *checkpoint != "" {
 		f, err := os.Create(*checkpoint)

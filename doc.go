@@ -7,8 +7,11 @@
 // data, train) that reproduces every model-quality result, and a
 // calibrated discrete-event cluster simulator (internal/cluster, simnet,
 // pipeline, sim) that reproduces every timing result — plus the Optimus-CC
-// technique layer itself (internal/core, compress) and an experiment
-// harness (internal/experiments) that regenerates each table and figure.
+// technique layer itself (internal/core, compress), the rank-based
+// collective-communication runtime (internal/collective) that executes
+// and accounts the ring all-reduces the cost models only predict, and an
+// experiment harness (internal/experiments) that regenerates each table
+// and figure.
 //
 // See README.md for a guided tour (quickstart, package map, and the
 // pooled zero-allocation compression API) and CHANGES.md for the per-PR

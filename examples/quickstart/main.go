@@ -11,6 +11,8 @@ import (
 	"log"
 
 	"repro/internal/cluster"
+	"repro/internal/collective"
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/experiments"
@@ -31,12 +33,30 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer tr.Close()
 	fmt.Println("training the stand-in LM with CB+FE+SC ...")
 	tr.Train(300, func(it int, loss float64) {
 		if it%100 == 0 {
 			fmt.Printf("  iter %4d  loss %.4f  val PPL %.3f\n", it, loss, tr.ValidationPerplexity(300))
 		}
 	})
+
+	// The sync phases ran on the rank-based collective runtime
+	// (internal/collective): compare its executed embedding traffic with
+	// the §6 Eq. 16 prediction.
+	if st, ok := tr.CollectiveStats(); ok {
+		iters := float64(tr.Iteration())
+		d := cfg.DPGroups
+		embV := float64(int64(cfg.Model.Vocab*cfg.Model.Hidden) * compress.ElemBytes)
+		execFactor := float64(st.For(collective.ClassEmb).Bytes) / (iters * float64(2*d) * embV)
+		fmt.Printf("\nexecuted collective traffic (%.0f iterations):\n", iters)
+		for _, c := range collective.Classes() {
+			cs := st.For(c)
+			fmt.Printf("  %-4s %10d bytes  %8d messages  %6d steps\n", c, cs.Bytes, cs.Messages, cs.Steps)
+		}
+		fmt.Printf("  fused emb sync: executed %.3f·V per rank per iteration, Eq. 16 predicts %.3f·V\n",
+			execFactor, core.EmbSyncFusedVolumeFactor(d))
+	}
 
 	// 2. Simulated speedup of the same configuration on the paper's
 	// cluster (128 A100s, TP8/DP4/PP4).

@@ -1,0 +1,58 @@
+package collective
+
+import (
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/simnet"
+)
+
+// TestStepsMatchThakurModel pins the executable runtime and the analytic
+// simulator to the same Thakur ring schedule: for every rank count —
+// including the ranks=2 edge case, where a naive implementation is
+// tempted to do a single exchange — the steps the transport observed
+// must equal simnet.AllReduceSteps, and pricing the executed traffic
+// with Link.TimeForVolume must equal Link.AllReduceTime's prediction.
+func TestStepsMatchThakurModel(t *testing.T) {
+	link := simnet.Link{Name: "ib", BandwidthBps: 200e9, LatencySec: 5e-6}
+	const rows, cols = 8, 105 // 840 elements: divides evenly for every d below, so volumes match exactly
+	for d := 2; d <= 8; d++ {
+		rt := flatRuntime(t, d)
+		grp := rt.NewGroup(ClassDP, rt.Topology().DPGroup(0))
+		bufs := randBufs(d, rows, cols, int64(d))
+		grp.AllReduce(bufs, 1/float64(d))
+		st := rt.Stats().For(ClassDP)
+
+		if want := int64(simnet.AllReduceSteps(d)); st.Steps != want {
+			t.Fatalf("d=%d: runtime took %d steps, Thakur model says %d", d, st.Steps, want)
+		}
+		v := int64(rows*cols) * compress.ElemBytes
+		perRankBytes := st.Bytes / int64(d)
+		perRankSteps := int(st.Steps) // every rank participates in every step
+		executed := link.TimeForVolume(perRankBytes, perRankSteps)
+		predicted := link.AllReduceTime(v, d)
+		if executed != predicted {
+			t.Fatalf("d=%d: executed-traffic time %v != predicted %v", d, executed, predicted)
+		}
+	}
+}
+
+// TestRanks2EdgeCase spells the satellite fix out: 2 ranks means 2 steps
+// and per-rank volume V on both the analytic and the executed side.
+func TestRanks2EdgeCase(t *testing.T) {
+	if got := simnet.AllReduceSteps(2); got != 2 {
+		t.Fatalf("simnet says %d steps for 2 ranks, Thakur says 2", got)
+	}
+	rt := flatRuntime(t, 2)
+	grp := rt.NewGroup(ClassDP, []int{0, 1})
+	bufs := randBufs(2, 3, 4, 1)
+	grp.AllReduce(bufs, 0.5)
+	st := rt.Stats().For(ClassDP)
+	if st.Steps != 2 {
+		t.Fatalf("runtime took %d steps for 2 ranks, want 2", st.Steps)
+	}
+	v := int64(3*4) * compress.ElemBytes
+	if perRank := st.Bytes / 2; perRank != v {
+		t.Fatalf("per-rank volume %d, want V=%d (2V(D-1)/D at D=2)", perRank, v)
+	}
+}

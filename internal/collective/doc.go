@@ -1,0 +1,55 @@
+// Package collective is the rank-based collective-communication runtime
+// of the Optimus-CC reproduction. It gives the repo an *executable*
+// counterpart to the analytic cost models in internal/simnet and
+// internal/core: where simnet.Link.AllReduceTime predicts what a ring
+// all-reduce costs, this package actually runs one — goroutine-per-rank,
+// message-per-step — and the transport reports the bytes, messages, and
+// steps that really moved, so experiments can put predicted and executed
+// volume side by side (Eq. 15/16).
+//
+// The pieces:
+//
+//   - Topology maps flat ranks onto a DP×PP grid and derives the ring
+//     orderings of every communication group: the per-stage data-parallel
+//     groups, the per-replica pipeline groups, and the §6 fused embedding
+//     group (first- and last-stage ranks of every DP replica).
+//   - Transport moves step tokens between ranks and accounts traffic per
+//     link class (ClassDP, ClassPP, ClassEmb). MemTransport is the
+//     in-process implementation: one buffered channel per directed rank
+//     pair, atomic counters per class.
+//   - Runtime owns one long-lived worker goroutine per rank (so steady-
+//     state collectives spawn nothing and allocate nothing) plus the
+//     tensor.Pool that reduction scratch comes from. Close releases the
+//     workers.
+//   - Group is a set of ranks in ring order bound to a link class. Its
+//     collectives — AllReduce, AllReduceCompressed, Broadcast — follow the
+//     Thakur ring schedule: reduce-scatter + all-gather over chunk views
+//     (tensor.Matrix.SliceInto), 2(R−1) steps, per-rank volume
+//     2V·(R−1)/R. AllReduceCompressed runs a compress.Compressor with
+//     per-rank error feedback inside the collective (ring all-gather of
+//     the compressed payloads, then local reduction), which is exactly the
+//     semantics of per-group PowerSGD gradient averaging.
+//
+// # Determinism
+//
+// A textbook ring reduce-scatter accumulates each chunk in a rotated rank
+// order (chunk c starts at rank c), so different chunks reduce in
+// different orders and the result is only reproducible up to floating-
+// point reassociation. This runtime deliberately trades that artifact
+// away: the message schedule, step count, and per-link byte accounting
+// follow the ring exactly, but each chunk's owner applies the reduction
+// in flat rank order over the (shared-memory) source buffers. Every
+// collective is therefore bit-identical to the serial reference reduction
+// at any rank count — the property the trainer's equivalence tests pin at
+// tolerance zero — while the transport still observes genuine Thakur-ring
+// traffic. The happens-before edges that make the shared-memory reads
+// safe are carried by the step tokens themselves, which the race-enabled
+// tests exercise.
+//
+// # Concurrency contract
+//
+// Distinct Groups over disjoint rank sets may run collectives
+// concurrently (the trainer fans per-stage DP groups out this way).
+// A single Group runs one collective at a time, and two groups that share
+// a rank must not run concurrently — each rank has one worker.
+package collective

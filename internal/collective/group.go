@@ -1,0 +1,268 @@
+package collective
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/compress"
+	"repro/internal/tensor"
+)
+
+// Group is a set of ranks in ring order bound to a link class. All of its
+// collectives operate on one buffer per member rank (bufs[i] belongs to
+// ranks[i]) — the in-process stand-in for each rank's device memory.
+//
+// A Group runs one collective at a time; its op descriptor and per-member
+// view headers are reused across calls so the steady state allocates
+// nothing.
+type Group struct {
+	rt    *Runtime
+	class Class
+	ranks []int
+
+	// Reused op descriptor: written by the submitting goroutine, read by
+	// the rank workers after they receive their task (the channel receive
+	// is the happens-before edge).
+	kind    opKind
+	bufs    []*tensor.Matrix
+	efs     []*compress.ErrorFeedback
+	scale   float64
+	root    int
+	opBytes int64
+	offs    []int // chunk offsets, len(ranks)+1
+	recons  []*tensor.Matrix
+	viewA   []tensor.Matrix // per-member destination view headers
+	viewB   []tensor.Matrix // per-member source view headers
+	wg      sync.WaitGroup
+}
+
+type opKind int
+
+const (
+	opAllReduce opKind = iota
+	opAllReduceCompressed
+	opBroadcast
+)
+
+// Size returns the number of member ranks.
+func (g *Group) Size() int { return len(g.ranks) }
+
+// Ranks returns the member ranks in ring (and reduction) order.
+func (g *Group) Ranks() []int { return append([]int(nil), g.ranks...) }
+
+// Class returns the link class the group's traffic is accounted on.
+func (g *Group) Class() Class { return g.class }
+
+// AllReduce sets every buffer to scale·Σ bufs, element-wise: scale = 1/D
+// is the data-parallel average, scale = 1 the §6 embedding sum. The
+// schedule is the Thakur ring — reduce-scatter then all-gather over D
+// chunk views, 2(D−1) steps, per-rank volume 2V·(D−1)/D — and the
+// reduction applies in flat ring order, so the result is bit-identical to
+// the serial reference sum at any rank count (see the package comment).
+func (g *Group) AllReduce(bufs []*tensor.Matrix, scale float64) {
+	g.prep(opAllReduce, bufs, scale)
+	if len(g.ranks) == 1 {
+		if scale != 1 {
+			bufs[0].Scale(scale)
+		}
+		return
+	}
+	g.dispatch()
+	g.rt.tr.AddSteps(g.class, 2*(len(g.ranks)-1))
+}
+
+// AllReduceCompressed is the lossy variant: each rank compresses its own
+// buffer through its private error-feedback compressor (efs[i] belongs to
+// ranks[i]; residuals carry across calls, §2.3), the compressed payloads
+// ride a ring all-gather (D−1 steps, payload wire bytes accounted), and
+// every rank reduces the reconstructions in flat ring order into its
+// buffer. The result matches the serial per-group compress-then-average
+// semantics bit for bit.
+func (g *Group) AllReduceCompressed(bufs []*tensor.Matrix, efs []*compress.ErrorFeedback, scale float64) {
+	if len(efs) != len(g.ranks) {
+		panic(fmt.Sprintf("collective: %d compressors for %d ranks", len(efs), len(g.ranks)))
+	}
+	g.prep(opAllReduceCompressed, bufs, scale)
+	g.efs = efs
+	g.dispatch()
+	g.rt.tr.AddSteps(g.class, len(g.ranks)-1)
+}
+
+// Broadcast copies the root member's buffer into every other member's
+// buffer over a ring pipeline: D−1 messages of the full volume, D−1
+// steps. root indexes the member (position in ring order), not the global
+// rank.
+func (g *Group) Broadcast(bufs []*tensor.Matrix, root int) {
+	if root < 0 || root >= len(g.ranks) {
+		panic(fmt.Sprintf("collective: broadcast root %d outside group of %d", root, len(g.ranks)))
+	}
+	g.prep(opBroadcast, bufs, 1)
+	g.root = root
+	g.opBytes = bufs[0].SizeBytes(compress.ElemBytes)
+	if len(g.ranks) == 1 {
+		return
+	}
+	g.dispatch()
+	g.rt.tr.AddSteps(g.class, len(g.ranks)-1)
+}
+
+// prep validates the buffers and loads the shared op descriptor.
+func (g *Group) prep(kind opKind, bufs []*tensor.Matrix, scale float64) {
+	if len(bufs) != len(g.ranks) {
+		panic(fmt.Sprintf("collective: %d buffers for %d ranks", len(bufs), len(g.ranks)))
+	}
+	r0, c0 := bufs[0].Shape()
+	for _, b := range bufs[1:] {
+		if r, c := b.Shape(); r != r0 || c != c0 {
+			panic(fmt.Sprintf("collective: buffer shape %dx%d != %dx%d", r, c, r0, c0))
+		}
+	}
+	g.kind = kind
+	g.bufs = bufs
+	g.efs = nil
+	g.scale = scale
+	g.chunkOffsets(r0 * c0)
+}
+
+// chunkOffsets computes the balanced D-way partition of n elements:
+// chunk c covers [offs[c], offs[c+1]), sizes differing by at most one
+// element (odd sizes and n < D — empty chunks — are fine).
+func (g *Group) chunkOffsets(n int) {
+	d := len(g.ranks)
+	base, rem := n/d, n%d
+	off := 0
+	for c := 0; c < d; c++ {
+		g.offs[c] = off
+		off += base
+		if c < rem {
+			off++
+		}
+	}
+	g.offs[d] = off
+}
+
+// dispatch hands one task per member to the rank workers and waits.
+func (g *Group) dispatch() {
+	g.wg.Add(len(g.ranks))
+	for m, r := range g.ranks {
+		g.rt.work[r] <- task{g: g, member: m}
+	}
+	g.wg.Wait()
+}
+
+// exec runs member m's share of the current op (called on rank workers).
+func (g *Group) exec(m int) {
+	switch g.kind {
+	case opAllReduce:
+		g.runAllReduce(m)
+	case opAllReduceCompressed:
+		g.runAllReduceCompressed(m)
+	case opBroadcast:
+		g.runBroadcast(m)
+	}
+}
+
+// chunkBytes returns chunk c's wire size at the dense element width.
+func (g *Group) chunkBytes(c int) int64 {
+	return int64(g.offs[c+1]-g.offs[c]) * compress.ElemBytes
+}
+
+// mod returns x mod d for possibly-negative x.
+func mod(x, d int) int { return ((x % d) + d) % d }
+
+// runAllReduce executes member m's ring schedule. Step tokens carry both
+// the byte accounting and the happens-before edges that make the
+// shared-memory reads race-free; the race-enabled equivalence tests
+// execute exactly this path.
+func (g *Group) runAllReduce(m int) {
+	d := len(g.ranks)
+	tr, cls := g.rt.tr, g.class
+	self, right, left := g.ranks[m], g.ranks[mod(m+1, d)], g.ranks[mod(m-1, d)]
+
+	// Reduce-scatter rounds: at step t the ring forwards chunk (m−t).
+	for t := 0; t < d-1; t++ {
+		tr.Send(cls, self, right, Msg{Bytes: g.chunkBytes(mod(m-t, d))})
+		tr.Recv(cls, self, left)
+	}
+
+	// Deterministic reduction of the owned segment (chunk m+1), in flat
+	// ring order over every member's buffer. Writes stay inside this
+	// member's segment; reads of other buffers touch only that segment,
+	// which no other member writes before its all-gather token arrives.
+	seg := mod(m+1, d)
+	lo, hi := g.offs[seg], g.offs[seg+1]
+	if hi > lo {
+		sum := g.rt.pool.Get(1, hi-lo)
+		vb := &g.viewB[m]
+		for _, b := range g.bufs {
+			b.SliceInto(vb, lo, hi)
+			sum.Add(vb)
+		}
+		if g.scale != 1 {
+			sum.Scale(g.scale)
+		}
+		va := &g.viewA[m]
+		g.bufs[m].SliceInto(va, lo, hi)
+		va.CopyFrom(sum)
+		g.rt.pool.Put(sum)
+	}
+
+	// All-gather rounds: chunk (m+1−t) goes right, chunk (m−t) arrives
+	// from the left member's buffer and is copied into ours.
+	for t := 0; t < d-1; t++ {
+		tr.Send(cls, self, right, Msg{Bytes: g.chunkBytes(mod(m+1-t, d))})
+		tr.Recv(cls, self, left)
+		c := mod(m-t, d)
+		lo, hi := g.offs[c], g.offs[c+1]
+		if hi > lo {
+			va, vb := &g.viewA[m], &g.viewB[m]
+			g.bufs[m].SliceInto(va, lo, hi)
+			g.bufs[mod(m-1, d)].SliceInto(vb, lo, hi)
+			va.CopyFrom(vb)
+		}
+	}
+}
+
+// runAllReduceCompressed executes member m's compressed schedule:
+// compress locally, all-gather the payloads around the ring (each step
+// forwards the payload received on the previous one, so variable payload
+// sizes are accounted exactly), then reduce every rank's reconstruction
+// in flat ring order into this member's buffer.
+func (g *Group) runAllReduceCompressed(m int) {
+	d := len(g.ranks)
+	tr, cls := g.rt.tr, g.class
+	self, right, left := g.ranks[m], g.ranks[mod(m+1, d)], g.ranks[mod(m-1, d)]
+
+	pl, recon := g.efs[m].CompressWithFeedback(g.bufs[m])
+	g.recons[m] = recon
+	wire := pl.WireBytes()
+	for t := 0; t < d-1; t++ {
+		tr.Send(cls, self, right, Msg{Bytes: wire})
+		wire = tr.Recv(cls, self, left).Bytes
+	}
+
+	buf := g.bufs[m]
+	buf.Zero()
+	for _, r := range g.recons {
+		buf.Add(r)
+	}
+	if g.scale != 1 {
+		buf.Scale(g.scale)
+	}
+}
+
+// runBroadcast executes member m's share of the ring pipeline rooted at
+// member g.root.
+func (g *Group) runBroadcast(m int) {
+	d := len(g.ranks)
+	tr, cls := g.rt.tr, g.class
+	self, right, left := g.ranks[m], g.ranks[mod(m+1, d)], g.ranks[mod(m-1, d)]
+	rel := mod(m-g.root, d)
+	if rel > 0 {
+		tr.Recv(cls, self, left)
+		g.bufs[m].CopyFrom(g.bufs[mod(m-1, d)])
+	}
+	if rel < d-1 {
+		tr.Send(cls, self, right, Msg{Bytes: g.opBytes})
+	}
+}

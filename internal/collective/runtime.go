@@ -1,0 +1,112 @@
+package collective
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Runtime owns the per-rank worker goroutines that execute collectives
+// and the workspace pool their reduction scratch comes from. Workers are
+// created once and live until Close, so a steady-state collective spawns
+// no goroutines and performs no allocations — the property the
+// BenchmarkAllReduce* benchmarks pin at 0 allocs/op.
+type Runtime struct {
+	topo Topology
+	tr   Transport
+	pool *tensor.Pool
+
+	work      []chan task
+	closeOnce sync.Once
+}
+
+// task is one rank's share of a group collective.
+type task struct {
+	g      *Group
+	member int
+}
+
+// NewRuntime starts one worker per rank of topo. A nil transport gets an
+// in-process MemTransport sized to the topology; a nil pool gets a fresh
+// tensor.Pool (the trainer passes its own so all layers recycle the same
+// buffers). Call Close to release the workers.
+func NewRuntime(topo Topology, tr Transport, pool *tensor.Pool) *Runtime {
+	if tr == nil {
+		tr = NewMemTransport(topo.World())
+	}
+	if pool == nil {
+		pool = tensor.NewPool()
+	}
+	r := &Runtime{topo: topo, tr: tr, pool: pool, work: make([]chan task, topo.World())}
+	for i := range r.work {
+		r.work[i] = make(chan task, 2)
+		go r.worker(i)
+	}
+	return r
+}
+
+func (r *Runtime) worker(rank int) {
+	for tk := range r.work[rank] {
+		tk.g.exec(tk.member)
+		tk.g.wg.Done()
+	}
+}
+
+// Close stops every rank worker. Collectives must not be in flight or
+// issued afterwards. Idempotent.
+func (r *Runtime) Close() {
+	r.closeOnce.Do(func() {
+		for _, ch := range r.work {
+			close(ch)
+		}
+	})
+}
+
+// Topology returns the rank grid this runtime was built for.
+func (r *Runtime) Topology() Topology { return r.topo }
+
+// Transport returns the underlying transport (for traffic snapshots).
+func (r *Runtime) Transport() Transport { return r.tr }
+
+// Stats snapshots the transport's per-class traffic.
+func (r *Runtime) Stats() Stats { return r.tr.Stats() }
+
+// Pool returns the runtime's workspace pool.
+func (r *Runtime) Pool() *tensor.Pool { return r.pool }
+
+// AccountP2P accounts an in-process point-to-point transfer (see
+// Transport.AccountP2P).
+func (r *Runtime) AccountP2P(c Class, from, to int, bytes int64) {
+	r.tr.AccountP2P(c, from, to, bytes)
+}
+
+// NewGroup binds a set of ranks, in ring order, to a link class. The ring
+// order is also the deterministic reduction order. Ranks must be distinct
+// and inside the runtime's world. Groups over disjoint rank sets may run
+// collectives concurrently; groups sharing a rank must not.
+func (r *Runtime) NewGroup(class Class, ranks []int) *Group {
+	if len(ranks) == 0 {
+		panic("collective: empty group")
+	}
+	seen := make(map[int]bool, len(ranks))
+	for _, rk := range ranks {
+		if rk < 0 || rk >= r.topo.World() {
+			panic(fmt.Sprintf("collective: rank %d outside world %d", rk, r.topo.World()))
+		}
+		if seen[rk] {
+			panic(fmt.Sprintf("collective: duplicate rank %d in group", rk))
+		}
+		seen[rk] = true
+	}
+	d := len(ranks)
+	return &Group{
+		rt:     r,
+		class:  class,
+		ranks:  append([]int(nil), ranks...),
+		offs:   make([]int, d+1),
+		recons: make([]*tensor.Matrix, d),
+		viewA:  make([]tensor.Matrix, d),
+		viewB:  make([]tensor.Matrix, d),
+	}
+}

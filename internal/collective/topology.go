@@ -1,0 +1,88 @@
+package collective
+
+import "fmt"
+
+// Topology maps flat ranks onto a DP×PP grid. Rank layout is DP-major
+// (rank = dp·PP + pp), so the ranks of one data-parallel replica hold
+// consecutive pipeline stages — the Megatron-LM convention the paper's
+// cluster uses. A future tensor-parallel axis extends the same scheme.
+type Topology struct {
+	DP int // data-parallel group count
+	PP int // pipeline-parallel stage count
+}
+
+// NewTopology validates and returns a DP×PP topology.
+func NewTopology(dp, pp int) (Topology, error) {
+	if dp < 1 || pp < 1 {
+		return Topology{}, fmt.Errorf("collective: topology %d×%d has an empty axis", dp, pp)
+	}
+	return Topology{DP: dp, PP: pp}, nil
+}
+
+// World returns the total rank count DP·PP.
+func (t Topology) World() int { return t.DP * t.PP }
+
+// Rank returns the flat rank of grid coordinates (dp, pp).
+func (t Topology) Rank(dp, pp int) int {
+	if dp < 0 || dp >= t.DP || pp < 0 || pp >= t.PP {
+		panic(fmt.Sprintf("collective: coords (%d,%d) outside %d×%d topology", dp, pp, t.DP, t.PP))
+	}
+	return dp*t.PP + pp
+}
+
+// Coords returns the grid coordinates of a flat rank.
+func (t Topology) Coords(rank int) (dp, pp int) {
+	if rank < 0 || rank >= t.World() {
+		panic(fmt.Sprintf("collective: rank %d outside world %d", rank, t.World()))
+	}
+	return rank / t.PP, rank % t.PP
+}
+
+// DPGroup returns the data-parallel group of stage pp — the ranks holding
+// that stage across all replicas — in ring order (ascending dp). This
+// ordering is also the deterministic reduction order, matching the serial
+// reference average.
+func (t Topology) DPGroup(pp int) []int {
+	out := make([]int, t.DP)
+	for d := 0; d < t.DP; d++ {
+		out[d] = t.Rank(d, pp)
+	}
+	return out
+}
+
+// PPGroup returns the pipeline group of replica dp — its stage chain in
+// ring order (ascending pp).
+func (t Topology) PPGroup(dp int) []int {
+	out := make([]int, t.PP)
+	for p := 0; p < t.PP; p++ {
+		out[p] = t.Rank(dp, p)
+	}
+	return out
+}
+
+// EmbGroup returns the §6 fused embedding-synchronization group: the
+// first- and last-stage ranks of every DP replica, 2·DP ranks in
+// (replica-major, first-then-last) order. That order makes the fused
+// 2D-way all-reduce's deterministic reduction identical to the serial
+// fused sum Σ_d (first_d + last_d). With PP == 1 the two sides coincide
+// and the group degenerates to the plain DP group of stage 0.
+func (t Topology) EmbGroup() []int {
+	if t.PP == 1 {
+		return t.DPGroup(0)
+	}
+	last := t.PP - 1
+	out := make([]int, 0, 2*t.DP)
+	for d := 0; d < t.DP; d++ {
+		out = append(out, t.Rank(d, 0), t.Rank(d, last))
+	}
+	return out
+}
+
+// EmbPair returns replica dp's two-rank embedding group {first stage,
+// last stage}, the phase-2 sum of the §6 baseline (Fig. 7a).
+func (t Topology) EmbPair(dp int) []int {
+	return []int{t.Rank(dp, 0), t.Rank(dp, t.PP-1)}
+}
+
+// String renders the topology for logs and experiment tables.
+func (t Topology) String() string { return fmt.Sprintf("dp%d×pp%d", t.DP, t.PP) }

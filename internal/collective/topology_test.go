@@ -1,0 +1,79 @@
+package collective
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTopologyMapping(t *testing.T) {
+	topo, err := NewTopology(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.World() != 12 {
+		t.Fatalf("world %d", topo.World())
+	}
+	seen := make(map[int]bool)
+	for d := 0; d < 3; d++ {
+		for p := 0; p < 4; p++ {
+			r := topo.Rank(d, p)
+			if seen[r] {
+				t.Fatalf("rank %d assigned twice", r)
+			}
+			seen[r] = true
+			dd, pp := topo.Coords(r)
+			if dd != d || pp != p {
+				t.Fatalf("Coords(Rank(%d,%d)) = (%d,%d)", d, p, dd, pp)
+			}
+		}
+	}
+	// DP-major layout: one replica's stages are consecutive ranks.
+	if got := topo.PPGroup(1); !reflect.DeepEqual(got, []int{4, 5, 6, 7}) {
+		t.Fatalf("PPGroup(1) = %v", got)
+	}
+	if got := topo.DPGroup(2); !reflect.DeepEqual(got, []int{2, 6, 10}) {
+		t.Fatalf("DPGroup(2) = %v", got)
+	}
+}
+
+func TestTopologyEmbGroups(t *testing.T) {
+	topo, _ := NewTopology(2, 4)
+	// Fused §6 group: (replica, side) in the serial reduction order
+	// Σ_d (first_d + last_d).
+	if got := topo.EmbGroup(); !reflect.DeepEqual(got, []int{0, 3, 4, 7}) {
+		t.Fatalf("EmbGroup = %v", got)
+	}
+	if got := topo.EmbPair(1); !reflect.DeepEqual(got, []int{4, 7}) {
+		t.Fatalf("EmbPair(1) = %v", got)
+	}
+	// Single-stage pipelines share the table in place; the fused group
+	// degenerates to the stage-0 DP group.
+	topo1, _ := NewTopology(3, 1)
+	if got := topo1.EmbGroup(); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("PP=1 EmbGroup = %v", got)
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	if _, err := NewTopology(0, 4); err == nil {
+		t.Fatal("empty DP axis accepted")
+	}
+	if _, err := NewTopology(2, 0); err == nil {
+		t.Fatal("empty PP axis accepted")
+	}
+	topo, _ := NewTopology(2, 2)
+	for _, f := range []func(){
+		func() { topo.Rank(2, 0) },
+		func() { topo.Rank(0, -1) },
+		func() { topo.Coords(4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range coordinates accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,186 @@
+package collective
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Class is the link class a message travels on. The analytic cost models
+// split traffic the same way: data-parallel gradient averaging (Eq. 4),
+// inter-stage pipeline transfers (§5), and embedding synchronization
+// (Eq. 15/16).
+type Class int
+
+// Link classes.
+const (
+	ClassDP  Class = iota // data-parallel gradient all-reduce
+	ClassPP               // inter-stage (pipeline) point-to-point
+	ClassEmb              // embedding synchronization (§6)
+	numClasses
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassDP:
+		return "dp"
+	case ClassPP:
+		return "pp"
+	case ClassEmb:
+		return "emb"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Classes lists every link class (for iteration in reports).
+func Classes() []Class { return []Class{ClassDP, ClassPP, ClassEmb} }
+
+// Msg is one transport message: a step token announcing that a chunk of
+// the sender's buffer is final, sized as it would be on a wire. The data
+// itself stays in shared memory; the token carries the accounting and —
+// through the channel it travels on — the happens-before edge that makes
+// reading the sender's buffer safe.
+type Msg struct {
+	Bytes int64 // wire size this message represents
+}
+
+// Transport moves step tokens between ranks and accounts the traffic per
+// link class. Implementations must be safe for concurrent use by many
+// rank goroutines.
+type Transport interface {
+	// Send delivers a token from rank `from` to rank `to` on class c,
+	// accounting one message of m.Bytes. It must not block indefinitely
+	// when each destination's in-flight token count stays at ring depth
+	// (≤ 2 per directed pair).
+	Send(c Class, from, to int, m Msg)
+	// Recv blocks until the next token from rank `from` arrives at rank
+	// `to` on class c, and returns it.
+	Recv(c Class, to, from int) Msg
+	// AddSteps accounts n synchronized collective steps on class c (a
+	// step is one ring round in which every participant sends once).
+	AddSteps(c Class, n int)
+	// AccountP2P accounts a point-to-point transfer of bytes on class c
+	// without moving a token — used where the payload is handed off
+	// in-process but the traffic must still be measured (the trainer's
+	// inter-stage backward sends).
+	AccountP2P(c Class, from, to int, bytes int64)
+	// Stats snapshots cumulative per-class traffic.
+	Stats() Stats
+}
+
+// ClassStats is cumulative traffic on one link class.
+type ClassStats struct {
+	Bytes    int64 // payload bytes represented by all messages
+	Messages int64 // individual sends
+	Steps    int64 // synchronized collective steps
+}
+
+// Stats is a per-class traffic snapshot.
+type Stats [numClasses]ClassStats
+
+// For returns the stats of one class.
+func (s Stats) For(c Class) ClassStats { return s[c] }
+
+// Total returns traffic summed over every class.
+func (s Stats) Total() ClassStats {
+	var t ClassStats
+	for _, cs := range s {
+		t.Bytes += cs.Bytes
+		t.Messages += cs.Messages
+		t.Steps += cs.Steps
+	}
+	return t
+}
+
+// Sub returns s − o field-wise (for windowed measurements).
+func (s Stats) Sub(o Stats) Stats {
+	for c := range s {
+		s[c].Bytes -= o[c].Bytes
+		s[c].Messages -= o[c].Messages
+		s[c].Steps -= o[c].Steps
+	}
+	return s
+}
+
+// classCounters is the atomic backing of one class's stats.
+type classCounters struct {
+	bytes    atomic.Int64
+	messages atomic.Int64
+	steps    atomic.Int64
+}
+
+// MemTransport is the in-process Transport: one buffered channel per
+// directed rank pair per class, atomic traffic counters. The channel
+// buffer depth of 2 absorbs the one-step skew the ring schedule can
+// accumulate between neighbours without ever blocking the steady state.
+type MemTransport struct {
+	world    int
+	chans    [numClasses][]chan Msg
+	counters [numClasses]classCounters
+}
+
+// NewMemTransport returns a transport for ranks [0, world).
+func NewMemTransport(world int) *MemTransport {
+	if world < 1 {
+		panic(fmt.Sprintf("collective: transport world %d < 1", world))
+	}
+	t := &MemTransport{world: world}
+	for c := range t.chans {
+		pairs := make([]chan Msg, world*world)
+		for i := range pairs {
+			pairs[i] = make(chan Msg, 2)
+		}
+		t.chans[c] = pairs
+	}
+	return t
+}
+
+// World returns the rank count.
+func (t *MemTransport) World() int { return t.world }
+
+func (t *MemTransport) pair(c Class, from, to int) chan Msg {
+	if from < 0 || from >= t.world || to < 0 || to >= t.world {
+		panic(fmt.Sprintf("collective: rank pair (%d,%d) outside world %d", from, to, t.world))
+	}
+	return t.chans[c][from*t.world+to]
+}
+
+// Send implements Transport.
+func (t *MemTransport) Send(c Class, from, to int, m Msg) {
+	t.counters[c].bytes.Add(m.Bytes)
+	t.counters[c].messages.Add(1)
+	t.pair(c, from, to) <- m
+}
+
+// Recv implements Transport.
+func (t *MemTransport) Recv(c Class, to, from int) Msg {
+	return <-t.pair(c, from, to)
+}
+
+// AddSteps implements Transport.
+func (t *MemTransport) AddSteps(c Class, n int) {
+	t.counters[c].steps.Add(int64(n))
+}
+
+// AccountP2P implements Transport.
+func (t *MemTransport) AccountP2P(c Class, from, to int, bytes int64) {
+	t.pair(c, from, to) // bounds check only; the payload moved in-process
+	t.counters[c].bytes.Add(bytes)
+	t.counters[c].messages.Add(1)
+	t.counters[c].steps.Add(1)
+}
+
+// Stats implements Transport.
+func (t *MemTransport) Stats() Stats {
+	var s Stats
+	for c := range t.counters {
+		s[c] = ClassStats{
+			Bytes:    t.counters[c].bytes.Load(),
+			Messages: t.counters[c].messages.Load(),
+			Steps:    t.counters[c].steps.Load(),
+		}
+	}
+	return s
+}
+
+var _ Transport = (*MemTransport)(nil)

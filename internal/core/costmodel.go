@@ -2,6 +2,18 @@ package core
 
 // Analytic cost models from the paper.
 
+// AllReduceVolumeFactor returns the per-rank ring all-reduce volume as a
+// multiple of the payload V: 2(R−1)/R (Thakur et al.), the factor every
+// Eq. 15/16 term is built from. The collective runtime's transport
+// accounting is pinned to this exact value by tests.
+func AllReduceVolumeFactor(ranks int) float64 {
+	if ranks <= 1 {
+		return 0
+	}
+	r := float64(ranks)
+	return 2 * (r - 1) / r
+}
+
 // EmbSyncVolumeFactor returns the §6 Eq. 15 baseline embedding-sync cost
 // as a multiple of the embedding volume V: (3D−2)/D, the sum of a D-way
 // ring all-reduce (2(D−1)/D) and a 2-way all-reduce (1).

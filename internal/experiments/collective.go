@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/collective"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/simnet"
+	"repro/internal/tensor"
+)
+
+// CollectiveVolume validates the analytic communication models (Eq.
+// 15/16 and the 2V·(D−1)/D ring factor behind them) against the
+// *executed* collective runtime: for each configuration it runs the real
+// rank-based collective on real buffers, reads the transport's measured
+// per-rank bytes and steps, and puts them next to the model's
+// prediction. The last column prices the executed traffic over the
+// paper's inter-node link with simnet.Link.TimeForVolume, against
+// AllReduceTime's prediction — the predicted-vs-executed loop the ISSUE
+// closes.
+type CollectiveVolume struct {
+	t table
+}
+
+// Render implements Result.
+func (r *CollectiveVolume) Render() string { return r.t.Render() }
+
+// CollectiveVolumeExperiment runs the validation grid.
+func CollectiveVolumeExperiment(o Options) (*CollectiveVolume, error) {
+	const rows, cols = 32, 105 // 3360 elements: every D below partitions it evenly
+	link := simnet.Link{Name: "ib4", BandwidthBps: 4 * 200e9, LatencySec: 5e-6}
+	v := int64(rows*cols) * compress.ElemBytes
+
+	res := &CollectiveVolume{t: table{
+		title: "Collective runtime: predicted vs executed volume (V = dense payload)",
+		cols: []string{"op", "D", "pred·V", "exec·V", "steps(model)", "steps(exec)",
+			"t_pred(µs)", "t_exec(µs)"},
+	}}
+
+	fill := func(bufs []*tensor.Matrix, seed int64) {
+		for i, b := range bufs {
+			for j := range b.Data {
+				b.Data[j] = float64((seed+int64(i*31+j))%17) / 17
+			}
+		}
+	}
+	bufsOf := func(n int) []*tensor.Matrix {
+		out := make([]*tensor.Matrix, n)
+		for i := range out {
+			out[i] = tensor.New(rows, cols)
+		}
+		return out
+	}
+	record := func(op string, d int, predFactor float64, predSteps int,
+		cs collective.ClassStats, ranks int, tPred float64) {
+		execPerRank := float64(cs.Bytes) / float64(ranks)
+		tExec := link.TimeForVolume(cs.Bytes/int64(ranks), int(cs.Steps))
+		res.t.add(op, fmt.Sprint(d), f3(predFactor), f3(execPerRank/float64(v)),
+			fmt.Sprint(predSteps), fmt.Sprint(cs.Steps),
+			f2(tPred*1e6), f2(tExec*1e6))
+	}
+
+	for _, d := range []int{2, 4, 8} {
+		// D-way ring all-reduce (the DP gradient average).
+		topo, err := collective.NewTopology(d, 2)
+		if err != nil {
+			return nil, err
+		}
+		rt := collective.NewRuntime(topo, nil, nil)
+		grp := rt.NewGroup(collective.ClassDP, topo.DPGroup(0))
+		bufs := bufsOf(d)
+		fill(bufs, int64(d))
+		grp.AllReduce(bufs, 1/float64(d))
+		record("allreduce", d, core.AllReduceVolumeFactor(d), simnet.AllReduceSteps(d),
+			rt.Stats().For(collective.ClassDP), d, link.AllReduceTime(v, d))
+
+		// §6 fused embedding sync: one 2D-way all-reduce (Eq. 16).
+		fused := rt.NewGroup(collective.ClassEmb, topo.EmbGroup())
+		fBufs := bufsOf(2 * d)
+		fill(fBufs, 7)
+		fused.AllReduce(fBufs, 1/float64(d))
+		record("emb-fused", d, core.EmbSyncFusedVolumeFactor(d), simnet.AllReduceSteps(2*d),
+			rt.Stats().For(collective.ClassEmb), 2*d, link.EmbSyncFusedTime(v, d))
+		rt.Close()
+
+		// §6 baseline: per-side D-way averages + per-replica 2-way sums
+		// (Eq. 15). Fresh runtime so the emb class counts only this path.
+		rt2 := collective.NewRuntime(topo, nil, nil)
+		b0, bL := bufsOf(d), bufsOf(d)
+		fill(b0, 3)
+		fill(bL, 4)
+		phase0 := rt2.Stats().For(collective.ClassEmb)
+		rt2.NewGroup(collective.ClassEmb, topo.DPGroup(0)).AllReduce(b0, 1/float64(d))
+		rt2.NewGroup(collective.ClassEmb, topo.DPGroup(1)).AllReduce(bL, 1/float64(d))
+		phase1 := rt2.Stats().For(collective.ClassEmb)
+		for dd := 0; dd < d; dd++ {
+			pair := rt2.NewGroup(collective.ClassEmb, topo.EmbPair(dd))
+			pair.AllReduce([]*tensor.Matrix{b0[dd], bL[dd]}, 1)
+		}
+		phase2 := rt2.Stats().For(collective.ClassEmb)
+		// The transport aggregates steps over all groups; the model charges
+		// the critical path, where the 2 sides of phase 1 and the D pairs
+		// of phase 2 run concurrently on disjoint rank sets. Divide each
+		// measured phase by its parallel width — a regression in the
+		// runtime's step accounting shows up here as a pred/exec mismatch.
+		cs := phase2
+		cs.Steps = (phase1.Steps-phase0.Steps)/2 + (phase2.Steps-phase1.Steps)/int64(d)
+		record("emb-baseline", d, core.EmbSyncVolumeFactor(d),
+			simnet.AllReduceSteps(d)+simnet.AllReduceSteps(2), cs, 2*d,
+			link.EmbSyncBaselineTime(v, d))
+		rt2.Close()
+	}
+	res.t.notes = append(res.t.notes,
+		"exec·V is transport-measured per-rank bytes over V; it must equal pred·V exactly",
+		fmt.Sprintf("t_exec prices the executed traffic on %s via TimeForVolume; equality with t_pred closes the loop", link.Name),
+	)
+	return res, nil
+}

@@ -163,6 +163,9 @@ var Registry = map[string]Runner{
 	"fig16":    func(o Options) (Result, error) { return Fig16Scalability(o) },
 	"emb":      func(o Options) (Result, error) { return EmbCost(o) },
 	"epilogue": func(o Options) (Result, error) { return EpilogueOverlap(o) },
+	// Executable-runtime validation (beyond the paper's own artifacts):
+	// the collective runtime's measured traffic vs the Eq. 15/16 models.
+	"collective": func(o Options) (Result, error) { return CollectiveVolumeExperiment(o) },
 	// Ablations beyond the paper's own artifacts.
 	"ablate-lep":        AblateLEPGrid,
 	"ablate-warmstart":  AblateWarmStart,

@@ -15,6 +15,7 @@ func tinyOptions() Options {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig3", "table2", "fig9", "fig10", "table3", "table4",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "emb", "epilogue",
+		"collective",
 		"ablate-lep", "ablate-warmstart", "ablate-compressor", "ablate-schedules"}
 	for _, name := range want {
 		if Registry[name] == nil {
@@ -97,6 +98,36 @@ func TestScaledOpt(t *testing.T) {
 	b := ScaledOpt(core.Baseline())
 	if b.CompressBackprop || b.DPCompress() {
 		t.Fatal("baseline must stay uncompressed")
+	}
+}
+
+func TestCollectiveVolumeExperiment(t *testing.T) {
+	r, err := CollectiveVolumeExperiment(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	for _, s := range []string{"allreduce", "emb-fused", "emb-baseline"} {
+		if !strings.Contains(out, s) {
+			t.Fatalf("collective volume table missing %s:\n%s", s, out)
+		}
+	}
+	// Predicted and executed factors are rendered with the same formatter;
+	// any disagreement would produce distinct columns in some row. Spot-pin
+	// D=4 fused: (2·4−1)/4 = 1.750 must appear as both pred and exec.
+	if !strings.Contains(out, "1.750") {
+		t.Fatalf("missing Eq. 16 factor at D=4:\n%s", out)
+	}
+	for _, row := range r.t.rows {
+		if row[2] != row[3] {
+			t.Fatalf("%s D=%s: predicted factor %s != executed %s", row[0], row[1], row[2], row[3])
+		}
+		if row[4] != row[5] {
+			t.Fatalf("%s D=%s: predicted steps %s != executed %s", row[0], row[1], row[4], row[5])
+		}
+		if row[6] != row[7] {
+			t.Fatalf("%s D=%s: predicted time %s != executed-traffic time %s", row[0], row[1], row[6], row[7])
+		}
 	}
 }
 

@@ -22,17 +22,43 @@ func (l Link) TransferTime(bytes int64) float64 {
 	return l.LatencySec + float64(bytes*8)/l.BandwidthBps
 }
 
+// AllReduceSteps returns the latency-bearing step count of a ring
+// all-reduce across ranks participants: 2(R−1) (Thakur et al.) — R−1
+// reduce-scatter rounds plus R−1 all-gather rounds, including the R=2
+// edge case (2 steps, not 1: the two ranks still exchange a half each
+// way twice). The executable runtime in internal/collective follows the
+// same schedule; a cross-check test pins the two to each other.
+func AllReduceSteps(ranks int) int {
+	if ranks <= 1 {
+		return 0
+	}
+	return 2 * (ranks - 1)
+}
+
 // AllReduceTime returns the ring all-reduce time for volume bytes across
 // ranks participants: each rank sends/receives 2V·(R−1)/R bytes, in
-// 2(R−1) latency-bearing steps. This is exactly the cost model behind the
-// paper's Eq. 15/16.
+// AllReduceSteps latency-bearing steps. This is exactly the cost model
+// behind the paper's Eq. 15/16.
 func (l Link) AllReduceTime(bytes int64, ranks int) float64 {
 	if ranks <= 1 || bytes <= 0 {
 		return 0
 	}
 	r := float64(ranks)
 	vol := 2 * float64(bytes) * (r - 1) / r
-	return float64(2*(ranks-1))*l.LatencySec + vol*8/l.BandwidthBps
+	return float64(AllReduceSteps(ranks))*l.LatencySec + vol*8/l.BandwidthBps
+}
+
+// TimeForVolume prices an already-measured per-rank traffic profile —
+// bytes moved in steps latency-bearing rounds — over the link. This is
+// how the collective runtime's executed byte/step counts are fed back
+// into the analytic model: AllReduceTime predicts, TimeForVolume prices
+// what actually ran, and the two agree exactly when the runtime follows
+// the Thakur schedule.
+func (l Link) TimeForVolume(bytes int64, steps int) float64 {
+	if bytes <= 0 && steps <= 0 {
+		return 0
+	}
+	return float64(steps)*l.LatencySec + float64(bytes*8)/l.BandwidthBps
 }
 
 // EmbSyncBaselineTime returns the §6 baseline embedding cost C_Emb =

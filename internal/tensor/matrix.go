@@ -77,6 +77,29 @@ func (m *Matrix) Fill(v float64) {
 // Shape returns (rows, cols).
 func (m *Matrix) Shape() (int, int) { return m.Rows, m.Cols }
 
+// Slice returns a flat-range view of elements [lo, hi) as a 1×(hi−lo)
+// matrix sharing m's backing array (not a copy). Views are what the
+// collective runtime's reduce-scatter chunks are made of: writes through a
+// view are writes to m. A view must not be Put into a Pool — it does not
+// own its storage. Panics when the range is out of bounds.
+func (m *Matrix) Slice(lo, hi int) *Matrix {
+	v := &Matrix{}
+	m.SliceInto(v, lo, hi)
+	return v
+}
+
+// SliceInto repoints view at elements [lo, hi) of m without allocating,
+// for hot paths that reuse one view header across many chunks. The
+// previous contents of the header are irrelevant; its storage (if any) is
+// not touched. Panics when the range is out of bounds.
+func (m *Matrix) SliceInto(view *Matrix, lo, hi int) {
+	if lo < 0 || hi < lo || hi > len(m.Data) {
+		panic(fmt.Sprintf("tensor: Slice [%d,%d) outside matrix of %d elements", lo, hi, len(m.Data)))
+	}
+	view.Rows, view.Cols = 1, hi-lo
+	view.Data = m.Data[lo:hi:hi]
+}
+
 // NumElements returns Rows*Cols.
 func (m *Matrix) NumElements() int { return m.Rows * m.Cols }
 

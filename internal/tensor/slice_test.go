@@ -1,0 +1,88 @@
+package tensor
+
+import "testing"
+
+func TestSliceViewsShareStorage(t *testing.T) {
+	m := New(3, 4)
+	for i := range m.Data {
+		m.Data[i] = float64(i)
+	}
+	v := m.Slice(2, 7)
+	if v.Rows != 1 || v.Cols != 5 {
+		t.Fatalf("view shape %dx%d, want 1x5", v.Rows, v.Cols)
+	}
+	for j := 0; j < 5; j++ {
+		if v.Data[j] != float64(j+2) {
+			t.Fatalf("view[%d] = %v, want %v", j, v.Data[j], j+2)
+		}
+	}
+	// Writes through the view land in the parent.
+	v.Fill(-1)
+	for i := 2; i < 7; i++ {
+		if m.Data[i] != -1 {
+			t.Fatalf("parent element %d = %v, not written through view", i, m.Data[i])
+		}
+	}
+	// Writes to the parent are visible through the view.
+	m.Data[3] = 42
+	if v.Data[1] != 42 {
+		t.Fatal("parent write not visible through view")
+	}
+}
+
+func TestSliceEdgeRanges(t *testing.T) {
+	m := New(2, 3)
+	if v := m.Slice(0, 6); v.Cols != 6 {
+		t.Fatalf("full-range view has %d cols", v.Cols)
+	}
+	if v := m.Slice(4, 4); v.Cols != 0 {
+		t.Fatalf("empty view has %d cols", v.Cols)
+	}
+	if v := m.Slice(6, 6); v.Cols != 0 {
+		t.Fatalf("empty end view has %d cols", v.Cols)
+	}
+	// Empty views must be safe operands.
+	a, b := m.Slice(2, 2), m.Slice(5, 5)
+	a.Add(b)
+	a.Scale(3)
+}
+
+func TestSliceIntoReusesHeader(t *testing.T) {
+	m := New(4, 4)
+	var v Matrix
+	m.SliceInto(&v, 0, 8)
+	if v.Cols != 8 || &v.Data[0] != &m.Data[0] {
+		t.Fatal("SliceInto did not alias the parent")
+	}
+	m.SliceInto(&v, 8, 16)
+	if v.Cols != 8 || &v.Data[0] != &m.Data[8] {
+		t.Fatal("SliceInto did not repoint the header")
+	}
+	if n := testing.AllocsPerRun(100, func() { m.SliceInto(&v, 4, 12) }); n != 0 {
+		t.Fatalf("SliceInto allocates (%v allocs/op)", n)
+	}
+}
+
+func TestSliceCapIsClipped(t *testing.T) {
+	// A view must not be able to grow (via append-style misuse) into the
+	// parent's tail beyond hi; the three-index slice pins cap == len.
+	m := New(1, 8)
+	v := m.Slice(2, 5)
+	if cap(v.Data) != 3 {
+		t.Fatalf("view cap %d, want 3", cap(v.Data))
+	}
+}
+
+func TestSliceBounds(t *testing.T) {
+	m := New(2, 2)
+	for _, r := range [][2]int{{-1, 2}, {0, 5}, {3, 2}, {5, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Slice(%d,%d) did not panic", r[0], r[1])
+				}
+			}()
+			m.Slice(r[0], r[1])
+		}()
+	}
+}

@@ -1,0 +1,172 @@
+package train
+
+import (
+	"repro/internal/collective"
+	"repro/internal/compress"
+	"repro/internal/tensor"
+)
+
+// collectiveState wires the trainer onto the rank-based collective
+// runtime (internal/collective): a DP×PP topology over the replica grid,
+// one long-lived group per communication pattern, and the per-op buffer
+// and compressor lists cached up front so the steady-state sync path
+// allocates nothing.
+//
+// The runtime's deterministic ring collectives are bit-identical to the
+// serial reference reductions in comm.go, which stays as the
+// DisableCollective fallback and as the oracle for the equivalence tests.
+type collectiveState struct {
+	topo collective.Topology
+	rt   *collective.Runtime
+
+	// dp[s] is stage s's data-parallel group (ranks in replica order);
+	// dpBufs[s][gi][dd] is gradient gi's buffer on replica dd, and
+	// dpEFs[s][gi] its per-rank error-feedback compressors (nil unless
+	// stage s is selected for compression and the shape is compressible).
+	dp     []*collective.Group
+	dpBufs [][][]*tensor.Matrix
+	dpEFs  [][][]*compress.ErrorFeedback
+
+	// embFused is the §6 fused group — (first, last) of every replica in
+	// the serial reduction order; with a single stage it degenerates to
+	// the stage-0 DP group and embFusedBufs holds one buffer per replica.
+	embFused     *collective.Group
+	embFusedBufs []*tensor.Matrix
+	// embSide are the two D-way per-side groups of the baseline (Fig. 7a
+	// phase 1); embPairs the per-replica 2-way sum groups (phase 2).
+	embSide     [2]*collective.Group
+	embSideBufs [2][]*tensor.Matrix
+	embPairs    []*collective.Group
+	embPairBufs [][]*tensor.Matrix
+}
+
+// newCollectiveState builds the runtime and all groups for a trainer
+// whose replicas and gradient caches are already in place.
+func newCollectiveState(t *Trainer) *collectiveState {
+	cfg := t.cfg
+	topo, err := collective.NewTopology(cfg.DPGroups, cfg.Stages)
+	if err != nil {
+		panic(err) // unreachable: Config.Validate bounds both axes ≥ 1
+	}
+	cs := &collectiveState{
+		topo: topo,
+		rt:   collective.NewRuntime(topo, nil, t.pool),
+	}
+
+	// Per-stage DP groups with cached buffer/compressor lists.
+	cs.dp = make([]*collective.Group, cfg.Stages)
+	cs.dpBufs = make([][][]*tensor.Matrix, cfg.Stages)
+	cs.dpEFs = make([][][]*compress.ErrorFeedback, cfg.Stages)
+	for s := 0; s < cfg.Stages; s++ {
+		cs.dp[s] = cs.rt.NewGroup(collective.ClassDP, topo.DPGroup(s))
+		nGrads := len(t.grads[0][s])
+		cs.dpBufs[s] = make([][]*tensor.Matrix, nGrads)
+		cs.dpEFs[s] = make([][]*compress.ErrorFeedback, nGrads)
+		for gi := 0; gi < nGrads; gi++ {
+			bufs := make([]*tensor.Matrix, cfg.DPGroups)
+			for dd := 0; dd < cfg.DPGroups; dd++ {
+				bufs[dd] = t.grads[dd][s][gi]
+			}
+			cs.dpBufs[s][gi] = bufs
+			if t.compressedStages[s] && compressibleShape(bufs[0]) {
+				efs := make([]*compress.ErrorFeedback, cfg.DPGroups)
+				for dd := 0; dd < cfg.DPGroups; dd++ {
+					efs[dd] = t.dpEF(s, dd, gi) // same seeds as the serial path
+				}
+				cs.dpEFs[s][gi] = efs
+			}
+		}
+	}
+
+	// Embedding groups (§6). Only the path the (immutable) configuration
+	// will run is built: the fused 2D-way group — whose ring order
+	// matches the serial fused reduction Σ_d (first_d + last_d) — or the
+	// baseline's per-side and per-replica groups.
+	last := cfg.Stages - 1
+	if cfg.Stages == 1 || cfg.Opt.FuseEmbedding {
+		cs.embFused = cs.rt.NewGroup(collective.ClassEmb, topo.EmbGroup())
+		for dd := 0; dd < cfg.DPGroups; dd++ {
+			cs.embFusedBufs = append(cs.embFusedBufs, t.replicas[dd][0].EmbeddingGrad())
+			if cfg.Stages > 1 {
+				cs.embFusedBufs = append(cs.embFusedBufs, t.replicas[dd][last].EmbeddingGrad())
+			}
+		}
+	} else {
+		for side, stage := range [2]int{0, last} {
+			cs.embSide[side] = cs.rt.NewGroup(collective.ClassEmb, topo.DPGroup(stage))
+			bufs := make([]*tensor.Matrix, cfg.DPGroups)
+			for dd := 0; dd < cfg.DPGroups; dd++ {
+				bufs[dd] = t.replicas[dd][stage].EmbeddingGrad()
+			}
+			cs.embSideBufs[side] = bufs
+		}
+		for dd := 0; dd < cfg.DPGroups; dd++ {
+			cs.embPairs = append(cs.embPairs, cs.rt.NewGroup(collective.ClassEmb, topo.EmbPair(dd)))
+			cs.embPairBufs = append(cs.embPairBufs, []*tensor.Matrix{
+				t.replicas[dd][0].EmbeddingGrad(),
+				t.replicas[dd][last].EmbeddingGrad(),
+			})
+		}
+	}
+	return cs
+}
+
+// syncStage averages stage s's non-embedding gradients across the DP
+// groups on the runtime: a compressed ring all-reduce with per-rank
+// error feedback where selective stage compression applies, the exact
+// deterministic ring otherwise. Bit-identical to the serial syncStage.
+func (cs *collectiveState) syncStage(t *Trainer, s int, compressed bool) {
+	d := float64(t.cfg.DPGroups)
+	for gi, bufs := range cs.dpBufs[s] {
+		if t.embSkip[bufs[0]] {
+			continue
+		}
+		if efs := cs.dpEFs[s][gi]; compressed && efs != nil {
+			cs.dp[s].AllReduceCompressed(bufs, efs, 1/d)
+		} else {
+			cs.dp[s].AllReduce(bufs, 1/d)
+		}
+	}
+}
+
+// syncEmbedding runs the §6 phase on the runtime: the fused 2D-way
+// all-reduce (Fig. 7b, Eq. 16) or the baseline per-side averages plus
+// per-replica sums (Fig. 7a, Eq. 15). Traffic lands on ClassEmb.
+func (cs *collectiveState) syncEmbedding(t *Trainer) {
+	cfg := t.cfg
+	d := float64(cfg.DPGroups)
+	if cfg.Stages == 1 {
+		// The table is shared in place; only the DP average remains.
+		if cfg.DPGroups > 1 {
+			cs.embFused.AllReduce(cs.embFusedBufs, 1/d)
+		}
+		return
+	}
+	if cfg.Opt.FuseEmbedding {
+		// One 2D-way all-reduce: Σ over both sides and all replicas, /D.
+		cs.embFused.AllReduce(cs.embFusedBufs, 1/d)
+		return
+	}
+	// Phase 1: EMB DP — D-way average per side.
+	if cfg.DPGroups > 1 {
+		for side := range cs.embSide {
+			cs.embSide[side].AllReduce(cs.embSideBufs[side], 1/d)
+		}
+	}
+	// Phase 2: EMB Sync — 2-way sum between first and last stages.
+	for dd := range cs.embPairs {
+		cs.embPairs[dd].AllReduce(cs.embPairBufs[dd], 1)
+	}
+}
+
+// accountBackward books the inter-stage backward transfer of micro-batch
+// traffic from stage s to s−1 of replica d on the pipeline link class.
+// The payload itself is handed off in-process (runMicroBatch); only the
+// wire size is accounted, so experiments can report executed PP volume
+// under compressed backpropagation.
+func (cs *collectiveState) accountBackward(d, s int, bytes int64) {
+	cs.rt.AccountP2P(collective.ClassPP, cs.topo.Rank(d, s), cs.topo.Rank(d, s-1), bytes)
+}
+
+// Close releases the runtime's rank workers.
+func (cs *collectiveState) Close() { cs.rt.Close() }

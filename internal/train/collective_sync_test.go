@@ -1,0 +1,215 @@
+package train
+
+import (
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/data"
+)
+
+// trainPair runs the same configuration on the serial sync path and the
+// collective runtime and returns both trainers after iters iterations,
+// asserting the loss trajectories stayed exactly equal.
+func trainPair(t *testing.T, cfg Config, c *data.Corpus, iters int) (serial, coll *Trainer) {
+	t.Helper()
+	sCfg := cfg
+	sCfg.DisableCollective = true
+	cCfg := cfg
+	cCfg.DisableCollective = false
+
+	serial, err := New(sCfg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err = New(cCfg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coll.Close)
+	if coll.coll == nil {
+		t.Fatal("collective runtime not active on default config")
+	}
+	for i := 0; i < iters; i++ {
+		ls, lc := serial.TrainIteration(), coll.TrainIteration()
+		if ls != lc {
+			t.Fatalf("iteration %d: losses diverged (serial %v vs collective %v)", i, ls, lc)
+		}
+	}
+	return serial, coll
+}
+
+// assertSameWeights compares every parameter of every replica at
+// tolerance zero.
+func assertSameWeights(t *testing.T, a, b *Trainer, label string) {
+	t.Helper()
+	for dd := range a.replicas {
+		for s := range a.replicas[dd] {
+			pa, pb := a.replicas[dd][s].Params(), b.replicas[dd][s].Params()
+			for i := range pa {
+				if !pa[i].Equal(pb[i], 0) {
+					t.Fatalf("%s: replica %d stage %d param %d differs between serial and collective sync", label, dd, s, i)
+				}
+			}
+		}
+	}
+}
+
+// TestCollectiveBitIdenticalToSerial pins the acceptance criterion: the
+// exact and compressed collective paths reproduce the pre-PR serial sync
+// bit for bit, across baseline, fused-embedding, CB, and the full
+// Optimus-CC configuration, at 2- and 3-way data parallelism (3 ways
+// exercises >2-rank rings, where a textbook rotated-order ring would
+// already diverge in the last ulp).
+func TestCollectiveBitIdenticalToSerial(t *testing.T) {
+	c := testCorpus(t)
+	fe := core.Baseline()
+	fe.FuseEmbedding = true
+	full := core.CBFESC()
+	full.CBRank = 2
+	full.DPRank = 2
+	for name, opt := range map[string]core.Config{
+		"baseline": core.Baseline(),
+		"fe":       fe,
+		"cb":       scaledCB(),
+		"cbfesc":   full,
+	} {
+		for _, dp := range []int{2, 3} {
+			cfg := testConfig(opt)
+			cfg.DPGroups = dp
+			serial, coll := trainPair(t, cfg, c, 4)
+			assertSameWeights(t, serial, coll, name)
+		}
+	}
+}
+
+// TestCollectiveBitIdenticalOnQuickstartConfig runs the quickstart
+// configuration (DefaultConfig + the scaled full Optimus-CC opt) on both
+// paths at tolerance zero.
+func TestCollectiveBitIdenticalOnQuickstartConfig(t *testing.T) {
+	corpus, err := data.Generate(data.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MicroBatch = 32
+	opt := core.CBFESC()
+	opt.CBRank = 3 // experiments.ScaledOpt's mapping of the paper ranks
+	opt.DPRank = 4
+	cfg.Opt = opt
+	serial, coll := trainPair(t, cfg, corpus, 3)
+	assertSameWeights(t, serial, coll, "quickstart")
+}
+
+// TestCollectiveSingleStageAndSingleGroup covers the degenerate grids:
+// 1×N (pure DP) and N×1 (pure PP) must also match the serial path.
+func TestCollectiveSingleStageAndSingleGroup(t *testing.T) {
+	c := testCorpus(t)
+	oneStage := testConfig(core.Baseline())
+	oneStage.Stages = 1
+	serial, coll := trainPair(t, oneStage, c, 4)
+	assertSameWeights(t, serial, coll, "stages=1")
+
+	oneGroup := testConfig(scaledCB())
+	oneGroup.DPGroups = 1
+	serial, coll = trainPair(t, oneGroup, c, 4)
+	assertSameWeights(t, serial, coll, "dp=1")
+}
+
+// TestCollectiveEmbVolumeMatchesCostModel asserts the predicted-vs-
+// executed contract end to end through the trainer: embedding-sync
+// traffic measured by the transport equals the Eq. 15/16 factors times
+// the table volume, exactly.
+func TestCollectiveEmbVolumeMatchesCostModel(t *testing.T) {
+	c := testCorpus(t)
+	const iters = 3
+	run := func(fuse bool) int64 {
+		opt := core.Baseline()
+		opt.FuseEmbedding = fuse
+		tr, err := New(testConfig(opt), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		for i := 0; i < iters; i++ {
+			tr.TrainIteration()
+		}
+		st, ok := tr.CollectiveStats()
+		if !ok {
+			t.Fatal("no collective stats")
+		}
+		return st.For(collective.ClassEmb).Bytes
+	}
+	cfg := testConfig(core.Baseline())
+	d := cfg.DPGroups
+	emb := cfg.Model.Vocab * cfg.Model.Hidden
+	v := int64(emb) * compress.ElemBytes
+	ranks := int64(2 * d) // first- and last-stage ranks of every replica
+
+	fused := run(true)
+	if want := int64(core.EmbSyncFusedVolumeFactor(d)*float64(v)) * ranks * iters; fused != want {
+		t.Fatalf("fused emb traffic %d bytes, Eq. 16 says %d", fused, want)
+	}
+	baseline := run(false)
+	if want := int64(core.EmbSyncVolumeFactor(d)*float64(v)) * ranks * iters; baseline != want {
+		t.Fatalf("baseline emb traffic %d bytes, Eq. 15 says %d", baseline, want)
+	}
+	if fused >= baseline {
+		t.Fatal("fused embedding sync did not reduce executed volume")
+	}
+}
+
+// TestCollectivePPAccounting checks the pipeline-class accounting: the
+// uncompressed backward volume is exact, and compressed backpropagation
+// strictly reduces it.
+func TestCollectivePPAccounting(t *testing.T) {
+	c := testCorpus(t)
+	const iters = 2
+	run := func(opt core.Config) int64 {
+		tr, err := New(testConfig(opt), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		for i := 0; i < iters; i++ {
+			tr.TrainIteration()
+		}
+		st, _ := tr.CollectiveStats()
+		return st.For(collective.ClassPP).Bytes
+	}
+	cfg := testConfig(core.Baseline())
+	// One dense backward send per boundary per micro-batch per replica.
+	act := int64(cfg.MicroBatch*cfg.Model.Hidden) * compress.ElemBytes
+	transfers := int64(cfg.DPGroups * cfg.MicroBatches * (cfg.Stages - 1) * iters)
+	dense := run(core.Baseline())
+	if want := act * transfers; dense != want {
+		t.Fatalf("dense PP traffic %d bytes, want %d", dense, want)
+	}
+	if cb := run(scaledCB()); cb >= dense {
+		t.Fatalf("compressed backprop PP traffic %d not below dense %d", cb, dense)
+	}
+}
+
+// TestCollectiveSyncSteadyStateZeroAllocs pins the last acceptance
+// criterion at the trainer level: after warm-up, a full DP+embedding
+// sync pass over the collective runtime allocates nothing.
+func TestCollectiveSyncSteadyStateZeroAllocs(t *testing.T) {
+	opt := core.CBFESC()
+	opt.CBRank = 2
+	opt.DPRank = 2
+	cfg := testConfig(opt)
+	cfg.SyncWorkers = 1 // keep the fan-out goroutine spawns out of the count
+	tr, err := New(cfg, testCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.Train(3, nil) // warm every workspace, residual, and payload buffer
+	if n := testing.AllocsPerRun(10, func() {
+		tr.syncDataParallel()
+		tr.syncEmbedding()
+	}); n != 0 {
+		t.Fatalf("steady-state collective sync allocates (%v allocs/op)", n)
+	}
+}

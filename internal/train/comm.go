@@ -60,8 +60,14 @@ func (t *Trainer) syncWorkers() int {
 }
 
 // syncStage averages (optionally compressing) every non-embedding gradient
-// of stage s across the DP groups, in place.
+// of stage s across the DP groups, in place. On the collective runtime
+// this is a ring all-reduce per gradient; the serial reduction below is
+// the DisableCollective fallback and the bit-identity oracle.
 func (t *Trainer) syncStage(s int, compressed bool) {
+	if t.coll != nil {
+		t.coll.syncStage(t, s, compressed)
+		return
+	}
 	d := t.cfg.DPGroups
 	for gi := range t.grads[0][s] {
 		if t.embSkip[t.grads[0][s][gi]] || t.embSkip[t.grads[d-1][s][gi]] {
@@ -118,6 +124,10 @@ func (t *Trainer) dpEF(s, dd, gi int) *compress.ErrorFeedback {
 // mathematically identical — only the communication cost differs, which
 // tests assert. All scratch comes from the trainer's pool.
 func (t *Trainer) syncEmbedding() {
+	if t.coll != nil {
+		t.coll.syncEmbedding(t)
+		return
+	}
 	cfg := t.cfg
 	dN := float64(cfg.DPGroups)
 	if cfg.Stages == 1 {

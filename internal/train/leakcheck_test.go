@@ -1,0 +1,26 @@
+package train
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestDroppedTrainersReleaseWorkers(t *testing.T) {
+	c := testCorpus(t)
+	base := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		tr, err := New(testConfig(scaledCB()), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.TrainIteration()
+	}
+	for i := 0; i < 5; i++ {
+		runtime.GC()
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base+16 {
+		t.Fatalf("goroutines grew from %d to %d: dropped trainers kept their workers", base, n)
+	}
+}

@@ -24,8 +24,11 @@ func benchTrainer(b *testing.B, workers int) *Trainer {
 	if err != nil {
 		b.Fatal(err)
 	}
-	// One full iteration populates real gradients and warms every
-	// workspace, so the benchmark measures steady state.
+	// Two full iterations populate real gradients and warm every
+	// workspace — including the error-feedback input buffers that only
+	// exist once a residual is stored — so the benchmark measures steady
+	// state.
+	tr.TrainIteration()
 	tr.TrainIteration()
 	return tr
 }

@@ -24,8 +24,10 @@ package train
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 
+	"repro/internal/collective"
 	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/data"
@@ -60,7 +62,13 @@ type Config struct {
 	// synchronization out over independent stages (0 = GOMAXPROCS,
 	// 1 = serial). Results are bit-identical at any setting.
 	SyncWorkers int
-	Seed        int64
+	// DisableCollective routes gradient and embedding synchronization
+	// through the serial in-place reductions instead of the rank-based
+	// collective runtime (internal/collective). The runtime is the
+	// default; both paths are bit-identical (asserted by tests), but only
+	// the runtime executes and accounts real per-rank ring traffic.
+	DisableCollective bool
+	Seed              int64
 }
 
 // DefaultConfig returns the configuration used by the quality experiments:
@@ -126,6 +134,9 @@ type Trainer struct {
 	// compressedStages caches cfg.Opt.CompressedStages (selective stage
 	// compression, §7), which is pure in the config.
 	compressedStages []bool
+	// coll is the rank-based collective runtime backing the sync phases
+	// (nil when DisableCollective is set or the grid is a single rank).
+	coll *collectiveState
 
 	// cb[d][s] compresses the backward send from stage s to s−1 of group
 	// d (s ≥ 1). The ErrorFeedback residual IS lazy error propagation.
@@ -197,7 +208,34 @@ func New(cfg Config, corpus *data.Corpus) (*Trainer, error) {
 	if cfg.CollectStats {
 		t.stats = NewStats()
 	}
+	if !cfg.DisableCollective && (cfg.DPGroups > 1 || cfg.Stages > 1) {
+		t.coll = newCollectiveState(t)
+		// A trainer that is dropped without Close (the experiment harness
+		// creates dozens) must not pin its rank workers and pool forever:
+		// when the trainer becomes unreachable, release the runtime. The
+		// runtime never references the trainer, so the cleanup can fire;
+		// Close stays the deterministic path and is idempotent.
+		runtime.AddCleanup(t, func(rt *collective.Runtime) { rt.Close() }, t.coll.rt)
+	}
 	return t, nil
+}
+
+// Close releases the collective runtime's rank workers. Training must
+// not be in flight. Safe on any trainer; idempotent.
+func (t *Trainer) Close() {
+	if t.coll != nil {
+		t.coll.Close()
+	}
+}
+
+// CollectiveStats snapshots the collective runtime's per-class executed
+// traffic (bytes, messages, steps). ok is false when the trainer runs on
+// the serial sync path (DisableCollective, or a single-rank grid).
+func (t *Trainer) CollectiveStats() (s collective.Stats, ok bool) {
+	if t.coll == nil {
+		return collective.Stats{}, false
+	}
+	return t.coll.rt.Stats(), true
 }
 
 func (t *Trainer) newCBCompressor(seed int64) compress.Compressor {
@@ -355,17 +393,22 @@ func (t *Trainer) runMicroBatch(d, mi int, mb microBatch) float64 {
 func (t *Trainer) transferBackward(d, s, mi int, g, fwdAct *tensor.Matrix) (sent *tensor.Matrix, pooled bool) {
 	cfg := t.cfg
 	if !cfg.Opt.CompressBackprop {
+		t.accountBackward(d, s, g.SizeBytes(compress.ElemBytes))
 		return g, false
 	}
 	if cfg.Opt.EpilogueOnly && !t.sched.IsEpilogueBackward(s, mi) {
+		t.accountBackward(d, s, g.SizeBytes(compress.ElemBytes))
 		return g, false
 	}
 	ef := t.cb[d][s]
 	var recon *tensor.Matrix
 	if cfg.Opt.LazyErrorPropagation {
-		_, recon = ef.CompressWithFeedback(g)
+		var pl compress.Payload
+		pl, recon = ef.CompressWithFeedback(g)
+		t.accountBackward(d, s, pl.WireBytes())
 	} else {
 		pl := ef.Inner().Compress(g)
+		t.accountBackward(d, s, pl.WireBytes())
 		recon = t.pool.GetUninit(g.Rows, g.Cols) // DecompressInto writes every element
 		pooled = true
 		ef.Inner().DecompressInto(recon, pl)
@@ -374,4 +417,12 @@ func (t *Trainer) transferBackward(d, s, mi int, g, fwdAct *tensor.Matrix) (sent
 		t.stats.Record(g, recon, fwdAct)
 	}
 	return recon, pooled
+}
+
+// accountBackward books one inter-stage backward transfer on the
+// collective transport's pipeline class (no-op on the serial path).
+func (t *Trainer) accountBackward(d, s int, bytes int64) {
+	if t.coll != nil {
+		t.coll.accountBackward(d, s, bytes)
+	}
 }
