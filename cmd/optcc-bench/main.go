@@ -1,8 +1,9 @@
 // Command optcc-bench regenerates the paper's tables and figures. Each
 // experiment prints a text table; -exp all regenerates everything (the
 // content of EXPERIMENTS.md's measured sections). -collective-bench
-// instead micro-benchmarks the collective runtime and writes the
-// machine-readable perf trail (BENCH_collective.json) that CI archives.
+// instead micro-benchmarks the collective runtime, and -pipeline-bench
+// the 1F1B pipeline executor; both write the machine-readable perf
+// trails (BENCH_collective.json / BENCH_pipeline.json) that CI archives.
 //
 // Examples:
 //
@@ -10,6 +11,7 @@
 //	optcc-bench -exp fig3 -quick
 //	optcc-bench -exp all -out results.txt
 //	optcc-bench -collective-bench -benchtime 1x -bench-out BENCH_collective.json
+//	optcc-bench -pipeline-bench -benchtime 1x -bench-out BENCH_pipeline.json
 package main
 
 import (
@@ -27,15 +29,27 @@ func main() {
 	quick := flag.Bool("quick", false, "use short training runs (smoke test)")
 	out := flag.String("out", "", "also write results to this file")
 	collBench := flag.Bool("collective-bench", false, "run collective-runtime micro-benchmarks and write machine-readable results")
-	benchOut := flag.String("bench-out", "BENCH_collective.json", "output path for -collective-bench JSON")
-	benchtime := flag.String("benchtime", "1s", "per-benchmark measurement budget for -collective-bench (e.g. 1s, 100x, 1x)")
+	pipeBench := flag.Bool("pipeline-bench", false, "run 1F1B pipeline-executor benchmarks and write machine-readable results")
+	benchOut := flag.String("bench-out", "", "output path for benchmark JSON (default BENCH_collective.json / BENCH_pipeline.json)")
+	benchtime := flag.String("benchtime", "1s", "per-benchmark measurement budget for the bench modes (e.g. 1s, 100x, 1x)")
 	flag.Parse()
 
-	if *collBench {
-		if err := runCollectiveBenchmarks(os.Stdout, *benchOut, *benchtime); err != nil {
+	runBench := func(run func(io.Writer, string, string) error, defaultOut string) {
+		out := *benchOut
+		if out == "" {
+			out = defaultOut
+		}
+		if err := run(os.Stdout, out, *benchtime); err != nil {
 			fmt.Fprintln(os.Stderr, "optcc-bench:", err)
 			os.Exit(1)
 		}
+	}
+	if *collBench {
+		runBench(runCollectiveBenchmarks, "BENCH_collective.json")
+		return
+	}
+	if *pipeBench {
+		runBench(runPipelineBenchmarks, "BENCH_pipeline.json")
 		return
 	}
 

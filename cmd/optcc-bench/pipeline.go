@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/train"
+)
+
+// pipelineBenchResult is one row of BENCH_pipeline.json — the perf trail
+// of the 1F1B pipeline executor, archived by CI next to the collective
+// runtime's so the repo keeps a benchmark trajectory across PRs.
+type pipelineBenchResult struct {
+	Op          string  `json:"op"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  int64   `json:"bytes_op"`  // heap bytes allocated per iteration
+	AllocsPerOp int64   `json:"allocs_op"` // heap allocations per iteration
+	PPWireOp    int64   `json:"pp_wire_bytes_op"`
+	PPMsgsOp    int64   `json:"pp_msgs_op"`
+	PPStepsOp   int64   `json:"pp_steps_op"`
+}
+
+// runPipelineBenchmarks measures full training iterations on the 1F1B
+// pipeline executor and on the serial in-loop oracle, in exact and
+// compressed-backprop modes, and writes the results as JSON to outPath,
+// echoing a table to w. The pp columns are the transport-measured
+// inter-stage traffic per iteration (zero on the serial-sync-only rows
+// would indicate the accounting regression this PR fixed).
+func runPipelineBenchmarks(w io.Writer, outPath, benchtime string) error {
+	testing.Init()
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		return fmt.Errorf("benchtime %q: %w", benchtime, err)
+	}
+	corpus, err := data.Generate(data.DefaultConfig())
+	if err != nil {
+		return err
+	}
+
+	var results []pipelineBenchResult
+	measure := func(op string, cfg train.Config) error {
+		tr, err := train.New(cfg, corpus)
+		if err != nil {
+			return err
+		}
+		defer tr.Close()
+		tr.TrainIteration() // warm workspaces, residuals, transport queues
+		var before collective.Stats
+		if st, ok := tr.CollectiveStats(); ok {
+			before = st
+		}
+		var ops int64
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tr.TrainIteration()
+			}
+			ops += int64(b.N)
+		})
+		var pp collective.ClassStats
+		if st, ok := tr.CollectiveStats(); ok {
+			pp = st.Sub(before).For(collective.ClassPP)
+		}
+		results = append(results, pipelineBenchResult{
+			Op:          op,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			PPWireOp:    pp.Bytes / ops,
+			PPMsgsOp:    pp.Messages / ops,
+			PPStepsOp:   pp.Steps / ops,
+		})
+		return nil
+	}
+
+	cb := train.DefaultConfig()
+	cb.Opt = core.CB()
+	cb.Opt.CBRank = 3
+	for _, m := range []struct {
+		name string
+		grid [2]int // dp, pp
+		opt  train.Config
+	}{
+		{"1f1b/exact", [2]int{2, 4}, train.DefaultConfig()},
+		{"1f1b/exact", [2]int{4, 2}, train.DefaultConfig()},
+		{"1f1b/cb-r3", [2]int{2, 4}, cb},
+		{"serial/exact", [2]int{2, 4}, train.DefaultConfig()},
+		{"serial/cb-r3", [2]int{2, 4}, cb},
+	} {
+		cfg := m.opt
+		cfg.DPGroups = m.grid[0]
+		cfg.Stages = m.grid[1]
+		cfg.DisablePipeline = strings.HasPrefix(m.name, "serial/")
+		op := fmt.Sprintf("%s/dp%d-pp%d", m.name, m.grid[0], m.grid[1])
+		if err := measure(op, cfg); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(w, "### pipeline-bench (%d ops → %s)\n\n", len(results), outPath)
+	fmt.Fprintf(w, "%-24s %14s %12s %10s %14s %9s %9s\n",
+		"op", "ns/op", "B/op", "allocs/op", "pp wire B/op", "pp msg/op", "steps/op")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-24s %14.0f %12d %10d %14d %9d %9d\n",
+			r.Op, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.PPWireOp, r.PPMsgsOp, r.PPStepsOp)
+	}
+	blob, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(blob, '\n'), 0o644)
+}

@@ -41,7 +41,9 @@ func main() {
 	stats := flag.Bool("stats", false, "collect Fig. 11 error/activation statistics")
 	parallel := flag.Bool("parallel", false, "run data-parallel groups on separate goroutines (bit-identical results)")
 	noCollective := flag.Bool("no-collective", false, "use the serial sync reductions instead of the collective runtime (bit-identical results, no traffic accounting)")
-	checkpoint := flag.String("checkpoint", "", "write final model weights to this file")
+	noPipeline := flag.Bool("no-pipeline", false, "use the serial micro-batch loop instead of the 1F1B pipeline executor (bit-identical results)")
+	checkpoint := flag.String("checkpoint", "", "write the final training state (v2: weights, momentum, error-feedback residuals) to this file")
+	resume := flag.String("resume", "", "restore training state from this checkpoint before training (v2 resumes bit-identically)")
 	flag.Parse()
 
 	mk, ok := configs[strings.ToLower(*config)]
@@ -62,6 +64,7 @@ func main() {
 	cfg.CollectStats = *stats
 	cfg.ParallelGroups = *parallel
 	cfg.DisableCollective = *noCollective
+	cfg.DisablePipeline = *noPipeline
 
 	tr, err := train.New(cfg, corpus)
 	if err != nil {
@@ -69,6 +72,20 @@ func main() {
 		os.Exit(1)
 	}
 	defer tr.Close()
+	if *resume != "" {
+		f, err := os.Open(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "optcc-train:", err)
+			os.Exit(1)
+		}
+		err = tr.LoadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "optcc-train:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("resumed from %s at iteration %d\n", *resume, tr.Iteration())
+	}
 	fmt.Printf("config=%s  model: V=%d H=%d blocks=%d  PP=%d DP=%d  micro=%d×%d\n",
 		cfg.Opt.Name(), cfg.Model.Vocab, cfg.Model.Hidden, cfg.Model.Blocks,
 		cfg.Stages, cfg.DPGroups, cfg.MicroBatch, cfg.MicroBatches)

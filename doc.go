@@ -9,9 +9,19 @@
 // pipeline, sim) that reproduces every timing result — plus the Optimus-CC
 // technique layer itself (internal/core, compress), the rank-based
 // collective-communication runtime (internal/collective) that executes
-// and accounts the ring all-reduces the cost models only predict, and an
-// experiment harness (internal/experiments) that regenerates each table
-// and figure.
+// and accounts both the ring all-reduces and the point-to-point
+// inter-stage transfers (Send/Recv/SendCompressed) the cost models only
+// predict, and an experiment harness (internal/experiments) that
+// regenerates each table and figure.
+//
+// Training runs on an executable 1F1B pipeline by default: internal/train
+// drives internal/pipeline's schedule with one goroutine per (dp, stage)
+// rank, shipping forward activations and compressed backward
+// activation-gradients over the transport — bit-identical to the serial
+// oracle, with executed pp-class traffic equal to sim.PredictInterStage's
+// fwd+bwd model exactly. Checkpoints (v2) persist the full resume state:
+// weights, optimizer momentum, iteration/sampling position, and every
+// error-feedback residual and PowerSGD warm-start factor.
 //
 // See README.md for a guided tour (quickstart, package map, and the
 // pooled zero-allocation compression API) and CHANGES.md for the per-PR

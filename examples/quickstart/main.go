@@ -41,9 +41,12 @@ func main() {
 		}
 	})
 
-	// The sync phases ran on the rank-based collective runtime
-	// (internal/collective): compare its executed embedding traffic with
-	// the §6 Eq. 16 prediction.
+	// Everything communicated for real: the micro-batches ran on the
+	// 1F1B pipeline executor (activations and activation-gradients
+	// shipped rank-to-rank over the collective transport) and the sync
+	// phases on the ring collectives. Compare executed traffic with the
+	// analytic predictions — the §6 Eq. 16 embedding factor and the
+	// fwd+bwd inter-stage model.
 	if st, ok := tr.CollectiveStats(); ok {
 		iters := float64(tr.Iteration())
 		d := cfg.DPGroups
@@ -56,6 +59,17 @@ func main() {
 		}
 		fmt.Printf("  fused emb sync: executed %.3f·V per rank per iteration, Eq. 16 predicts %.3f·V\n",
 			execFactor, core.EmbSyncFusedVolumeFactor(d))
+
+		dense := int64(cfg.MicroBatch*cfg.Model.Hidden) * compress.ElemBytes
+		cmp := core.LowRankWireBytes(cfg.MicroBatch, cfg.Model.Hidden, cfg.Opt.CBRank, compress.ElemBytes)
+		pred, err := sim.PredictInterStage(cfg.Opt, cfg.Stages, cfg.MicroBatches, dense, cmp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pp := st.For(collective.ClassPP)
+		fmt.Printf("  1F1B executor: executed %d pp bytes in %d messages; fwd+bwd model predicts %d in %d\n",
+			pp.Bytes, pp.Messages,
+			pred.Bytes*int64(cfg.DPGroups)*int64(iters), pred.Messages*int64(cfg.DPGroups)*int64(iters))
 	}
 
 	// 2. Simulated speedup of the same configuration on the paper's

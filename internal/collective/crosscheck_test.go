@@ -37,6 +37,87 @@ func TestStepsMatchThakurModel(t *testing.T) {
 	}
 }
 
+// TestP2PMatchesInterStageModel pins the point-to-point primitives to
+// the analytic inter-stage model: driving one replica's 1F1B schedule —
+// one forward Send and one backward Send per boundary per micro-batch —
+// must put exactly simnet.InterStageMessages messages (each one
+// latency-bearing step) and the dense fwd+bwd volume on the pp class,
+// and pricing the executed traffic with TimeForVolume must equal pricing
+// the prediction. This is the wire-accounting contract the trainer's
+// executor (and the serial path's forward-send fix) build on.
+func TestP2PMatchesInterStageModel(t *testing.T) {
+	link := simnet.Link{Name: "ib", BandwidthBps: 200e9, LatencySec: 5e-6}
+	const rows, cols = 8, 16
+	for _, g := range []struct{ stages, micros int }{{2, 4}, {4, 4}, {4, 2}} {
+		topo, err := NewTopology(1, g.stages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := NewRuntime(topo, NewMemTransportDepth(topo.World(), g.micros), nil)
+		// Enact every transfer the 1F1B schedule induces — one forward
+		// send down and one backward send up per boundary per micro-batch
+		// — pairing each send with its receive (the queues are deep
+		// enough that the real executor's skew never blocks either).
+		for s := 0; s < g.stages-1; s++ {
+			for mi := 0; mi < g.micros; mi++ {
+				rt.Send(ClassPP, topo.Rank(0, s), topo.Rank(0, s+1), randBufs(1, rows, cols, int64(s))[0])
+				rt.Recv(ClassPP, topo.Rank(0, s+1), topo.Rank(0, s))
+				rt.Send(ClassPP, topo.Rank(0, s+1), topo.Rank(0, s), randBufs(1, rows, cols, int64(s+1))[0])
+				rt.Recv(ClassPP, topo.Rank(0, s), topo.Rank(0, s+1))
+			}
+		}
+		st := rt.Stats().For(ClassPP)
+		wantMsgs := int64(simnet.InterStageMessages(g.stages, g.micros))
+		if st.Messages != wantMsgs {
+			t.Fatalf("p=%d m=%d: executed %d pp messages, model says %d", g.stages, g.micros, st.Messages, wantMsgs)
+		}
+		if st.Steps != wantMsgs {
+			t.Fatalf("p=%d m=%d: executed %d pp steps, want one per message (%d)", g.stages, g.micros, st.Steps, wantMsgs)
+		}
+		dense := int64(rows*cols) * compress.ElemBytes
+		if want := wantMsgs * dense; st.Bytes != want {
+			t.Fatalf("p=%d m=%d: executed %d pp bytes, fwd+bwd dense model says %d", g.stages, g.micros, st.Bytes, want)
+		}
+		if exec, pred := link.TimeForVolume(st.Bytes, int(st.Steps)), link.TimeForVolume(wantMsgs*dense, int(wantMsgs)); exec != pred {
+			t.Fatalf("p=%d m=%d: executed-traffic time %v != predicted %v", g.stages, g.micros, exec, pred)
+		}
+		rt.Close()
+	}
+}
+
+// TestSendCompressedAccountsWireBytes pins the compressed point-to-point
+// path: only the payload's wire bytes travel (not the dense volume), the
+// receiver sees the sender's error-feedback reconstruction exactly, and
+// the shipped buffer is pool-borrowed.
+func TestSendCompressedAccountsWireBytes(t *testing.T) {
+	rt := flatRuntime(t, 2)
+	const rows, cols, rank = 8, 16, 2
+	ef := compress.NewErrorFeedback(compress.NewPowerSGD(rank, 1))
+	ef.SetPool(rt.Pool())
+	g := randBufs(1, rows, cols, 3)[0]
+
+	wire, recon := rt.SendCompressed(ClassPP, 0, 1, g, ef)
+	got, pooled := rt.Recv(ClassPP, 1, 0)
+	if !pooled {
+		t.Fatal("compressed payload not marked pooled")
+	}
+	if !got.Equal(recon, 0) {
+		t.Fatal("receiver's reconstruction differs from the sender's")
+	}
+	if wire >= g.SizeBytes(compress.ElemBytes) {
+		t.Fatalf("compressed wire bytes %d not below dense %d", wire, g.SizeBytes(compress.ElemBytes))
+	}
+	st := rt.Stats().For(ClassPP)
+	if st.Bytes != wire || st.Messages != 1 || st.Steps != 1 {
+		t.Fatalf("accounted %+v, want {Bytes:%d Messages:1 Steps:1}", st, wire)
+	}
+	// The low-rank payload is (rows+cols)·rank elements on the wire.
+	if want := int64(rows+cols) * rank * compress.ElemBytes; wire != want {
+		t.Fatalf("wire bytes %d, low-rank model says %d", wire, want)
+	}
+	rt.Pool().Put(got)
+}
+
 // TestRanks2EdgeCase spells the satellite fix out: 2 ranks means 2 steps
 // and per-rank volume V on both the analytic and the executed side.
 func TestRanks2EdgeCase(t *testing.T) {

@@ -29,6 +29,17 @@
 //     per-rank error feedback inside the collective (ring all-gather of
 //     the compressed payloads, then local reduction), which is exactly the
 //     semantics of per-group PowerSGD gradient averaging.
+//   - Point-to-point primitives (Runtime.Send, Recv, SendCompressed)
+//     execute the pipeline-parallel inter-stage transfers of §5: a tensor
+//     is handed to the neighbouring rank through a payload queue deep
+//     enough for the 1F1B schedule's worst-case skew (deadlock-free by
+//     construction), accounting its wire bytes, one message, and one
+//     latency-bearing step on ClassPP. SendCompressed runs the boundary's
+//     private error-feedback compressor — the residual is the paper's
+//     lazy error propagation (§5.1) — and ships the reconstruction while
+//     accounting only the payload bytes. internal/train's 1F1B executor
+//     is built on these; simnet.InterStageMessages and
+//     sim.PredictInterStage are their analytic twins.
 //
 // # Determinism
 //

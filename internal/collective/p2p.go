@@ -1,0 +1,48 @@
+package collective
+
+import (
+	"repro/internal/compress"
+	"repro/internal/tensor"
+)
+
+// Point-to-point primitives: the executable counterpart of the pipeline-
+// parallel inter-stage transfers (§5). A forward activation or backward
+// activation-gradient is shipped from one rank to its pipeline neighbour
+// over the transport's point-to-point queue, which both moves the tensor
+// (ownership transfers to the receiver) and accounts the wire traffic —
+// bytes, one message, one latency-bearing step — on the link class.
+
+// Send ships t from rank `from` to rank `to` on class c at dense wire
+// width. Ownership of t transfers to the receiver: the sender must not
+// mutate it afterwards (the channel handoff is the happens-before edge
+// that makes the receiver's reads race-free).
+func (r *Runtime) Send(c Class, from, to int, t *tensor.Matrix) {
+	r.tr.SendP2P(c, from, to, Msg{Bytes: t.SizeBytes(compress.ElemBytes), Payload: t})
+}
+
+// SendCompressed compresses t through ef — the per-boundary error-
+// feedback compressor whose residual is the paper's lazy error
+// propagation (§5.1) — and ships the dense reconstruction to the
+// receiver, accounting only the payload's wire bytes. The reconstruction
+// travels in a buffer borrowed from the runtime's pool; Recv reports it
+// as pooled and the receiver must Put it back once consumed. The second
+// return value is ef's own reconstruction scratch (valid until ef's next
+// same-shape compression), exposed so callers can record compression
+// statistics without recomputing it.
+func (r *Runtime) SendCompressed(c Class, from, to int, t *tensor.Matrix, ef *compress.ErrorFeedback) (wire int64, recon *tensor.Matrix) {
+	pl, recon := ef.CompressWithFeedback(t)
+	wire = pl.WireBytes()
+	ship := r.pool.GetUninit(recon.Rows, recon.Cols) // CopyFrom writes every element
+	ship.CopyFrom(recon)
+	r.tr.SendP2P(c, from, to, Msg{Bytes: wire, Payload: ship, Pooled: true})
+	return wire, recon
+}
+
+// Recv blocks until the next point-to-point tensor from rank `from`
+// arrives at rank `to` on class c. pooled reports that the tensor was
+// borrowed from the runtime's pool (a SendCompressed reconstruction) and
+// must be returned with Pool().Put once consumed.
+func (r *Runtime) Recv(c Class, to, from int) (m *tensor.Matrix, pooled bool) {
+	msg := r.tr.RecvP2P(c, to, from)
+	return msg.Payload, msg.Pooled
+}

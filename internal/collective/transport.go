@@ -3,6 +3,8 @@ package collective
 import (
 	"fmt"
 	"sync/atomic"
+
+	"repro/internal/tensor"
 )
 
 // Class is the link class a message travels on. The analytic cost models
@@ -35,13 +37,22 @@ func (c Class) String() string {
 // Classes lists every link class (for iteration in reports).
 func Classes() []Class { return []Class{ClassDP, ClassPP, ClassEmb} }
 
-// Msg is one transport message: a step token announcing that a chunk of
-// the sender's buffer is final, sized as it would be on a wire. The data
-// itself stays in shared memory; the token carries the accounting and —
-// through the channel it travels on — the happens-before edge that makes
-// reading the sender's buffer safe.
+// Msg is one transport message. On the ring collectives it is a step
+// token announcing that a chunk of the sender's buffer is final, sized as
+// it would be on a wire: the data itself stays in shared memory, and the
+// token carries the accounting and — through the channel it travels on —
+// the happens-before edge that makes reading the sender's buffer safe.
+// On point-to-point sends the message additionally hands the payload
+// tensor itself to the receiver.
 type Msg struct {
 	Bytes int64 // wire size this message represents
+	// Payload is the in-process tensor handed over on point-to-point
+	// sends (nil on ring step tokens, where data moves through shared
+	// buffers). Ownership transfers to the receiver.
+	Payload *tensor.Matrix
+	// Pooled marks a payload borrowed from the sender's workspace pool;
+	// the receiver must Put it back once it has been consumed.
+	Pooled bool
 }
 
 // Transport moves step tokens between ranks and accounts the traffic per
@@ -56,6 +67,16 @@ type Transport interface {
 	// Recv blocks until the next token from rank `from` arrives at rank
 	// `to` on class c, and returns it.
 	Recv(c Class, to, from int) Msg
+	// SendP2P delivers a payload-carrying point-to-point message from
+	// rank `from` to rank `to` on class c, accounting one message of
+	// m.Bytes and one latency-bearing step. Unlike the ring channels,
+	// the point-to-point queue must absorb the worst-case skew of a
+	// pipeline schedule (one message per micro-batch per direction per
+	// boundary), so a stage running ahead never blocks the schedule.
+	SendP2P(c Class, from, to int, m Msg)
+	// RecvP2P blocks until the next point-to-point message from rank
+	// `from` arrives at rank `to` on class c, and returns it.
+	RecvP2P(c Class, to, from int) Msg
 	// AddSteps accounts n synchronized collective steps on class c (a
 	// step is one ring round in which every participant sends once).
 	AddSteps(c Class, n int)
@@ -110,27 +131,54 @@ type classCounters struct {
 }
 
 // MemTransport is the in-process Transport: one buffered channel per
-// directed rank pair per class, atomic traffic counters. The channel
-// buffer depth of 2 absorbs the one-step skew the ring schedule can
-// accumulate between neighbours without ever blocking the steady state.
+// directed rank pair per class for ring step tokens, one more per pair
+// per class for point-to-point payloads, and atomic traffic counters.
+// The ring channel depth of 2 absorbs the one-step skew the ring
+// schedule can accumulate between neighbours without ever blocking the
+// steady state; the point-to-point depth is configurable because a
+// pipeline rank may legitimately run a whole schedule phase ahead of its
+// neighbour (bounded by one message per micro-batch per direction).
 type MemTransport struct {
 	world    int
 	chans    [numClasses][]chan Msg
+	p2p      [numClasses][]chan Msg
 	counters [numClasses]classCounters
 }
 
-// NewMemTransport returns a transport for ranks [0, world).
+// DefaultP2PDepth is the point-to-point queue depth of NewMemTransport,
+// enough for the 1F1B skew of typical micro-batch counts. Callers that
+// know their schedule (the trainer does) should size it explicitly with
+// NewMemTransportDepth.
+const DefaultP2PDepth = 16
+
+// NewMemTransport returns a transport for ranks [0, world) with the
+// default point-to-point queue depth.
 func NewMemTransport(world int) *MemTransport {
+	return NewMemTransportDepth(world, DefaultP2PDepth)
+}
+
+// NewMemTransportDepth returns a transport for ranks [0, world) whose
+// point-to-point queues hold up to p2pDepth in-flight messages per
+// directed pair. A depth of one message per micro-batch (the per-link
+// message count of one 1F1B iteration) makes sends non-blocking and the
+// executor trivially deadlock-free.
+func NewMemTransportDepth(world, p2pDepth int) *MemTransport {
 	if world < 1 {
 		panic(fmt.Sprintf("collective: transport world %d < 1", world))
+	}
+	if p2pDepth < 2 {
+		p2pDepth = 2
 	}
 	t := &MemTransport{world: world}
 	for c := range t.chans {
 		pairs := make([]chan Msg, world*world)
+		deep := make([]chan Msg, world*world)
 		for i := range pairs {
 			pairs[i] = make(chan Msg, 2)
+			deep[i] = make(chan Msg, p2pDepth)
 		}
 		t.chans[c] = pairs
+		t.p2p[c] = deep
 	}
 	return t
 }
@@ -138,11 +186,15 @@ func NewMemTransport(world int) *MemTransport {
 // World returns the rank count.
 func (t *MemTransport) World() int { return t.world }
 
-func (t *MemTransport) pair(c Class, from, to int) chan Msg {
+func (t *MemTransport) pairIdx(from, to int) int {
 	if from < 0 || from >= t.world || to < 0 || to >= t.world {
 		panic(fmt.Sprintf("collective: rank pair (%d,%d) outside world %d", from, to, t.world))
 	}
-	return t.chans[c][from*t.world+to]
+	return from*t.world + to
+}
+
+func (t *MemTransport) pair(c Class, from, to int) chan Msg {
+	return t.chans[c][t.pairIdx(from, to)]
 }
 
 // Send implements Transport.
@@ -155,6 +207,19 @@ func (t *MemTransport) Send(c Class, from, to int, m Msg) {
 // Recv implements Transport.
 func (t *MemTransport) Recv(c Class, to, from int) Msg {
 	return <-t.pair(c, from, to)
+}
+
+// SendP2P implements Transport.
+func (t *MemTransport) SendP2P(c Class, from, to int, m Msg) {
+	t.counters[c].bytes.Add(m.Bytes)
+	t.counters[c].messages.Add(1)
+	t.counters[c].steps.Add(1)
+	t.p2p[c][t.pairIdx(from, to)] <- m
+}
+
+// RecvP2P implements Transport.
+func (t *MemTransport) RecvP2P(c Class, to, from int) Msg {
+	return <-t.p2p[c][t.pairIdx(from, to)]
 }
 
 // AddSteps implements Transport.

@@ -237,6 +237,14 @@ func (s *shapeStates[T]) each(f func(T)) {
 	}
 }
 
+// eachKey visits every live state with its shape key (map order; callers
+// that need determinism — e.g. checkpoint serialization — sort).
+func (s *shapeStates[T]) eachKey(f func(key [2]int, v T)) {
+	for k, e := range s.entries {
+		f(k, e.val)
+	}
+}
+
 // size returns the number of live states.
 func (s *shapeStates[T]) size() int { return len(s.entries) }
 

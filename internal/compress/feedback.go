@@ -82,6 +82,29 @@ func (ef *ErrorFeedback) ResidualBytes() int64 {
 	return total
 }
 
+// EachResidual visits every stored residual (map order; checkpoint
+// serialization sorts by shape). The visited matrices are live state —
+// callers must not mutate them.
+func (ef *ErrorFeedback) EachResidual(f func(res *tensor.Matrix)) {
+	ef.states.each(func(st *efState) {
+		if st.residual != nil {
+			f(st.residual)
+		}
+	})
+}
+
+// SetResidual installs a copy of res as the stored residual for res's
+// shape, replacing any existing one. Checkpoint restore uses this to
+// resurrect lazy-error-propagation state so a resumed compressed run
+// continues exactly where the saved one stopped.
+func (ef *ErrorFeedback) SetResidual(res *tensor.Matrix) {
+	st := ef.state(res.Rows, res.Cols)
+	if st.residual == nil {
+		st.residual = poolOrShared(ef.pool).GetUninit(res.Rows, res.Cols)
+	}
+	st.residual.CopyFrom(res)
+}
+
 // Reset drops all stored residuals, recycling them through the pool (used
 // at iteration boundaries when a policy wants errors to die with the
 // mini-batch).

@@ -34,6 +34,7 @@ import (
 // paper does with private PowerSVD variables per stage boundary.
 type PowerSGD struct {
 	rank      int
+	seed      int64
 	rng       *rand.Rand
 	warmStart bool
 	// iterations is the number of power iterations per Compress call.
@@ -79,6 +80,7 @@ func NewPowerSGD(rank int, seed int64) *PowerSGD {
 	}
 	return &PowerSGD{
 		rank:       rank,
+		seed:       seed,
 		rng:        rand.New(rand.NewSource(seed)),
 		warmStart:  true,
 		iterations: 1,
@@ -107,6 +109,45 @@ func (c *PowerSGD) Rank() int { return c.rank }
 // WarmShapeCount returns the number of shapes with cached state (for the
 // eviction tests and Fig. 12-style memory accounting).
 func (c *PowerSGD) WarmShapeCount() int { return c.states.size() }
+
+// EachWarmQ visits every input shape's warm-start Q factor (map order;
+// checkpoint serialization sorts by shape). The visited matrices are
+// live state — callers must not mutate them.
+func (c *PowerSGD) EachWarmQ(f func(rows, cols int, q *tensor.Matrix)) {
+	c.states.eachKey(func(key [2]int, st *psState) {
+		if st.warmQ != nil {
+			f(key[0], key[1], st.warmQ)
+		}
+	})
+}
+
+// ResetWarm drops every shape's warm-start factor (recycled through the
+// pool) and rewinds the cold-start RNG to its construction seed, leaving
+// the instance exactly as freshly built: the next Compress of each shape
+// cold-starts from the same random sketch a new compressor would draw.
+// Checkpoint restore clears warm state this way before installing the
+// saved factors, so nothing from a pre-restore run — not even the RNG
+// position — survives.
+func (c *PowerSGD) ResetWarm() {
+	pool := poolOrShared(c.pool)
+	c.states.each(func(st *psState) {
+		pool.Put(st.warmQ)
+		st.warmQ = nil
+	})
+	c.rng = rand.New(rand.NewSource(c.seed))
+}
+
+// SetWarmQ installs a copy of q as the warm-start factor for a
+// rows×cols input, replacing any existing one. Checkpoint restore uses
+// this so a resumed run's power iterations continue from the saved run's
+// factorization instead of a cold random sketch.
+func (c *PowerSGD) SetWarmQ(rows, cols int, q *tensor.Matrix) {
+	st := c.state(rows, cols, c.effectiveRank(rows, cols))
+	if st.warmQ == nil || st.warmQ.Rows != q.Rows || st.warmQ.Cols != q.Cols {
+		st.warmQ = poolOrShared(c.pool).GetUninit(q.Rows, q.Cols)
+	}
+	st.warmQ.CopyFrom(q)
+}
 
 // Name implements Compressor.
 func (c *PowerSGD) Name() string { return fmt.Sprintf("powersgd(r=%d)", c.rank) }

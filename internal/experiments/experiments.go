@@ -164,8 +164,10 @@ var Registry = map[string]Runner{
 	"emb":      func(o Options) (Result, error) { return EmbCost(o) },
 	"epilogue": func(o Options) (Result, error) { return EpilogueOverlap(o) },
 	// Executable-runtime validation (beyond the paper's own artifacts):
-	// the collective runtime's measured traffic vs the Eq. 15/16 models.
+	// the collective runtime's measured traffic vs the Eq. 15/16 models,
+	// and the 1F1B pipeline executor's traffic vs the inter-stage model.
 	"collective": func(o Options) (Result, error) { return CollectiveVolumeExperiment(o) },
+	"pipeline":   func(o Options) (Result, error) { return PipelineVolumeExperiment(o) },
 	// Ablations beyond the paper's own artifacts.
 	"ablate-lep":        AblateLEPGrid,
 	"ablate-warmstart":  AblateWarmStart,

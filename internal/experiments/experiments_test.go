@@ -15,7 +15,7 @@ func tinyOptions() Options {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig3", "table2", "fig9", "fig10", "table3", "table4",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "emb", "epilogue",
-		"collective",
+		"collective", "pipeline",
 		"ablate-lep", "ablate-warmstart", "ablate-compressor", "ablate-schedules"}
 	for _, name := range want {
 		if Registry[name] == nil {
@@ -98,6 +98,23 @@ func TestScaledOpt(t *testing.T) {
 	b := ScaledOpt(core.Baseline())
 	if b.CompressBackprop || b.DPCompress() {
 		t.Fatal("baseline must stay uncompressed")
+	}
+}
+
+func TestPipelineVolumeExperiment(t *testing.T) {
+	r, err := PipelineVolumeExperiment(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	for _, s := range []string{"exact", "cb-epilogue", "dp2×pp4", "dp4×pp2"} {
+		if !strings.Contains(out, s) {
+			t.Fatalf("pipeline volume table missing %s:\n%s", s, out)
+		}
+	}
+	if r.Mismatches != 0 {
+		t.Fatalf("executed pp traffic diverged from the inter-stage prediction in %d rows:\n%s",
+			r.Mismatches, out)
 	}
 }
 

@@ -74,3 +74,24 @@ func (o *SGD) Step(params, grads []*tensor.Matrix) {
 		p.AddScaled(-o.LR, eff)
 	}
 }
+
+// Velocity returns p's momentum buffer, or nil before the first
+// momentum-bearing Step. The returned matrix is live optimizer state.
+func (o *SGD) Velocity(p *tensor.Matrix) *tensor.Matrix { return o.velocity[p] }
+
+// ResetVelocity drops every momentum buffer. Checkpoint restore clears
+// the optimizer before installing the saved buffers, so state the
+// checkpoint does not mention cannot leak into the restored run.
+func (o *SGD) ResetVelocity() { clear(o.velocity) }
+
+// SetVelocity installs a copy of v as p's momentum buffer. Checkpoint
+// restore uses this so a resumed run's updates continue from the saved
+// optimizer state instead of zero momentum.
+func (o *SGD) SetVelocity(p, v *tensor.Matrix) {
+	cur := o.velocity[p]
+	if cur == nil || cur.Rows != v.Rows || cur.Cols != v.Cols {
+		cur = tensor.New(v.Rows, v.Cols)
+		o.velocity[p] = cur
+	}
+	cur.CopyFrom(v)
+}

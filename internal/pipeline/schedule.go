@@ -150,6 +150,14 @@ func (s *Schedule) EpilogueBackwardCount(stage int) int {
 	return n
 }
 
+// MaxLinkBacklog returns an upper bound on the number of in-flight
+// messages any directed inter-stage link can accumulate while the
+// schedule executes: a boundary carries exactly one message per
+// micro-batch per direction, so a transport queue of this depth never
+// blocks a rank that runs ahead of its neighbour — the sizing the 1F1B
+// executor uses to make the pipeline trivially deadlock-free.
+func (s *Schedule) MaxLinkBacklog() int { return s.MicroBatch }
+
 // PeakInFlight returns the maximum number of micro-batches whose forward
 // has run but whose backward has not, for the given stage — the activation
 // memory high-water mark (1F1B's advantage over GPipe).

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/simnet"
+)
+
+// InterStageTraffic is the analytic prediction of one DP replica's
+// pipeline-parallel wire traffic for one training iteration: the number
+// of point-to-point messages (= latency-bearing steps) and the total
+// bytes across all stages−1 boundaries, forward and backward directions
+// both counted.
+//
+// denseBytes is the dense wire size of one boundary activation (and
+// activation-gradient — both are micro-batch×hidden). cmpBytes is the
+// compressed backward payload size, charged on exactly the micro-batches
+// compressed backpropagation selects: all of them, or only the 1F1B
+// epilogue drain when EpilogueOnly is set (§5.2) — the same
+// classification the executable trainer applies, so executed and
+// predicted volume must agree to the byte (pinned by cross-check tests
+// and the `pipeline` experiment).
+type InterStageTraffic struct {
+	Bytes    int64
+	Messages int64
+	Steps    int64
+}
+
+// PredictInterStage computes the per-replica prediction for a
+// stages-deep pipeline running micros micro-batches under cfg.
+func PredictInterStage(cfg core.Config, stages, micros int, denseBytes, cmpBytes int64) (InterStageTraffic, error) {
+	var tr InterStageTraffic
+	if stages <= 1 {
+		return tr, nil
+	}
+	sched, err := pipeline.OneFOneB(stages, micros)
+	if err != nil {
+		return tr, err
+	}
+	tr.Messages = int64(simnet.InterStageMessages(stages, micros))
+	tr.Steps = tr.Messages
+	// Forward activations are never compressed (§5).
+	tr.Bytes = int64(stages-1) * int64(micros) * denseBytes
+	for s := 1; s < stages; s++ {
+		for mi := 0; mi < micros; mi++ {
+			if cfg.CompressBackprop && (!cfg.EpilogueOnly || sched.IsEpilogueBackward(s, mi)) {
+				tr.Bytes += cmpBytes
+			} else {
+				tr.Bytes += denseBytes
+			}
+		}
+	}
+	return tr, nil
+}

@@ -35,6 +35,20 @@ func AllReduceSteps(ranks int) int {
 	return 2 * (ranks - 1)
 }
 
+// InterStageMessages returns the number of point-to-point messages one
+// pipeline replica puts on its inter-stage links in one 1F1B iteration,
+// both directions counted: each of the stages−1 boundaries carries one
+// forward activation and one backward activation-gradient per
+// micro-batch. Every message is one latency-bearing step, so this is
+// also the predicted pp-class step count; the executable pipeline
+// executor in internal/train is pinned to it by cross-check tests.
+func InterStageMessages(stages, microBatches int) int {
+	if stages <= 1 || microBatches < 1 {
+		return 0
+	}
+	return 2 * (stages - 1) * microBatches
+}
+
 // AllReduceTime returns the ring all-reduce time for volume bytes across
 // ranks participants: each rank sends/receives 2V·(R−1)/R bytes, in
 // AllReduceSteps latency-bearing steps. This is exactly the cost model

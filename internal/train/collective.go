@@ -48,9 +48,14 @@ func newCollectiveState(t *Trainer) *collectiveState {
 	if err != nil {
 		panic(err) // unreachable: Config.Validate bounds both axes ≥ 1
 	}
+	// The point-to-point queues are sized for the 1F1B schedule's
+	// worst-case skew (one message per micro-batch per link direction),
+	// so a pipeline rank running ahead never blocks and the executor is
+	// deadlock-free by construction.
+	tr := collective.NewMemTransportDepth(topo.World(), t.sched.MaxLinkBacklog())
 	cs := &collectiveState{
 		topo: topo,
-		rt:   collective.NewRuntime(topo, nil, t.pool),
+		rt:   collective.NewRuntime(topo, tr, t.pool),
 	}
 
 	// Per-stage DP groups with cached buffer/compressor lists.
@@ -166,6 +171,15 @@ func (cs *collectiveState) syncEmbedding(t *Trainer) {
 // under compressed backpropagation.
 func (cs *collectiveState) accountBackward(d, s int, bytes int64) {
 	cs.rt.AccountP2P(collective.ClassPP, cs.topo.Rank(d, s), cs.topo.Rank(d, s-1), bytes)
+}
+
+// accountForward books the inter-stage forward activation transfer from
+// stage s−1 to stage s of replica d on the pipeline link class. Only the
+// serial in-loop path needs this — the 1F1B executor's Send accounts its
+// own traffic — but both paths must agree to the byte, which the
+// cross-check tests pin.
+func (cs *collectiveState) accountForward(d, s int, bytes int64) {
+	cs.rt.AccountP2P(collective.ClassPP, cs.topo.Rank(d, s-1), cs.topo.Rank(d, s), bytes)
 }
 
 // Close releases the runtime's rank workers.

@@ -179,12 +179,14 @@ func TestCollectivePPAccounting(t *testing.T) {
 		return st.For(collective.ClassPP).Bytes
 	}
 	cfg := testConfig(core.Baseline())
-	// One dense backward send per boundary per micro-batch per replica.
+	// One dense forward AND one dense backward send per boundary per
+	// micro-batch per replica (forward activations used to go unbooked —
+	// the wire-accounting bug this PR fixes).
 	act := int64(cfg.MicroBatch*cfg.Model.Hidden) * compress.ElemBytes
-	transfers := int64(cfg.DPGroups * cfg.MicroBatches * (cfg.Stages - 1) * iters)
+	transfers := 2 * int64(cfg.DPGroups*cfg.MicroBatches*(cfg.Stages-1)*iters)
 	dense := run(core.Baseline())
 	if want := act * transfers; dense != want {
-		t.Fatalf("dense PP traffic %d bytes, want %d", dense, want)
+		t.Fatalf("dense PP traffic %d bytes, want %d (fwd+bwd)", dense, want)
 	}
 	if cb := run(scaledCB()); cb >= dense {
 		t.Fatalf("compressed backprop PP traffic %d not below dense %d", cb, dense)

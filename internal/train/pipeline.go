@@ -1,0 +1,157 @@
+package train
+
+import (
+	"sync"
+
+	"repro/internal/collective"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/tensor"
+)
+
+// The 1F1B pipeline executor: one goroutine per (dp group, stage) rank,
+// each running its stage's schedule ops in order and shipping forward
+// activations and backward activation-gradients to its pipeline
+// neighbours over the collective runtime's point-to-point transport —
+// the executable counterpart of the serial in-loop path in runSerial.
+//
+// Bit-identity with the serial oracle holds by construction:
+//
+//   - per-stage gradient accumulation follows the schedule's backward
+//     order, which OneFOneB guarantees is micro-batch order — exactly
+//     the serial loop's order;
+//   - each boundary's error-feedback compressor cb[d][s] is driven by
+//     its sending rank alone, in that same micro-batch order, so the
+//     lazy-error-propagation residual sequence is unchanged (§5.1);
+//   - per-group losses accumulate on the last stage in forward
+//     (micro-batch) order.
+//
+// The transport's point-to-point queues hold one message per micro-batch
+// per link direction (Schedule.MaxLinkBacklog), so sends never block and
+// the executor cannot deadlock; Recv ordering per link is FIFO, which
+// matches the schedule because forwards and backwards each occur in
+// micro-batch order on every stage.
+
+// runPipelined executes one iteration's pre-sampled micro-batches on the
+// pipeline executor, accumulating per-group losses into losses (written
+// only by each group's last-stage rank).
+func (t *Trainer) runPipelined(batches [][]microBatch, losses []float64) {
+	cfg := t.cfg
+	var wg sync.WaitGroup
+	for d := 0; d < cfg.DPGroups; d++ {
+		for s := 0; s < cfg.Stages; s++ {
+			wg.Add(1)
+			go func(d, s int) {
+				defer wg.Done()
+				t.runStageRank(d, s, batches[d], &losses[d])
+			}(d, s)
+		}
+	}
+	wg.Wait()
+}
+
+// runStageRank is rank (d, s)'s worker: zero the stage's gradient
+// accumulators, execute the stage's schedule ops in order, then average
+// the accumulated gradients over the micro-batches. Only rank (d, s)
+// touches stage s of replica d, so no locks are needed; the transport
+// handoffs provide the inter-rank happens-before edges.
+func (t *Trainer) runStageRank(d, s int, mbs []microBatch, loss *float64) {
+	cfg := t.cfg
+	st := t.replicas[d][s]
+	rt := t.coll.rt
+	topo := t.coll.topo
+	last := cfg.Stages - 1
+	self := topo.Rank(d, s)
+	var up, down int
+	if s > 0 {
+		up = topo.Rank(d, s-1)
+	}
+	if s < last {
+		down = topo.Rank(d, s+1)
+	}
+
+	for _, g := range t.grads[d][s] {
+		g.Zero()
+	}
+
+	// dLogitsQ carries the last stage's loss gradients from each forward
+	// op to the matching backward op (FIFO: both run in micro order).
+	// fwdInQ retains the received forward activations on the boundary the
+	// Fig. 11 statistics observe, for Stats.Record at backward time.
+	var dLogitsQ, fwdInQ []*tensor.Matrix
+	trackFwd := t.stats != nil && d == 0 && s == 1
+
+	for _, op := range t.sched.PerStage[s] {
+		mi := op.Micro
+		if op.Kind == pipeline.Forward {
+			var h *tensor.Matrix
+			if s == 0 {
+				h = st.ForwardTokens(mbs[mi].contexts)
+			} else {
+				in, _ := rt.Recv(collective.ClassPP, self, up)
+				if trackFwd {
+					fwdInQ = append(fwdInQ, in)
+				}
+				h = st.ForwardHidden(in)
+			}
+			if s < last {
+				rt.Send(collective.ClassPP, self, down, h)
+			} else {
+				logits := st.Logits(h)
+				l, dLogits := model.CrossEntropy(logits, mbs[mi].targets)
+				*loss += l
+				dLogitsQ = append(dLogitsQ, dLogits)
+			}
+			continue
+		}
+
+		// Backward op.
+		var g *tensor.Matrix
+		if s == last {
+			g = st.BackwardLogits(dLogitsQ[0])
+			dLogitsQ = dLogitsQ[1:]
+		} else {
+			in, pooled := rt.Recv(collective.ClassPP, self, down)
+			g = st.BackwardHidden(in)
+			if pooled {
+				t.pool.Put(in)
+			}
+		}
+		if s == 0 {
+			continue // stage 0's BackwardHidden returned nil; nothing to ship
+		}
+		var fwdAct *tensor.Matrix
+		if trackFwd {
+			fwdAct = fwdInQ[0]
+			fwdInQ = fwdInQ[1:]
+		}
+		t.pipeSendBackward(d, s, mi, g, fwdAct)
+	}
+
+	inv := 1.0 / float64(cfg.MicroBatches)
+	for _, g := range t.grads[d][s] {
+		g.Scale(inv)
+	}
+}
+
+// pipeSendBackward ships the activation gradient g from stage s to s−1
+// of group d over the transport, compressing per the configuration —
+// the executable twin of transferBackward, sharing the same cb[d][s]
+// error-feedback state and the same epilogue classification, so the
+// compressed stream is bit-identical to the serial path's.
+func (t *Trainer) pipeSendBackward(d, s, mi int, g, fwdAct *tensor.Matrix) {
+	rt := t.coll.rt
+	topo := t.coll.topo
+	from, to := topo.Rank(d, s), topo.Rank(d, s-1)
+	if !t.shouldCompressBackward(s, mi) {
+		rt.Send(collective.ClassPP, from, to, g)
+		return
+	}
+	// CompressWithFeedback on a disabled ErrorFeedback (the non-LEP
+	// ablation) degenerates to plain compress+reconstruct, so one call
+	// covers both the LEP and non-LEP configurations bit for bit.
+	_, recon := rt.SendCompressed(collective.ClassPP, from, to, g, t.cb[d][s])
+	if t.stats != nil && d == 0 && s == 1 {
+		t.stats.Record(g, recon, fwdAct)
+	}
+}

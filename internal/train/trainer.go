@@ -16,9 +16,14 @@
 //     first and last stages are combined, either in two phases (baseline)
 //     or fused; the two are mathematically identical, which tests assert.
 //
-// Replicas execute sequentially in-process; because gradient averaging is
-// order-independent, the math is identical to a concurrent run, and runs
-// are bit-reproducible given a seed.
+// Micro-batches execute on the 1F1B pipeline executor by default: one
+// goroutine per (dp group, stage) rank drives the schedule's ops in
+// order, shipping forward activations and backward activation-gradients
+// over the collective runtime's point-to-point transport (pipeline.go).
+// The serial in-loop path remains as the DisablePipeline oracle; both are
+// bit-identical (per-stage gradient accumulation, per-boundary compressor
+// state, and per-group losses all follow micro-batch order on both
+// paths), so runs are bit-reproducible given a seed on either.
 package train
 
 import (
@@ -67,8 +72,19 @@ type Config struct {
 	// collective runtime (internal/collective). The runtime is the
 	// default; both paths are bit-identical (asserted by tests), but only
 	// the runtime executes and accounts real per-rank ring traffic.
+	// Disabling the collective also disables the pipeline executor (it
+	// needs the runtime's transport).
 	DisableCollective bool
-	Seed              int64
+	// DisablePipeline routes micro-batch execution through the serial
+	// per-micro-batch loop instead of the 1F1B pipeline executor (one
+	// goroutine per (dp group, stage) rank, inter-stage tensors shipped
+	// over the collective transport). The executor is the default on
+	// multi-stage grids; both paths are bit-identical (asserted by
+	// tests), but only the executor really moves activations and
+	// activation-gradients between ranks. When the executor runs,
+	// ParallelGroups is moot — every (group, stage) rank is concurrent.
+	DisablePipeline bool
+	Seed            int64
 }
 
 // DefaultConfig returns the configuration used by the quality experiments:
@@ -284,6 +300,41 @@ func (t *Trainer) TrainIteration() float64 {
 		}
 	}
 	losses := make([]float64, cfg.DPGroups)
+	if t.pipelineActive() {
+		t.runPipelined(batches, losses)
+	} else {
+		t.runSerial(batches, losses)
+	}
+	var lossSum float64
+	for _, l := range losses {
+		lossSum += l
+	}
+	t.syncDataParallel()
+	t.syncEmbedding()
+	if cfg.Schedule != nil {
+		t.opt.LR = cfg.Schedule.LR(t.iter)
+	}
+	for d := 0; d < cfg.DPGroups; d++ {
+		for s := range t.replicas[d] {
+			t.opt.Step(t.params[d][s], t.grads[d][s])
+		}
+	}
+	t.iter++
+	return lossSum / float64(cfg.DPGroups*cfg.MicroBatches)
+}
+
+// pipelineActive reports whether micro-batches execute on the 1F1B
+// pipeline executor (multi-stage grid, collective runtime available, not
+// opted out).
+func (t *Trainer) pipelineActive() bool {
+	return t.coll != nil && t.cfg.Stages > 1 && !t.cfg.DisablePipeline
+}
+
+// runSerial executes every group's micro-batches with the serial
+// in-loop path — the pre-executor oracle the pipeline executor is pinned
+// against bit for bit.
+func (t *Trainer) runSerial(batches [][]microBatch, losses []float64) {
+	cfg := t.cfg
 	runGroup := func(d int) {
 		for _, gs := range t.grads[d] {
 			for _, g := range gs {
@@ -317,22 +368,6 @@ func (t *Trainer) TrainIteration() float64 {
 			runGroup(d)
 		}
 	}
-	var lossSum float64
-	for _, l := range losses {
-		lossSum += l
-	}
-	t.syncDataParallel()
-	t.syncEmbedding()
-	if cfg.Schedule != nil {
-		t.opt.LR = cfg.Schedule.LR(t.iter)
-	}
-	for d := 0; d < cfg.DPGroups; d++ {
-		for s := range t.replicas[d] {
-			t.opt.Step(t.params[d][s], t.grads[d][s])
-		}
-	}
-	t.iter++
-	return lossSum / float64(cfg.DPGroups*cfg.MicroBatches)
 }
 
 // microBatch is one pre-sampled (contexts, targets) pair.
@@ -350,11 +385,15 @@ func (t *Trainer) runMicroBatch(d, mi int, mb microBatch) float64 {
 	contexts, targets := mb.contexts, mb.targets
 
 	// Forward wave (uncompressed: §5 notes compressing forward traffic
-	// breaks convergence).
+	// breaks convergence). Each boundary crossing is a real inter-stage
+	// transfer and is accounted on the pipeline link class just like the
+	// backward sends — the fwd+bwd sum is what the simnet prediction and
+	// the executable 1F1B executor both count.
 	acts := make([]*tensor.Matrix, cfg.Stages)
 	h := stages[0].ForwardTokens(contexts)
 	acts[0] = h
 	for s := 1; s < cfg.Stages; s++ {
+		t.accountForward(d, s, h.SizeBytes(compress.ElemBytes))
 		h = stages[s].ForwardHidden(h)
 		acts[s] = h
 	}
@@ -392,11 +431,7 @@ func (t *Trainer) runMicroBatch(d, mi int, mb microBatch) float64 {
 // not be returned to the pool.)
 func (t *Trainer) transferBackward(d, s, mi int, g, fwdAct *tensor.Matrix) (sent *tensor.Matrix, pooled bool) {
 	cfg := t.cfg
-	if !cfg.Opt.CompressBackprop {
-		t.accountBackward(d, s, g.SizeBytes(compress.ElemBytes))
-		return g, false
-	}
-	if cfg.Opt.EpilogueOnly && !t.sched.IsEpilogueBackward(s, mi) {
+	if !t.shouldCompressBackward(s, mi) {
 		t.accountBackward(d, s, g.SizeBytes(compress.ElemBytes))
 		return g, false
 	}
@@ -419,10 +454,31 @@ func (t *Trainer) transferBackward(d, s, mi int, g, fwdAct *tensor.Matrix) (sent
 	return recon, pooled
 }
 
+// shouldCompressBackward reports whether the backward send of micro-batch
+// mi from stage s is compressed under the configuration — every send
+// when CompressBackprop is on, only the 1F1B epilogue drain when
+// EpilogueOnly restricts it (§5.2). This is the single classification
+// both the serial path and the pipeline executor apply; their
+// bit-identity depends on sharing it.
+func (t *Trainer) shouldCompressBackward(s, mi int) bool {
+	return t.cfg.Opt.CompressBackprop &&
+		(!t.cfg.Opt.EpilogueOnly || t.sched.IsEpilogueBackward(s, mi))
+}
+
 // accountBackward books one inter-stage backward transfer on the
 // collective transport's pipeline class (no-op on the serial path).
 func (t *Trainer) accountBackward(d, s int, bytes int64) {
 	if t.coll != nil {
 		t.coll.accountBackward(d, s, bytes)
+	}
+}
+
+// accountForward books one inter-stage forward activation transfer —
+// stage s−1 to stage s — on the pipeline class (no-op on the serial
+// path). Forward traffic is never compressed (§5), so bytes is always
+// the dense activation size.
+func (t *Trainer) accountForward(d, s int, bytes int64) {
+	if t.coll != nil {
+		t.coll.accountForward(d, s, bytes)
 	}
 }
