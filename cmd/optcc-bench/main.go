@@ -2,8 +2,9 @@
 // experiment prints a text table; -exp all regenerates everything (the
 // content of EXPERIMENTS.md's measured sections). -collective-bench
 // instead micro-benchmarks the collective runtime, and -pipeline-bench
-// the 1F1B pipeline executor; both write the machine-readable perf
-// trails (BENCH_collective.json / BENCH_pipeline.json) that CI archives.
+// the 1F1B pipeline executor, and -plan-bench the compiled-plan API;
+// all write the machine-readable perf trails (BENCH_collective.json /
+// BENCH_pipeline.json / BENCH_plan.json) that CI archives.
 //
 // Examples:
 //
@@ -12,6 +13,7 @@
 //	optcc-bench -exp all -out results.txt
 //	optcc-bench -collective-bench -benchtime 1x -bench-out BENCH_collective.json
 //	optcc-bench -pipeline-bench -benchtime 1x -bench-out BENCH_pipeline.json
+//	optcc-bench -plan-bench -benchtime 1x -bench-out BENCH_plan.json
 package main
 
 import (
@@ -30,7 +32,8 @@ func main() {
 	out := flag.String("out", "", "also write results to this file")
 	collBench := flag.Bool("collective-bench", false, "run collective-runtime micro-benchmarks and write machine-readable results")
 	pipeBench := flag.Bool("pipeline-bench", false, "run 1F1B pipeline-executor benchmarks and write machine-readable results")
-	benchOut := flag.String("bench-out", "", "output path for benchmark JSON (default BENCH_collective.json / BENCH_pipeline.json)")
+	planBench := flag.Bool("plan-bench", false, "run plan-compile benchmarks (compile ns/op + allocs/op, steady-state exec allocs) and write machine-readable results")
+	benchOut := flag.String("bench-out", "", "output path for benchmark JSON (default BENCH_collective.json / BENCH_pipeline.json / BENCH_plan.json)")
 	benchtime := flag.String("benchtime", "1s", "per-benchmark measurement budget for the bench modes (e.g. 1s, 100x, 1x)")
 	flag.Parse()
 
@@ -50,6 +53,10 @@ func main() {
 	}
 	if *pipeBench {
 		runBench(runPipelineBenchmarks, "BENCH_pipeline.json")
+		return
+	}
+	if *planBench {
+		runBench(runPlanBenchmarks, "BENCH_plan.json")
 		return
 	}
 

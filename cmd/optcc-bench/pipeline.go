@@ -99,7 +99,9 @@ func runPipelineBenchmarks(w io.Writer, outPath, benchtime string) error {
 		cfg := m.opt
 		cfg.DPGroups = m.grid[0]
 		cfg.Stages = m.grid[1]
-		cfg.DisablePipeline = strings.HasPrefix(m.name, "serial/")
+		if strings.HasPrefix(m.name, "serial/") {
+			cfg.Engine = train.EngineSerial
+		}
 		op := fmt.Sprintf("%s/dp%d-pp%d", m.name, m.grid[0], m.grid[1])
 		if err := measure(op, cfg); err != nil {
 			return err

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/tensor"
+)
+
+// planBenchResult is one row of BENCH_plan.json — the perf trail of the
+// compiled-plan API, archived by CI next to the collective and pipeline
+// artifacts. Compile rows must stay cheap (it is a one-time cost per
+// trainer/scenario); the exec rows pin the other side of the contract:
+// steady-state execution through registry-built compressors allocates
+// nothing.
+type planBenchResult struct {
+	Op          string  `json:"op"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  int64   `json:"bytes_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+}
+
+// runPlanBenchmarks measures plan.Compile across the Table-2
+// configurations and grids, plus steady-state compress+decompress
+// through registry-built compressors, and writes the results as JSON to
+// outPath, echoing a table to w.
+func runPlanBenchmarks(w io.Writer, outPath, benchtime string) error {
+	testing.Init()
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		return fmt.Errorf("benchtime %q: %w", benchtime, err)
+	}
+
+	var results []planBenchResult
+	measure := func(op string, f func(b *testing.B)) {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			f(b)
+		})
+		results = append(results, planBenchResult{
+			Op:          op,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+
+	configs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"baseline", core.Baseline()},
+		{"cb", core.CB()},
+		{"cbfe", core.CBFE()},
+		{"cbfesc", core.CBFESC()},
+	}
+	grids := []plan.Grid{
+		{Stages: 4, DPGroups: 2, MicroBatches: 4, BoundaryRows: 32, BoundaryCols: 48},
+		{Stages: 8, DPGroups: 8, MicroBatches: 16, BoundaryRows: 64, BoundaryCols: 512},
+	}
+	for _, c := range configs {
+		for _, g := range grids {
+			cfg, g := c.cfg, g
+			op := fmt.Sprintf("compile/%s/dp%d-pp%d-m%d", c.name, g.DPGroups, g.Stages, g.MicroBatches)
+			measure(op, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := plan.Compile(cfg, g); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+
+	// Steady-state execution through registry-built compressors: after
+	// the first warm-up call, compress+decompress must be 0 allocs/op.
+	probe := tensor.New(64, 512)
+	for i := range probe.Data {
+		probe.Data[i] = float64(i%23)/23 - 0.5
+	}
+	for _, spec := range []compress.Spec{
+		{Name: "powersgd", Rank: 16, Seed: 7},
+		{Name: "terngrad", Seed: 7},
+	} {
+		c, err := compress.Build(spec)
+		if err != nil {
+			return err
+		}
+		dst := tensor.New(probe.Rows, probe.Cols)
+		c.DecompressInto(dst, c.Compress(probe)) // warm the workspaces
+		measure("exec/"+spec.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.DecompressInto(dst, c.Compress(probe))
+			}
+		})
+	}
+
+	fmt.Fprintf(w, "### plan-bench (%d ops → %s)\n\n", len(results), outPath)
+	fmt.Fprintf(w, "%-32s %14s %12s %10s\n", "op", "ns/op", "B/op", "allocs/op")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-32s %14.0f %12d %10d\n", r.Op, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	blob, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(blob, '\n'), 0o644)
+}

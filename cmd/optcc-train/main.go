@@ -40,8 +40,12 @@ func main() {
 	seed := flag.Int64("seed", 7, "random seed")
 	stats := flag.Bool("stats", false, "collect Fig. 11 error/activation statistics")
 	parallel := flag.Bool("parallel", false, "run data-parallel groups on separate goroutines (bit-identical results)")
-	noCollective := flag.Bool("no-collective", false, "use the serial sync reductions instead of the collective runtime (bit-identical results, no traffic accounting)")
-	noPipeline := flag.Bool("no-pipeline", false, "use the serial micro-batch loop instead of the 1F1B pipeline executor (bit-identical results)")
+	engine := flag.String("engine", "auto", "execution engine: auto, pipelined, serial (collective sync, serial micro-batch loop), reference (fully serial oracle)")
+	cbAlg := flag.String("cb-alg", "", "override the inter-stage compressor family by registry name (powersgd, topk, randomk, terngrad, ...)")
+	dpAlg := flag.String("dp-alg", "", "override the DP-sync compressor family by registry name (powersgd, terngrad, ...)")
+	printPlan := flag.Bool("print-plan", false, "print the compiled communication/compression plan before training")
+	noCollective := flag.Bool("no-collective", false, "deprecated: alias for -engine reference")
+	noPipeline := flag.Bool("no-pipeline", false, "deprecated: alias for -engine serial")
 	checkpoint := flag.String("checkpoint", "", "write the final training state (v2: weights, momentum, error-feedback residuals) to this file")
 	resume := flag.String("resume", "", "restore training state from this checkpoint before training (v2 resumes bit-identically)")
 	flag.Parse()
@@ -56,13 +60,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "optcc-train:", err)
 		os.Exit(1)
 	}
+	eng, err := train.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optcc-train:", err)
+		os.Exit(1)
+	}
 	cfg := train.DefaultConfig()
 	cfg.MicroBatch = 32
 	cfg.Opt = experiments.ScaledOpt(mk())
+	if *cbAlg != "" {
+		if !cfg.Opt.CompressBackprop {
+			fmt.Fprintf(os.Stderr, "optcc-train: warning: -cb-alg %s has no effect: config %q does not compress backprop\n", *cbAlg, *config)
+		}
+		cfg.Opt.CBAlg = core.CBAlgorithm(*cbAlg)
+	}
+	if *dpAlg != "" {
+		if !cfg.Opt.DPCompress() {
+			fmt.Fprintf(os.Stderr, "optcc-train: warning: -dp-alg %s has no effect: config %q does not compress DP sync\n", *dpAlg, *config)
+		}
+		cfg.Opt.DPAlg = *dpAlg
+	}
 	cfg.Seed = *seed
 	cfg.Model.Seed = *seed
 	cfg.CollectStats = *stats
 	cfg.ParallelGroups = *parallel
+	cfg.Engine = eng
 	cfg.DisableCollective = *noCollective
 	cfg.DisablePipeline = *noPipeline
 
@@ -72,6 +94,10 @@ func main() {
 		os.Exit(1)
 	}
 	defer tr.Close()
+	if *printPlan {
+		fmt.Println(tr.Plan())
+		fmt.Printf("engine: %s\n", tr.Engine())
+	}
 	if *resume != "" {
 		f, err := os.Open(*resume)
 		if err != nil {

@@ -7,12 +7,17 @@
 // data, train) that reproduces every model-quality result, and a
 // calibrated discrete-event cluster simulator (internal/cluster, simnet,
 // pipeline, sim) that reproduces every timing result — plus the Optimus-CC
-// technique layer itself (internal/core, compress), the rank-based
-// collective-communication runtime (internal/collective) that executes
-// and accounts both the ring all-reduces and the point-to-point
-// inter-stage transfers (Send/Recv/SendCompressed) the cost models only
-// predict, and an experiment harness (internal/experiments) that
-// regenerates each table and figure.
+// technique layer itself (internal/core, compress — with a name→factory
+// compressor registry), the compiled communication/compression plan
+// (internal/plan: plan.Compile turns a core.Config + grid into the one
+// immutable artifact of per-edge §5.2 actions, per-stage §7 DP-sync
+// actions, and the §6 embedding strategy that trainer, simulator, and
+// experiments all consume), the rank-based collective-communication
+// runtime (internal/collective) that executes and accounts both the ring
+// all-reduces and the point-to-point inter-stage transfers
+// (Send/Recv/SendCompressed) the cost models only predict, and an
+// experiment harness (internal/experiments) that regenerates each table
+// and figure.
 //
 // Training runs on an executable 1F1B pipeline by default: internal/train
 // drives internal/pipeline's schedule with one goroutine per (dp, stage)

@@ -34,6 +34,9 @@ func main() {
 		log.Fatal(err)
 	}
 	defer tr.Close()
+	// The compiled plan is the single artifact driving both the trainer
+	// below and the simulator further down — inspect it directly.
+	fmt.Println(tr.Plan())
 	fmt.Println("training the stand-in LM with CB+FE+SC ...")
 	tr.Train(300, func(it int, loss float64) {
 		if it%100 == 0 {

@@ -1,0 +1,150 @@
+package compress
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// The compressor registry turns algorithm choice into data: a Spec names
+// a family and carries its parameters, and Build resolves it through a
+// table of registered factories. The planner (internal/plan) compiles
+// core.Config into Specs, the trainer Builds them, and new families
+// become selectable from the CLI by registering a factory — no more
+// hardwired constructors per call site.
+//
+// All §2.3 families ship registered: powersgd (alias lowrank), topk,
+// randomk, terngrad, signsgd, uniform8, identity.
+
+// Spec is a named, parameterized compressor reference. Which fields a
+// family reads is part of its registration contract: powersgd reads
+// Rank and Seed, topk reads Fraction, randomk reads Fraction and Seed,
+// terngrad reads Seed, and signsgd/uniform8/identity read nothing.
+type Spec struct {
+	// Name selects the registered family (case-sensitive).
+	Name string
+	// Rank is the low-rank approximation rank (rank-based families).
+	Rank int
+	// Fraction is the kept-element fraction in (0, 1] (sparse families).
+	Fraction float64
+	// Seed drives the family's random components deterministically.
+	Seed int64
+}
+
+// String renders the spec with only the fields its family reads, e.g.
+// "powersgd(rank=16,seed=7)".
+func (s Spec) String() string {
+	switch s.Name {
+	case "powersgd":
+		return fmt.Sprintf("%s(rank=%d,seed=%d)", s.Name, s.Rank, s.Seed)
+	case "topk":
+		return fmt.Sprintf("topk(frac=%.4g)", s.Fraction)
+	case "randomk":
+		return fmt.Sprintf("randomk(frac=%.4g,seed=%d)", s.Fraction, s.Seed)
+	case "terngrad":
+		return fmt.Sprintf("terngrad(seed=%d)", s.Seed)
+	default:
+		return s.Name
+	}
+}
+
+// Factory builds a compressor from a spec, validating the parameters the
+// family reads. Factories must return errors, never panic: Build is the
+// boundary where user-supplied configuration meets the constructors.
+type Factory func(Spec) (Compressor, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// Register installs a factory under name and marks the name valid for
+// core.Config's CBAlg/DPAlg validation, so a custom family is selectable
+// end to end (config → plan → Build) with this one call. It panics on an
+// empty name or a duplicate registration — both are programming errors,
+// caught at init.
+func Register(name string, f Factory) {
+	if name == "" || f == nil {
+		panic("compress: Register needs a name and a factory")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("compress: duplicate registration of %q", name))
+	}
+	registry[name] = f
+	core.RegisterCompressorName(name)
+}
+
+// Registered reports whether name has a factory.
+func Registered(name string) bool {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	_, ok := registry[name]
+	return ok
+}
+
+// RegisteredNames returns every registered family name, sorted.
+func RegisteredNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Build resolves spec through the registry. Unknown names and invalid
+// parameters are hard errors — nothing falls back to a default family.
+func Build(spec Spec) (Compressor, error) {
+	registryMu.RLock()
+	f := registry[spec.Name]
+	registryMu.RUnlock()
+	if f == nil {
+		return nil, fmt.Errorf("compress: unknown compressor %q (registered: %v)",
+			spec.Name, RegisteredNames())
+	}
+	return f(spec)
+}
+
+// MustBuild is Build for specs the caller already validated (e.g. specs
+// out of a compiled plan); it panics on error.
+func MustBuild(spec Spec) Compressor {
+	c, err := Build(spec)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func init() {
+	// core.CBLowRank's historical "lowrank" name maps onto "powersgd" in
+	// plan.Compile (normalizeFamily) — the registry holds one entry per
+	// family, no aliases.
+	Register("powersgd", func(s Spec) (Compressor, error) {
+		if s.Rank < 1 {
+			return nil, fmt.Errorf("compress: %s needs Rank ≥ 1, got %d", s.Name, s.Rank)
+		}
+		return NewPowerSGD(s.Rank, s.Seed), nil
+	})
+	Register("topk", func(s Spec) (Compressor, error) {
+		if s.Fraction <= 0 || s.Fraction > 1 {
+			return nil, fmt.Errorf("compress: topk needs Fraction in (0,1], got %v", s.Fraction)
+		}
+		return NewTopK(s.Fraction), nil
+	})
+	Register("randomk", func(s Spec) (Compressor, error) {
+		if s.Fraction <= 0 || s.Fraction > 1 {
+			return nil, fmt.Errorf("compress: randomk needs Fraction in (0,1], got %v", s.Fraction)
+		}
+		return NewRandomK(s.Fraction, s.Seed), nil
+	})
+	Register("terngrad", func(s Spec) (Compressor, error) { return NewTernGrad(s.Seed), nil })
+	Register("signsgd", func(Spec) (Compressor, error) { return NewSignSGD(), nil })
+	Register("uniform8", func(Spec) (Compressor, error) { return NewUniform8Bit(), nil })
+	Register("identity", func(Spec) (Compressor, error) { return NewIdentity(), nil })
+}

@@ -1,0 +1,95 @@
+package compress
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+func testMatrix(rows, cols int) *tensor.Matrix {
+	m := tensor.New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float64(i%17)/17 - 0.5
+	}
+	return m
+}
+
+func TestRegistryBuildsEveryFamily(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		name string // Compressor.Name prefix
+	}{
+		{Spec{Name: "powersgd", Rank: 4, Seed: 1}, "powersgd"},
+		{Spec{Name: "topk", Fraction: 0.1}, "topk"},
+		{Spec{Name: "randomk", Fraction: 0.1, Seed: 1}, "randomk"},
+		{Spec{Name: "terngrad", Seed: 1}, "terngrad"},
+		{Spec{Name: "signsgd"}, "signsgd"},
+		{Spec{Name: "uniform8"}, "uniform8"},
+		{Spec{Name: "identity"}, "identity"},
+	}
+	for _, c := range cases {
+		cmp, err := Build(c.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec.Name, err)
+		}
+		if !strings.HasPrefix(cmp.Name(), c.name) {
+			t.Fatalf("%s built %q", c.spec.Name, cmp.Name())
+		}
+	}
+}
+
+func TestRegistryRejects(t *testing.T) {
+	for _, spec := range []Spec{
+		{Name: "huffman"},                // unknown family
+		{Name: ""},                       // empty
+		{Name: "lowrank", Rank: 4},       // historical alias: normalized by plan, not registered here
+		{Name: "powersgd", Rank: 0},      // rank below 1
+		{Name: "powersgd", Rank: -2},     // negative rank
+		{Name: "topk", Fraction: 0},      // unresolved sparse fraction
+		{Name: "randomk", Fraction: 1.5}, // fraction above 1
+		{Name: "topk", Fraction: -0.25},  // negative fraction
+	} {
+		if _, err := Build(spec); err == nil {
+			t.Fatalf("Build(%+v) did not fail", spec)
+		}
+	}
+}
+
+func TestRegistryDeterministicSeeds(t *testing.T) {
+	a := MustBuild(Spec{Name: "powersgd", Rank: 3, Seed: 42})
+	b := MustBuild(Spec{Name: "powersgd", Rank: 3, Seed: 42})
+	m := testMatrix(16, 24)
+	if a.Compress(m).WireBytes() != b.Compress(m).WireBytes() {
+		t.Fatal("same spec built different compressors")
+	}
+	ra, rb := a.Decompress(a.Compress(m)), b.Decompress(b.Compress(m))
+	if !ra.Equal(rb, 0) {
+		t.Fatal("same spec, same input, different reconstruction")
+	}
+}
+
+// TestRegistryNamesKnownToCore is the drift guard between the registry
+// and core's seeded name list: every registered family must be valid in
+// a core.Config (Register feeds core.RegisterCompressorName, so this
+// holds by construction — the test pins the construction).
+func TestRegistryNamesKnownToCore(t *testing.T) {
+	for _, n := range RegisteredNames() {
+		if !core.KnownCompressor(n) {
+			t.Fatalf("registered family %q unknown to core.Config validation", n)
+		}
+	}
+}
+
+func TestRegisteredNames(t *testing.T) {
+	names := RegisteredNames()
+	if len(names) < 7 {
+		t.Fatalf("only %d registered families: %v", len(names), names)
+	}
+	for _, want := range []string{"powersgd", "topk", "randomk", "terngrad", "signsgd", "uniform8", "identity"} {
+		if !Registered(want) {
+			t.Fatalf("%q not registered", want)
+		}
+	}
+}

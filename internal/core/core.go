@@ -19,6 +19,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 )
 
 // CBAlgorithm selects the inter-stage compressor family.
@@ -31,6 +32,60 @@ const (
 	CBLowRank CBAlgorithm = "lowrank"
 	CBTopK    CBAlgorithm = "topk"
 )
+
+// knownCompressors lists the compressor family names a configuration may
+// reference in CBAlg or DPAlg: the built-in families (seeded here so a
+// Config validates even in core-only contexts), plus every name added
+// through RegisterCompressorName — compress.Register calls it, so a
+// custom-registered family is immediately selectable. plan.Compile
+// additionally verifies registry membership before building anything.
+var (
+	knownMu          sync.RWMutex
+	knownCompressors = map[string]bool{
+		"lowrank":  true,
+		"powersgd": true,
+		"topk":     true,
+		"randomk":  true,
+		"terngrad": true,
+		"signsgd":  true,
+		"uniform8": true,
+		"identity": true,
+	}
+)
+
+// RegisterCompressorName marks name as a valid CBAlg/DPAlg reference.
+// compress.Register calls this for every registered factory; core keeps
+// the list itself only because it cannot import the registry.
+func RegisterCompressorName(name string) {
+	if name == "" {
+		return
+	}
+	knownMu.Lock()
+	knownCompressors[name] = true
+	knownMu.Unlock()
+}
+
+// KnownCompressor reports whether name is a recognized compressor family
+// ("" counts: it selects the family's default).
+func KnownCompressor(name string) bool {
+	if name == "" {
+		return true
+	}
+	knownMu.RLock()
+	defer knownMu.RUnlock()
+	return knownCompressors[name]
+}
+
+// KnownCompressors returns the recognized family names (unsorted copy).
+func KnownCompressors() []string {
+	knownMu.RLock()
+	defer knownMu.RUnlock()
+	out := make([]string, 0, len(knownCompressors))
+	for n := range knownCompressors {
+		out = append(out, n)
+	}
+	return out
+}
 
 // Config enables and parameterizes the Optimus-CC techniques.
 type Config struct {
@@ -60,6 +115,12 @@ type Config struct {
 	// DPRank is the low-rank rank for data-parallel gradient compression
 	// (paper default 128).
 	DPRank int
+	// DPAlg selects the data-parallel gradient compressor family by
+	// registry name ("" = "powersgd", the paper's choice). Shape-free
+	// quantizers like "terngrad" are valid alternatives; plan.Compile
+	// rejects families whose parameters cannot be derived from the
+	// configuration.
+	DPAlg string
 
 	// Seed drives every random component (compressor sketches, data
 	// order) for reproducibility.
@@ -112,25 +173,48 @@ func NaiveCB() Config {
 	return Config{CompressBackprop: true, CBRank: 16, CBAlg: CBLowRank, Seed: 1}
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. Both compressor references are
+// validated hard: CompressBackprop with CBRank < 1 or an unrecognized
+// CBAlg/DPAlg name is an error, never a silent fallback to a default
+// family (plan.Compile additionally checks registry membership).
 func (c Config) Validate() error {
 	if c.CompressBackprop {
-		if c.CBRank < 1 {
-			return fmt.Errorf("core: CompressBackprop needs CBRank ≥ 1, got %d", c.CBRank)
-		}
-		switch c.CBAlg {
-		case CBLowRank, CBTopK, "":
-		default:
+		if !KnownCompressor(string(c.CBAlg)) {
 			return fmt.Errorf("core: unknown CB algorithm %q", c.CBAlg)
+		}
+		if needsCBRank(string(c.CBAlg)) && c.CBRank < 1 {
+			return fmt.Errorf("core: CompressBackprop needs CBRank ≥ 1, got %d", c.CBRank)
 		}
 	}
 	if c.SelectiveStageFraction < 0 || c.SelectiveStageFraction > 1 {
 		return fmt.Errorf("core: SelectiveStageFraction %v outside [0,1]", c.SelectiveStageFraction)
 	}
-	if c.SelectiveStageFraction > 0 && c.DPRank < 1 {
-		return fmt.Errorf("core: DP compression needs DPRank ≥ 1, got %d", c.DPRank)
+	if c.SelectiveStageFraction > 0 {
+		if !KnownCompressor(c.DPAlg) {
+			return fmt.Errorf("core: unknown DP algorithm %q", c.DPAlg)
+		}
+		if needsRank(c.DPAlg) && c.DPRank < 1 {
+			return fmt.Errorf("core: DP compression needs DPRank ≥ 1, got %d", c.DPRank)
+		}
 	}
 	return nil
+}
+
+// needsRank reports whether a compressor family reads the rank knob
+// ("" defaults to the rank-based powersgd).
+func needsRank(alg string) bool {
+	switch alg {
+	case "", "lowrank", "powersgd":
+		return true
+	}
+	return false
+}
+
+// needsCBRank reports whether a CB family reads CBRank: the rank-based
+// families directly, and the sparse ones through the byte-matched
+// element budget (rank·(n+m) kept elements). Quantizers ignore it.
+func needsCBRank(alg string) bool {
+	return needsRank(alg) || alg == "topk" || alg == "randomk"
 }
 
 // DPCompress reports whether data-parallel compression is active at all.
@@ -172,8 +256,8 @@ func (c Config) Name() string {
 		default:
 			name = "CB(naive)"
 		}
-		if c.CBAlg == CBTopK {
-			name += "[topk]"
+		if alg := string(c.CBAlg); alg != "" && alg != "lowrank" && alg != "powersgd" {
+			name += "[" + alg + "]"
 		}
 	}
 	if c.FuseEmbedding {
@@ -190,6 +274,9 @@ func (c Config) Name() string {
 			name += fmt.Sprintf("SC(%.0f%%)", c.SelectiveStageFraction*100)
 		} else {
 			name += "DP"
+		}
+		if c.DPAlg != "" && c.DPAlg != "powersgd" && c.DPAlg != "lowrank" {
+			name += "[" + c.DPAlg + "]"
 		}
 	}
 	return name

@@ -1,0 +1,71 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzCompile asserts the acceptance criterion that Compile never
+// panics: arbitrary configurations and grids either compile into a
+// self-consistent plan or return an error — the constructors' panics
+// (rank < 1, fraction outside (0,1]) must all be caught by validation
+// before anything is built.
+func FuzzCompile(f *testing.F) {
+	f.Add(true, 16, "lowrank", true, true, true, 0.75, 128, "", int64(1), 4, 2, 4, 32, 48)
+	f.Add(false, 0, "", false, false, false, 0.0, 0, "", int64(0), 1, 1, 1, 0, 0)
+	f.Add(true, -3, "huffman", true, false, true, 1.5, -1, "topk", int64(9), 0, -2, 7, -1, 5)
+	f.Add(true, 2, "terngrad", false, true, false, 1.0, 4, "terngrad", int64(3), 3, 3, 2, 8, 16)
+	f.Fuzz(func(t *testing.T, cb bool, cbRank int, cbAlg string, lep, epi, fuse bool,
+		frac float64, dpRank int, dpAlg string, seed int64,
+		stages, dp, micros, brows, bcols int) {
+		cfg := core.Config{
+			CompressBackprop:       cb,
+			CBRank:                 cbRank,
+			CBAlg:                  core.CBAlgorithm(cbAlg),
+			LazyErrorPropagation:   lep,
+			EpilogueOnly:           epi,
+			FuseEmbedding:          fuse,
+			SelectiveStageFraction: frac,
+			DPRank:                 dpRank,
+			DPAlg:                  dpAlg,
+			Seed:                   seed,
+		}
+		// Bound only the allocation size, not the validity: negative and
+		// zero values must flow into Compile and come back as errors.
+		bound := func(v, lim int) int {
+			if v > lim {
+				return v%lim + 1
+			}
+			return v
+		}
+		g := Grid{
+			Stages:       bound(stages, 64),
+			DPGroups:     bound(dp, 64),
+			MicroBatches: bound(micros, 64),
+			BoundaryRows: bound(brows, 1<<12),
+			BoundaryCols: bound(bcols, 1<<12),
+		}
+		p, err := Compile(cfg, g)
+		if err != nil {
+			return
+		}
+		// A compiled plan must be internally consistent.
+		fwd, dense, cmp := p.Counts()
+		if fwd != (g.Stages-1)*g.MicroBatches || dense+cmp != fwd {
+			t.Fatalf("inconsistent counts fwd=%d dense=%d cmp=%d for %+v", fwd, dense, cmp, g)
+		}
+		if !cfg.CompressBackprop && cmp != 0 {
+			t.Fatalf("compressed edges without CompressBackprop")
+		}
+		if len(p.CompressedStages()) != g.Stages {
+			t.Fatalf("stage actions %d for %d stages", len(p.CompressedStages()), g.Stages)
+		}
+		_ = p.String()
+		p.EachBackwardEdge(func(e Edge, a EdgeAction) {
+			if a.Compress != p.CompressBackward(e.Stage, e.Micro) {
+				t.Fatalf("edge %+v action disagrees with CompressBackward", e)
+			}
+		})
+	})
+}

@@ -1,0 +1,428 @@
+// Package plan compiles an Optimus-CC configuration into an immutable
+// communication/compression plan — the single decision artifact that the
+// trainer executes, the simulator prices, and the experiments inspect.
+//
+// Before this package existed, the placement logic (§5's epilogue-only
+// rule for inter-stage backward sends, §7's selective-stage selection for
+// data-parallel sync, §6's fused-vs-two-phase embedding choice) was
+// re-derived independently by train.Trainer, internal/sim, and the
+// experiment harness, and the compressor families were hardwired
+// constructors. Compile validates a core.Config against a Grid once and
+// produces a *Plan holding the resolved decisions as data:
+//
+//   - per-edge inter-stage actions: Edge{Group, Stage, Micro} →
+//     dense or Compressed{CompressorSpec} (the §5.1/§5.2 LEP+epilogue
+//     rules over the 1F1B schedule);
+//   - per-stage DP-sync actions: dense, or a CompressorSpec per
+//     (stage, group, gradient) channel (§7);
+//   - the embedding strategy: fused (Eq. 16) vs two-phase (Eq. 15), §6.
+//
+// CompressorSpecs are compress.Spec values resolved through the compress
+// registry (compress.Build), so families are selectable by name — the
+// CLI's -cb-alg/-dp-alg flags reach the hot path without a new
+// constructor call site. A Plan is immutable after Compile; accessors
+// return copies.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/pipeline"
+)
+
+// Grid is the parallelism shape a plan is compiled for.
+type Grid struct {
+	// Stages is the pipeline-parallel depth (≥ 1).
+	Stages int
+	// DPGroups is the data-parallel width (≥ 1).
+	DPGroups int
+	// MicroBatches is the number of micro-batches per group per
+	// iteration (≥ 1) — the 1F1B schedule length.
+	MicroBatches int
+
+	// BoundaryRows × BoundaryCols is the inter-stage activation-gradient
+	// shape (micro-batch samples × hidden). Sparse CB families (topk,
+	// randomk) need it to byte-match their kept fraction to the low-rank
+	// budget; rank-based and quantizing families ignore it. Leave both
+	// zero when unknown (e.g. pure placement/pricing uses): the plan still
+	// compiles, but building a sparse CB spec then fails loudly.
+	BoundaryRows, BoundaryCols int
+}
+
+// Validate reports grid errors.
+func (g Grid) Validate() error {
+	switch {
+	case g.Stages < 1:
+		return fmt.Errorf("plan: Stages %d < 1", g.Stages)
+	case g.DPGroups < 1:
+		return fmt.Errorf("plan: DPGroups %d < 1", g.DPGroups)
+	case g.MicroBatches < 1:
+		return fmt.Errorf("plan: MicroBatches %d < 1", g.MicroBatches)
+	case g.BoundaryRows < 0 || g.BoundaryCols < 0:
+		return fmt.Errorf("plan: negative boundary shape %dx%d", g.BoundaryRows, g.BoundaryCols)
+	case (g.BoundaryRows == 0) != (g.BoundaryCols == 0):
+		return fmt.Errorf("plan: boundary shape %dx%d half-specified", g.BoundaryRows, g.BoundaryCols)
+	}
+	return nil
+}
+
+// Edge identifies one inter-stage backward send: the activation gradient
+// of micro-batch Micro travelling from Stage to Stage−1 inside group
+// Group (Stage ≥ 1).
+type Edge struct {
+	Group, Stage, Micro int
+}
+
+// EdgeAction is the compiled decision for one backward edge.
+type EdgeAction struct {
+	// Compress reports whether the send is compressed (§5 placement:
+	// every send, or only the 1F1B epilogue drain under EpilogueOnly).
+	Compress bool
+	// LazyErrorPropagation reports whether the boundary's error-feedback
+	// residual is carried across micro-batches (§5.1). Meaningful only
+	// when Compress is set.
+	LazyErrorPropagation bool
+	// Spec is the boundary's compressor (zero value when dense). Each
+	// (group, stage) boundary gets a private deterministic seed.
+	Spec compress.Spec
+}
+
+// StageAction is the compiled per-stage data-parallel sync decision.
+type StageAction struct {
+	// Compress reports whether the stage's DP gradients go through a
+	// lossy compressed all-reduce (§7 selective stage compression).
+	Compress bool
+	// Spec is the per-channel compressor template; the per-(group, grad)
+	// seed is resolved by Plan.DPSpec. Zero value when dense.
+	Spec compress.Spec
+}
+
+// EmbeddingStrategy is the §6 embedding-synchronization choice.
+type EmbeddingStrategy int
+
+// Embedding strategies.
+const (
+	// EmbNone: single rank — the tied table is updated in place.
+	EmbNone EmbeddingStrategy = iota
+	// EmbDPOnly: single stage, D > 1 — one D-way average remains.
+	EmbDPOnly
+	// EmbTwoPhase: the baseline Fig. 7a two phases (Eq. 15).
+	EmbTwoPhase
+	// EmbFused: the fused 2D-way all-reduce of Fig. 7b (Eq. 16).
+	EmbFused
+)
+
+func (e EmbeddingStrategy) String() string {
+	switch e {
+	case EmbNone:
+		return "none"
+	case EmbDPOnly:
+		return "dp-only"
+	case EmbTwoPhase:
+		return "two-phase"
+	case EmbFused:
+		return "fused"
+	}
+	return fmt.Sprintf("EmbeddingStrategy(%d)", int(e))
+}
+
+// Plan is a compiled, immutable communication/compression plan.
+type Plan struct {
+	cfg  core.Config
+	grid Grid
+
+	// bwd[s][mi] reports whether the backward send from stage s to s−1
+	// of micro-batch mi is compressed (s ≥ 1; row 0 is present but
+	// always false so indexing needs no offset). Identical across groups.
+	bwd [][]bool
+	// dpCompressed[s] is the §7 selection.
+	dpCompressed []bool
+	emb          EmbeddingStrategy
+
+	// cbName/dpName are the normalized compressor family names
+	// ("" → "powersgd", "lowrank" → "powersgd").
+	cbName string
+	dpName string
+	// cbFraction is the byte-matched kept fraction for sparse CB
+	// families (0 when not applicable or the boundary shape is unknown).
+	cbFraction float64
+}
+
+// normalizeFamily maps the historical names onto registry names.
+func normalizeFamily(name string) string {
+	switch name {
+	case "", "lowrank":
+		return "powersgd"
+	}
+	return name
+}
+
+// sparseFamily reports whether the family's kept fraction must be
+// derived from the tensor shape.
+func sparseFamily(name string) bool { return name == "topk" || name == "randomk" }
+
+// Compile validates cfg against g and produces the plan. Every
+// configuration error is hard: an unknown compressor family, a
+// CompressBackprop rank below 1, or a family whose parameters cannot be
+// derived from the configuration all fail here, before any training or
+// simulation state exists.
+func Compile(cfg core.Config, g Grid) (*Plan, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		cfg:    cfg,
+		grid:   g,
+		cbName: normalizeFamily(string(cfg.CBAlg)),
+		dpName: normalizeFamily(cfg.DPAlg),
+	}
+	if cfg.CompressBackprop {
+		if !compress.Registered(p.cbName) {
+			return nil, fmt.Errorf("plan: CB algorithm %q not in the compressor registry (have %v)",
+				p.cbName, compress.RegisteredNames())
+		}
+		if sparseFamily(p.cbName) && g.BoundaryRows > 0 {
+			// Byte-match the sparse budget to the low-rank payload:
+			// rank·(n+m) of n·m elements — the exact expression the
+			// trainer historically used, preserved for bit-identity.
+			n, m := g.BoundaryRows, g.BoundaryCols
+			frac := float64(cfg.CBRank*(n+m)) / float64(n*m)
+			if frac > 1 {
+				frac = 1
+			}
+			p.cbFraction = frac
+		}
+		// Trial-build one boundary's spec so invalid parameters (a rank
+		// the family's factory rejects, say) fail here rather than at
+		// trainer construction. Sparse specs with no boundary shape are
+		// legitimately unresolved (pure placement/pricing plans) and
+		// only fail if someone actually builds them.
+		if !sparseFamily(p.cbName) || p.cbFraction > 0 {
+			if _, err := compress.Build(p.CBSpec(0, 1)); err != nil {
+				return nil, fmt.Errorf("plan: CB spec invalid: %w", err)
+			}
+		}
+	}
+	if cfg.DPCompress() {
+		if !compress.Registered(p.dpName) {
+			return nil, fmt.Errorf("plan: DP algorithm %q not in the compressor registry (have %v)",
+				p.dpName, compress.RegisteredNames())
+		}
+		if sparseFamily(p.dpName) {
+			return nil, fmt.Errorf("plan: DP algorithm %q needs a per-tensor kept fraction, which the configuration cannot derive; use a rank-based or quantizing family", p.dpName)
+		}
+		// Trial-build as above: every per-channel spec differs only in
+		// seed, so one build validates the parameters for all of them —
+		// the lazily-created sync compressors can then never panic.
+		if _, err := compress.Build(p.DPSpec(0, 0, 0)); err != nil {
+			return nil, fmt.Errorf("plan: DP spec invalid: %w", err)
+		}
+	}
+
+	// Inter-stage backward placement over the 1F1B schedule (§5.1/§5.2).
+	sched, err := pipeline.OneFOneB(g.Stages, g.MicroBatches)
+	if err != nil {
+		return nil, err
+	}
+	p.bwd = make([][]bool, g.Stages)
+	for s := range p.bwd {
+		p.bwd[s] = make([]bool, g.MicroBatches)
+		if s == 0 || !cfg.CompressBackprop {
+			continue
+		}
+		for mi := 0; mi < g.MicroBatches; mi++ {
+			p.bwd[s][mi] = !cfg.EpilogueOnly || sched.IsEpilogueBackward(s, mi)
+		}
+	}
+
+	// §7 selective stage compression.
+	p.dpCompressed = cfg.CompressedStages(g.Stages)
+
+	// §6 embedding strategy.
+	switch {
+	case g.Stages == 1 && g.DPGroups == 1:
+		p.emb = EmbNone
+	case g.Stages == 1:
+		p.emb = EmbDPOnly
+	case cfg.FuseEmbedding:
+		p.emb = EmbFused
+	default:
+		p.emb = EmbTwoPhase
+	}
+	return p, nil
+}
+
+// MustCompile is Compile for configurations the caller already
+// validated; it panics on error.
+func MustCompile(cfg core.Config, g Grid) *Plan {
+	p, err := Compile(cfg, g)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Config returns the configuration the plan was compiled from.
+func (p *Plan) Config() core.Config { return p.cfg }
+
+// Grid returns the parallelism shape the plan was compiled for.
+func (p *Plan) Grid() Grid { return p.grid }
+
+// CompressBackward reports whether the backward send of micro-batch
+// micro from stage to stage−1 is compressed — the §5/§5.2 placement both
+// the serial trainer path and the 1F1B executor obey. Identical across
+// groups. Out-of-range indices are dense (stage 0 has no send).
+func (p *Plan) CompressBackward(stage, micro int) bool {
+	if stage < 1 || stage >= p.grid.Stages || micro < 0 || micro >= p.grid.MicroBatches {
+		return false
+	}
+	return p.bwd[stage][micro]
+}
+
+// Action returns the compiled decision for one backward edge.
+func (p *Plan) Action(e Edge) EdgeAction {
+	if !p.CompressBackward(e.Stage, e.Micro) {
+		return EdgeAction{}
+	}
+	return EdgeAction{
+		Compress:             true,
+		LazyErrorPropagation: p.cfg.LazyErrorPropagation,
+		Spec:                 p.CBSpec(e.Group, e.Stage),
+	}
+}
+
+// CBSpec returns the compressor spec for the (group, stage) inter-stage
+// boundary, with the boundary's private deterministic seed. Valid only
+// when the configuration compresses backprop.
+func (p *Plan) CBSpec(group, stage int) compress.Spec {
+	return compress.Spec{
+		Name:     p.cbName,
+		Rank:     p.cfg.CBRank,
+		Fraction: p.cbFraction,
+		Seed:     p.cfg.Seed + int64(group*100+stage),
+	}
+}
+
+// DPCompressed reports whether stage's data-parallel gradients are
+// compressed under §7's selection.
+func (p *Plan) DPCompressed(stage int) bool {
+	if stage < 0 || stage >= p.grid.Stages {
+		return false
+	}
+	return p.dpCompressed[stage]
+}
+
+// CompressedStages returns the per-stage §7 selection (a copy).
+func (p *Plan) CompressedStages() []bool {
+	return append([]bool(nil), p.dpCompressed...)
+}
+
+// StageAction returns the compiled DP-sync decision for stage. The
+// spec is the family template; resolve per-channel seeds with DPSpec.
+func (p *Plan) StageAction(stage int) StageAction {
+	if !p.DPCompressed(stage) {
+		return StageAction{}
+	}
+	return StageAction{Compress: true, Spec: p.DPSpec(stage, 0, 0)}
+}
+
+// DPSpec returns the compressor spec for gradient channel grad of stage
+// on group's replica, with the channel's private deterministic seed.
+func (p *Plan) DPSpec(stage, group, grad int) compress.Spec {
+	return compress.Spec{
+		Name: p.dpName,
+		Rank: p.cfg.DPRank,
+		Seed: p.cfg.Seed + int64(100000+stage*1000+group*100+grad),
+	}
+}
+
+// Embedding returns the §6 strategy.
+func (p *Plan) Embedding() EmbeddingStrategy { return p.emb }
+
+// CBFamily returns the normalized inter-stage compressor family name
+// ("powersgd", "topk", …; meaningful only under CompressBackprop).
+func (p *Plan) CBFamily() string { return p.cbName }
+
+// DPFamily returns the normalized DP-sync compressor family name.
+func (p *Plan) DPFamily() string { return p.dpName }
+
+// CBSparse reports whether the inter-stage family ships (value, index)
+// pairs — the §2.3 index overhead the cost models price at 3× the
+// low-rank payload for the same element budget.
+func (p *Plan) CBSparse() bool { return sparseFamily(p.cbName) }
+
+// LazyErrorPropagation reports whether compressed backward edges carry
+// their residual across micro-batches (§5.1).
+func (p *Plan) LazyErrorPropagation() bool { return p.cfg.LazyErrorPropagation }
+
+// EachBackwardEdge visits every backward edge of every group in
+// (group, stage, micro) order with its compiled action.
+func (p *Plan) EachBackwardEdge(f func(e Edge, a EdgeAction)) {
+	for d := 0; d < p.grid.DPGroups; d++ {
+		for s := 1; s < p.grid.Stages; s++ {
+			for mi := 0; mi < p.grid.MicroBatches; mi++ {
+				e := Edge{Group: d, Stage: s, Micro: mi}
+				f(e, p.Action(e))
+			}
+		}
+	}
+}
+
+// BackwardActions returns the per-replica [stage][micro] compression
+// grid (a copy; row 0 is all false).
+func (p *Plan) BackwardActions() [][]bool {
+	out := make([][]bool, len(p.bwd))
+	for s := range p.bwd {
+		out[s] = append([]bool(nil), p.bwd[s]...)
+	}
+	return out
+}
+
+// Counts summarizes one replica's inter-stage edges: forward sends (all
+// dense, §5), and dense vs compressed backward sends.
+func (p *Plan) Counts() (fwd, denseBwd, compressedBwd int) {
+	fwd = (p.grid.Stages - 1) * p.grid.MicroBatches
+	for s := 1; s < p.grid.Stages; s++ {
+		for _, c := range p.bwd[s] {
+			if c {
+				compressedBwd++
+			} else {
+				denseBwd++
+			}
+		}
+	}
+	return fwd, denseBwd, compressedBwd
+}
+
+// String renders the plan as a compact inspectable summary.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %s on dp%d×pp%d m=%d\n",
+		p.cfg.Name(), p.grid.DPGroups, p.grid.Stages, p.grid.MicroBatches)
+	fwd, dense, cmp := p.Counts()
+	fmt.Fprintf(&b, "  inter-stage: %d fwd dense, %d bwd dense, %d bwd compressed", fwd, dense, cmp)
+	if p.cfg.CompressBackprop {
+		fmt.Fprintf(&b, " via %s (LEP %v)", p.CBSpec(0, 1).String(), p.cfg.LazyErrorPropagation)
+	}
+	b.WriteByte('\n')
+	if p.cfg.DPCompress() {
+		var sel []string
+		for s, c := range p.dpCompressed {
+			if c {
+				sel = append(sel, fmt.Sprint(s))
+			}
+		}
+		fmt.Fprintf(&b, "  dp-sync: stages {%s} compressed via %s, rest dense\n",
+			strings.Join(sel, ","), p.DPSpec(0, 0, 0).String())
+	} else {
+		b.WriteString("  dp-sync: dense on every stage\n")
+	}
+	fmt.Fprintf(&b, "  embedding: %s", p.emb)
+	return b.String()
+}

@@ -1,0 +1,324 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/pipeline"
+)
+
+func grid(dp, pp, m int) Grid {
+	return Grid{Stages: pp, DPGroups: dp, MicroBatches: m, BoundaryRows: 32, BoundaryCols: 48}
+}
+
+// The golden grids of the acceptance criteria: dp×pp@m.
+var goldenGrids = []struct {
+	name string
+	g    Grid
+}{
+	{"1x2", grid(1, 2, 4)},
+	{"2x4", grid(2, 4, 4)},
+	{"4x2", grid(4, 2, 4)},
+	{"2x4@m=2", grid(2, 4, 2)},
+}
+
+// TestCompileGolden pins the compiled placement for the Table-2
+// configurations across the golden grids: per-replica edge counts, the
+// §7 compressed-stage set, and the §6 embedding strategy.
+//
+// The compressed-backward counts are the 1F1B epilogue sizes: stage s
+// drains min(p−s−1, m) backwards, so pp=2 pipelines have no epilogue
+// sends at all (CB compresses nothing there), while pp=4 compresses 3
+// per replica at m=4 and 3 at m=2 (the warmup cap).
+func TestCompileGolden(t *testing.T) {
+	type want struct {
+		fwd, dense, cmp int
+		dpStages        []bool
+		emb             EmbeddingStrategy
+	}
+	cases := []struct {
+		cfg  core.Config
+		want map[string]want
+	}{
+		{core.Baseline(), map[string]want{
+			"1x2":     {4, 4, 0, []bool{false, false}, EmbTwoPhase},
+			"2x4":     {12, 12, 0, []bool{false, false, false, false}, EmbTwoPhase},
+			"4x2":     {4, 4, 0, []bool{false, false}, EmbTwoPhase},
+			"2x4@m=2": {6, 6, 0, []bool{false, false, false, false}, EmbTwoPhase},
+		}},
+		{core.CB(), map[string]want{
+			"1x2":     {4, 4, 0, []bool{false, false}, EmbTwoPhase},
+			"2x4":     {12, 9, 3, []bool{false, false, false, false}, EmbTwoPhase},
+			"4x2":     {4, 4, 0, []bool{false, false}, EmbTwoPhase},
+			"2x4@m=2": {6, 3, 3, []bool{false, false, false, false}, EmbTwoPhase},
+		}},
+		{core.CBFE(), map[string]want{
+			"1x2":     {4, 4, 0, []bool{false, false}, EmbFused},
+			"2x4":     {12, 9, 3, []bool{false, false, false, false}, EmbFused},
+			"4x2":     {4, 4, 0, []bool{false, false}, EmbFused},
+			"2x4@m=2": {6, 3, 3, []bool{false, false, false, false}, EmbFused},
+		}},
+		{core.NaiveDP(), map[string]want{ // "SC" at fraction 1: every stage
+			"1x2":     {4, 4, 0, []bool{true, true}, EmbTwoPhase},
+			"2x4":     {12, 12, 0, []bool{true, true, true, true}, EmbTwoPhase},
+			"4x2":     {4, 4, 0, []bool{true, true}, EmbTwoPhase},
+			"2x4@m=2": {6, 6, 0, []bool{true, true, true, true}, EmbTwoPhase},
+		}},
+		{core.CBFESC(), map[string]want{ // Opt-CC: CB+FE+SC(75%)
+			"1x2":     {4, 4, 0, []bool{true, true}, EmbFused},
+			"2x4":     {12, 9, 3, []bool{true, true, true, false}, EmbFused},
+			"4x2":     {4, 4, 0, []bool{true, true}, EmbFused},
+			"2x4@m=2": {6, 3, 3, []bool{true, true, true, false}, EmbFused},
+		}},
+	}
+	for _, c := range cases {
+		for _, gg := range goldenGrids {
+			w := c.want[gg.name]
+			p, err := Compile(c.cfg, gg.g)
+			if err != nil {
+				t.Fatalf("%s %s: %v", c.cfg.Name(), gg.name, err)
+			}
+			fwd, dense, cmp := p.Counts()
+			if fwd != w.fwd || dense != w.dense || cmp != w.cmp {
+				t.Fatalf("%s %s: counts (fwd=%d dense=%d cmp=%d), want (%d, %d, %d)",
+					c.cfg.Name(), gg.name, fwd, dense, cmp, w.fwd, w.dense, w.cmp)
+			}
+			sel := p.CompressedStages()
+			if len(sel) != len(w.dpStages) {
+				t.Fatalf("%s %s: %d stage actions, want %d", c.cfg.Name(), gg.name, len(sel), len(w.dpStages))
+			}
+			for s := range sel {
+				if sel[s] != w.dpStages[s] {
+					t.Fatalf("%s %s: stage %d compressed=%v, want %v", c.cfg.Name(), gg.name, s, sel[s], w.dpStages[s])
+				}
+			}
+			if p.Embedding() != w.emb {
+				t.Fatalf("%s %s: embedding %v, want %v", c.cfg.Name(), gg.name, p.Embedding(), w.emb)
+			}
+		}
+	}
+}
+
+// TestCompileMatchesScheduleEpilogue cross-derives the compressed edge
+// set from the 1F1B schedule directly — the plan must agree with the
+// §5.2 classification edge by edge, and every edge action must carry
+// the boundary's spec and the LEP flag.
+func TestCompileMatchesScheduleEpilogue(t *testing.T) {
+	cfg := core.CB()
+	for _, gg := range goldenGrids {
+		p := MustCompile(cfg, gg.g)
+		sched, err := pipeline.OneFOneB(gg.g.Stages, gg.g.MicroBatches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := 0
+		p.EachBackwardEdge(func(e Edge, a EdgeAction) {
+			seen++
+			want := sched.IsEpilogueBackward(e.Stage, e.Micro)
+			if a.Compress != want {
+				t.Fatalf("%s edge %+v: compress=%v, schedule says %v", gg.name, e, a.Compress, want)
+			}
+			if a.Compress {
+				if !a.LazyErrorPropagation {
+					t.Fatalf("%s edge %+v: LEP not carried", gg.name, e)
+				}
+				wantSeed := cfg.Seed + int64(e.Group*100+e.Stage)
+				if a.Spec.Name != "powersgd" || a.Spec.Rank != cfg.CBRank || a.Spec.Seed != wantSeed {
+					t.Fatalf("%s edge %+v: spec %+v", gg.name, e, a.Spec)
+				}
+			}
+		})
+		if want := gg.g.DPGroups * (gg.g.Stages - 1) * gg.g.MicroBatches; seen != want {
+			t.Fatalf("%s: visited %d edges, want %d", gg.name, seen, want)
+		}
+	}
+}
+
+// TestCompileSpecSeeds pins the per-channel seed formulas the trainer
+// historically used — bit-identity of every pre-existing configuration
+// depends on them.
+func TestCompileSpecSeeds(t *testing.T) {
+	cfg := core.CBFESC()
+	cfg.Seed = 7
+	p := MustCompile(cfg, grid(2, 4, 4))
+	if s := p.CBSpec(1, 3); s.Seed != 7+103 {
+		t.Fatalf("CBSpec(1,3) seed %d, want %d", s.Seed, 7+103)
+	}
+	if s := p.DPSpec(2, 1, 5); s.Seed != 7+100000+2*1000+1*100+5 {
+		t.Fatalf("DPSpec(2,1,5) seed %d", s.Seed)
+	}
+	if s := p.DPSpec(0, 0, 0); s.Name != "powersgd" || s.Rank != cfg.DPRank {
+		t.Fatalf("DP spec %+v", s)
+	}
+}
+
+// TestCompileTopKFraction pins the byte-matched sparse budget: the kept
+// fraction equals min(1, rank·(n+m)/(n·m)) on the boundary shape, and
+// the built compressor is a real TopK.
+func TestCompileTopKFraction(t *testing.T) {
+	cfg := core.CB()
+	cfg.CBAlg = core.CBTopK
+	g := grid(1, 4, 4)
+	p := MustCompile(cfg, g)
+	n, m := g.BoundaryRows, g.BoundaryCols
+	want := float64(cfg.CBRank*(n+m)) / float64(n*m)
+	if want > 1 {
+		want = 1
+	}
+	spec := p.CBSpec(0, 1)
+	if spec.Name != "topk" || spec.Fraction != want {
+		t.Fatalf("topk spec %+v, want fraction %v", spec, want)
+	}
+	c, err := compress.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.(*compress.TopK); !ok {
+		t.Fatalf("built %T, want *compress.TopK", c)
+	}
+
+	// Without a boundary shape the plan still compiles (placement and
+	// pricing need no fraction), but building the spec fails loudly.
+	g2 := g
+	g2.BoundaryRows, g2.BoundaryCols = 0, 0
+	p2, err := Compile(cfg, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compress.Build(p2.CBSpec(0, 1)); err == nil {
+		t.Fatal("building an unresolved sparse spec did not fail")
+	}
+}
+
+// TestCompileRejects pins the satellite bugfix: configuration errors are
+// hard at Compile time — no silent fallback families anywhere.
+func TestCompileRejects(t *testing.T) {
+	g := grid(2, 4, 4)
+	bad := core.CB()
+	bad.CBRank = 0
+	if _, err := Compile(bad, g); err == nil {
+		t.Fatal("CBRank=0 accepted")
+	}
+	bad = core.CB()
+	bad.CBAlg = "huffman"
+	if _, err := Compile(bad, g); err == nil {
+		t.Fatal("unknown CBAlg accepted")
+	}
+	bad = core.CBFESC()
+	bad.DPAlg = "lz77"
+	if _, err := Compile(bad, g); err == nil {
+		t.Fatal("unknown DPAlg accepted")
+	}
+	bad = core.CBFESC()
+	bad.DPAlg = "topk" // shape-derived fraction: not derivable for DP sync
+	if _, err := Compile(bad, g); err == nil {
+		t.Fatal("sparse DPAlg accepted")
+	}
+	for _, g := range []Grid{
+		{Stages: 0, DPGroups: 1, MicroBatches: 1},
+		{Stages: 1, DPGroups: 0, MicroBatches: 1},
+		{Stages: 1, DPGroups: 1, MicroBatches: 0},
+		{Stages: 1, DPGroups: 1, MicroBatches: 1, BoundaryRows: 8},
+		{Stages: 1, DPGroups: 1, MicroBatches: 1, BoundaryRows: -1, BoundaryCols: -1},
+	} {
+		if _, err := Compile(core.Baseline(), g); err == nil {
+			t.Fatalf("bad grid %+v accepted", g)
+		}
+	}
+}
+
+// TestKnownCompressorsRegistered cross-checks core's name list (used by
+// core.Config.Validate, which cannot import the registry) against the
+// registry's actual registrations: every name core accepts must resolve
+// — after the plan's alias normalization — to a registered factory.
+func TestKnownCompressorsRegistered(t *testing.T) {
+	for _, name := range core.KnownCompressors() {
+		if !compress.Registered(normalizeFamily(name)) {
+			t.Fatalf("core accepts %q but the registry does not know it", name)
+		}
+	}
+}
+
+// TestCustomFamilyEndToEnd pins the extension point: one
+// compress.Register call makes a new family selectable through
+// core.Config validation, plan compilation, and registry build — no
+// other list to update.
+func TestCustomFamilyEndToEnd(t *testing.T) {
+	compress.Register("plan-test-codec", func(s compress.Spec) (compress.Compressor, error) {
+		return compress.NewIdentity(), nil
+	})
+	cfg := core.CBFESC()
+	cfg.DPAlg = "plan-test-codec"
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("custom family rejected by core.Validate: %v", err)
+	}
+	p, err := Compile(cfg, grid(2, 4, 4))
+	if err != nil {
+		t.Fatalf("custom family rejected by Compile: %v", err)
+	}
+	c, err := compress.Build(p.DPSpec(0, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "identity" {
+		t.Fatalf("built %q", c.Name())
+	}
+
+	// A custom factory's parameter validation fires at Compile, not as a
+	// lazy panic on the first compressed sync.
+	compress.Register("plan-test-strict", func(s compress.Spec) (compress.Compressor, error) {
+		if s.Rank < 2 {
+			return nil, fmt.Errorf("plan-test-strict needs Rank ≥ 2, got %d", s.Rank)
+		}
+		return compress.NewIdentity(), nil
+	})
+	bad := core.CBFESC()
+	bad.DPAlg = "plan-test-strict"
+	bad.DPRank = 1
+	if _, err := Compile(bad, grid(2, 4, 4)); err == nil {
+		t.Fatal("invalid custom DP spec accepted at Compile")
+	}
+	badCB := core.CB()
+	badCB.CBAlg = "plan-test-strict"
+	badCB.CBRank = 1
+	if _, err := Compile(badCB, grid(2, 4, 4)); err == nil {
+		t.Fatal("invalid custom CB spec accepted at Compile")
+	}
+}
+
+// TestTernGradSelectableAsDPAlg pins the previously unreachable
+// quantizer family end to end at the plan layer: a terngrad DP spec
+// compiles and builds through the registry.
+func TestTernGradSelectableAsDPAlg(t *testing.T) {
+	cfg := core.CBFESC()
+	cfg.DPAlg = "terngrad"
+	p := MustCompile(cfg, grid(2, 4, 4))
+	spec := p.DPSpec(0, 0, 0)
+	if spec.Name != "terngrad" {
+		t.Fatalf("DP spec %+v", spec)
+	}
+	c, err := compress.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "terngrad" {
+		t.Fatalf("built %q", c.Name())
+	}
+	if !strings.Contains(cfg.Name(), "[terngrad]") {
+		t.Fatalf("config name %q does not surface the DP family", cfg.Name())
+	}
+}
+
+// TestPlanString smoke-tests the inspectable rendering.
+func TestPlanString(t *testing.T) {
+	p := MustCompile(core.CBFESC(), grid(2, 4, 4))
+	s := p.String()
+	for _, want := range []string{"dp2×pp4", "bwd compressed", "powersgd", "fused"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -3,8 +3,10 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/pipeline"
+	"repro/internal/plan"
 	"repro/internal/simnet"
 )
 
@@ -34,8 +36,11 @@ func (z zeroSet) dur(label string, d float64) float64 {
 	return d
 }
 
-// computeDurations derives every task duration from the scenario.
-func computeDurations(s Scenario) durations {
+// computeDurations derives every task duration from the scenario and
+// its compiled plan (which supplies the §7 stage selection and the §6
+// embedding strategy; the per-edge §5.2 placement is applied by
+// BuildGraph from the same plan).
+func computeDurations(s Scenario, pl *plan.Plan) durations {
 	var d durations
 	p := s.Map.PP
 	tokens := float64(s.MicroBatch * s.Spec.SeqLen)
@@ -73,10 +78,21 @@ func computeDurations(s Scenario) durations {
 		m := s.Spec.Hidden
 		wire := core.LowRankWireBytes(n, m, s.Cfg.CBRank, 2)
 		d.sendBwdCodec = s.Cost.CompressTime(n, m, s.Cfg.CBRank) + s.Cost.DecompressTime(n, m, s.Cfg.CBRank)
-		if s.Cfg.CBAlg == core.CBTopK {
-			// Top-k ships (value, index) pairs: 3× the low-rank payload for
-			// the same element budget (§2.3's gather/index overhead).
+		switch {
+		case pl.CBSparse():
+			// Sparse families ship (value, index) pairs: 3× the low-rank
+			// payload for the same element budget (§2.3's gather/index
+			// overhead).
 			wire *= 3
+		case pl.CBFamily() != "powersgd":
+			// Quantizer families have a shape-determined fixed ratio; ask
+			// the registry-built compressor itself (Compile trial-built
+			// the spec, so this cannot fail). Their element-wise codecs
+			// are negligible next to PowerSGD's orthogonalization (§9.6),
+			// so no codec term.
+			c := compress.MustBuild(pl.CBSpec(0, 1))
+			wire = int64(float64(n) * float64(m) * 2 / c.Ratio(n, m))
+			d.sendBwdCodec = 0
 		}
 		d.sendBwdCmpXfer = p2pLink.TransferTime(wire)
 	}
@@ -88,7 +104,6 @@ func computeDurations(s Scenario) durations {
 		BandwidthBps: s.Topo.Inter.BandwidthBps * s.Comm.DPEff / float64(s.Topo.GPUsPerNode),
 		LatencySec:   s.Topo.Inter.LatencySec,
 	}
-	compressed := s.Cfg.CompressedStages(p)
 	d.dp = make([]float64, p)
 	for st := 0; st < p; st++ {
 		shardBytes := s.StageParams(st) / int64(s.Map.TP) * 2
@@ -96,32 +111,42 @@ func computeDurations(s Scenario) durations {
 			d.dp[st] = 0
 			continue
 		}
-		if compressed[st] {
+		if pl.DPCompressed(st) {
 			gr, gc := s.Spec.LayerGradShape()
-			frac := float64(core.LowRankWireBytes(gr, gc, s.Cfg.DPRank, 2)) /
-				float64(int64(gr)*int64(gc)*2)
+			var frac, codec float64
+			if pl.DPFamily() == "powersgd" {
+				frac = float64(core.LowRankWireBytes(gr, gc, s.Cfg.DPRank, 2)) /
+					float64(int64(gr)*int64(gc)*2)
+				codec = float64(s.LayersPerStage()) *
+					(s.Cost.CompressTime(gr, gc/s.Map.TP, s.Cfg.DPRank) +
+						s.Cost.DecompressTime(gr, gc/s.Map.TP, s.Cfg.DPRank))
+			} else {
+				// Non-low-rank families: the family's own fixed ratio on
+				// the layer-gradient shape (Compile trial-built the spec,
+				// so this cannot fail); element-wise codecs priced 0.
+				frac = 1 / compress.MustBuild(pl.DPSpec(st, 0, 0)).Ratio(gr, gc)
+			}
 			wire := int64(float64(shardBytes) * frac)
-			codec := float64(s.LayersPerStage()) *
-				(s.Cost.CompressTime(gr, gc/s.Map.TP, s.Cfg.DPRank) +
-					s.Cost.DecompressTime(gr, gc/s.Map.TP, s.Cfg.DPRank))
 			d.dp[st] = s.Comm.CollOverheadSec + dpLink.AllReduceTime(wire, s.Map.DP) + codec
 		} else {
 			d.dp[st] = s.Comm.CollOverheadSec + dpLink.AllReduceTime(shardBytes, s.Map.DP)
 		}
 	}
 
-	// Embedding synchronization. The table is vocab-sharded across TP.
+	// Embedding synchronization per the plan's §6 strategy. The table is
+	// vocab-sharded across TP.
 	embBytes := s.Spec.EmbeddingParams() / int64(s.Map.TP) * 2
-	if p == 1 {
+	switch pl.Embedding() {
+	case plan.EmbNone:
+		// Single rank: no phase.
+	case plan.EmbDPOnly:
 		// First and last stage coincide: only the DP all-reduce remains.
-		if s.Map.DP > 1 {
-			d.embPhase = []float64{s.Comm.EmbPhaseOverheadSec + dpLink.AllReduceTime(embBytes, s.Map.DP)}
-		}
-	} else if s.Cfg.FuseEmbedding {
+		d.embPhase = []float64{s.Comm.EmbPhaseOverheadSec + dpLink.AllReduceTime(embBytes, s.Map.DP)}
+	case plan.EmbFused:
 		d.embPhase = []float64{
 			s.Comm.EmbPhaseOverheadSec + dpLink.AllReduceTime(embBytes, 2*s.Map.DP),
 		}
-	} else {
+	case plan.EmbTwoPhase:
 		dpPart := dpLink.AllReduceTime(embBytes, s.Map.DP)
 		if s.Map.DP <= 1 {
 			dpPart = 0
@@ -142,11 +167,15 @@ func BuildGraph(s Scenario, zero zeroSet) (*simnet.Graph, error) {
 	}
 	p := s.Map.PP
 	m := s.MicroBatches()
+	pl, err := s.Plan()
+	if err != nil {
+		return nil, err
+	}
 	sched, err := pipeline.OneFOneB(p, m)
 	if err != nil {
 		return nil, err
 	}
-	d := computeDurations(s)
+	d := computeDurations(s, pl)
 	g := simnet.NewGraph()
 
 	dev := func(st int) string { return fmt.Sprintf("dev%d", st) }
@@ -195,7 +224,7 @@ func BuildGraph(s Scenario, zero zeroSet) (*simnet.Graph, error) {
 	for st := 1; st < p; st++ {
 		for mi := 0; mi < m; mi++ {
 			epilogue := sched.IsEpilogueBackward(st, mi)
-			compressed := s.Cfg.CompressBackprop && (!s.Cfg.EpilogueOnly || epilogue)
+			compressed := pl.CompressBackward(st, mi)
 			xfer := d.sendBwdXfer
 			var codec float64
 			if compressed {

@@ -2,8 +2,7 @@ package sim
 
 import (
 	"repro/internal/core"
-	"repro/internal/pipeline"
-	"repro/internal/simnet"
+	"repro/internal/plan"
 )
 
 // InterStageTraffic is the analytic prediction of one DP replica's
@@ -14,12 +13,10 @@ import (
 //
 // denseBytes is the dense wire size of one boundary activation (and
 // activation-gradient — both are micro-batch×hidden). cmpBytes is the
-// compressed backward payload size, charged on exactly the micro-batches
-// compressed backpropagation selects: all of them, or only the 1F1B
-// epilogue drain when EpilogueOnly is set (§5.2) — the same
-// classification the executable trainer applies, so executed and
-// predicted volume must agree to the byte (pinned by cross-check tests
-// and the `pipeline` experiment).
+// compressed backward payload size, charged on exactly the edges the
+// compiled plan selects (§5.1/§5.2) — the same *plan.Plan the executable
+// trainer runs, so executed and predicted volume must agree to the byte
+// (pinned by cross-check tests and the `pipeline` experiment).
 type InterStageTraffic struct {
 	Bytes    int64
 	Messages int64
@@ -27,28 +24,30 @@ type InterStageTraffic struct {
 }
 
 // PredictInterStage computes the per-replica prediction for a
-// stages-deep pipeline running micros micro-batches under cfg.
+// stages-deep pipeline running micros micro-batches under cfg. It is a
+// convenience wrapper over PredictInterStageFromPlan: the configuration
+// is compiled and the prediction derived from the plan's edge actions,
+// never from an independent re-derivation of the placement rules.
 func PredictInterStage(cfg core.Config, stages, micros int, denseBytes, cmpBytes int64) (InterStageTraffic, error) {
-	var tr InterStageTraffic
-	if stages <= 1 {
-		return tr, nil
-	}
-	sched, err := pipeline.OneFOneB(stages, micros)
+	p, err := plan.Compile(cfg, plan.Grid{Stages: stages, DPGroups: 1, MicroBatches: micros})
 	if err != nil {
-		return tr, err
+		return InterStageTraffic{}, err
 	}
-	tr.Messages = int64(simnet.InterStageMessages(stages, micros))
+	return PredictInterStageFromPlan(p, denseBytes, cmpBytes), nil
+}
+
+// PredictInterStageFromPlan prices one replica's inter-stage traffic
+// directly off a compiled plan: every forward edge is dense (§5), and
+// each backward edge costs denseBytes or cmpBytes exactly where the
+// plan's edge actions say so.
+func PredictInterStageFromPlan(p *plan.Plan, denseBytes, cmpBytes int64) InterStageTraffic {
+	var tr InterStageTraffic
+	if p.Grid().Stages <= 1 {
+		return tr
+	}
+	fwd, denseBwd, cmpBwd := p.Counts()
+	tr.Messages = int64(fwd + denseBwd + cmpBwd)
 	tr.Steps = tr.Messages
-	// Forward activations are never compressed (§5).
-	tr.Bytes = int64(stages-1) * int64(micros) * denseBytes
-	for s := 1; s < stages; s++ {
-		for mi := 0; mi < micros; mi++ {
-			if cfg.CompressBackprop && (!cfg.EpilogueOnly || sched.IsEpilogueBackward(s, mi)) {
-				tr.Bytes += cmpBytes
-			} else {
-				tr.Bytes += denseBytes
-			}
-		}
-	}
-	return tr, nil
+	tr.Bytes = int64(fwd+denseBwd)*denseBytes + int64(cmpBwd)*cmpBytes
+	return tr
 }

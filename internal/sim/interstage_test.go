@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/plan"
+)
+
+// TestPredictInterStageIsPlanDerived pins the redesign invariant: the
+// legacy PredictInterStage signature is a pure wrapper over the compiled
+// plan — identical output to PredictInterStageFromPlan on a plan
+// compiled for the same shape, for every Table-2 configuration.
+func TestPredictInterStageIsPlanDerived(t *testing.T) {
+	const dense, cmp = 3072, 512
+	for _, cfg := range []core.Config{core.Baseline(), core.CB(), core.CBFE(), core.CBFESC(), core.NaiveCB()} {
+		for _, g := range []struct{ stages, micros int }{{2, 4}, {4, 4}, {4, 2}, {1, 4}} {
+			legacy, err := PredictInterStage(cfg, g.stages, g.micros, dense, cmp)
+			if err != nil {
+				t.Fatalf("%s: %v", cfg.Name(), err)
+			}
+			p, err := plan.Compile(cfg, plan.Grid{Stages: g.stages, DPGroups: 1, MicroBatches: g.micros})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := PredictInterStageFromPlan(p, dense, cmp); got != legacy {
+				t.Fatalf("%s pp%d m%d: wrapper %+v != plan-derived %+v", cfg.Name(), g.stages, g.micros, legacy, got)
+			}
+			// Messages = steps = fwd+bwd over all boundaries.
+			if want := int64(2 * (g.stages - 1) * g.micros); legacy.Messages != want || legacy.Steps != want {
+				t.Fatalf("%s pp%d m%d: messages %d steps %d, want %d", cfg.Name(), g.stages, g.micros, legacy.Messages, legacy.Steps, want)
+			}
+		}
+	}
+}
+
+// TestFamilyAwarePricing pins the simulator's per-family cost model for
+// the families the registry redesign makes reachable: a terngrad DP
+// sync must be priced strictly between zero and the dense all-reduce,
+// and a CB quantizer's backward payload must follow the family's own
+// ratio (identity ships dense bytes, terngrad ~2 bits/element) rather
+// than the low-rank formula.
+func TestFamilyAwarePricing(t *testing.T) {
+	durationsFor := func(cfg core.Config) durations {
+		sc := PaperScenario(cluster.GPT25B, cfg)
+		p, err := sc.Plan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return computeDurations(sc, p)
+	}
+
+	// DP side: dense > terngrad > 0; terngrad also has no PowerSGD codec
+	// term, so it must differ from the powersgd pricing.
+	dense := durationsFor(core.Baseline())
+	psgd := durationsFor(core.CBFESC())
+	tern := core.CBFESC()
+	tern.DPAlg = "terngrad"
+	terngrad := durationsFor(tern)
+	if terngrad.dp[0] <= dense.dp[0]/16 || terngrad.dp[0] >= dense.dp[0] {
+		t.Fatalf("terngrad dp cost %v implausible vs dense %v", terngrad.dp[0], dense.dp[0])
+	}
+	if terngrad.dp[0] == psgd.dp[0] {
+		t.Fatal("terngrad priced identically to powersgd")
+	}
+
+	// CB side: identity "compression" must be priced at the dense
+	// transfer time, terngrad well below it, powersgd per the low-rank
+	// formula — all without the PowerSGD codec term for the quantizers.
+	cbIdentity := core.CB()
+	cbIdentity.CBAlg = "identity"
+	idd := durationsFor(cbIdentity)
+	if idd.sendBwdCmpXfer < idd.sendBwdXfer*0.99 {
+		t.Fatalf("identity CB priced below dense: %v vs %v", idd.sendBwdCmpXfer, idd.sendBwdXfer)
+	}
+	if idd.sendBwdCodec != 0 {
+		t.Fatalf("identity CB charged a PowerSGD codec term %v", idd.sendBwdCodec)
+	}
+	cbTern := core.CB()
+	cbTern.CBAlg = "terngrad"
+	td := durationsFor(cbTern)
+	if td.sendBwdCmpXfer >= idd.sendBwdCmpXfer/2 {
+		t.Fatalf("terngrad CB %v not well below dense %v", td.sendBwdCmpXfer, idd.sendBwdCmpXfer)
+	}
+}
+
+// TestScenarioPlanCompiles asserts every paper scenario compiles its
+// plan (the same compile path BuildGraph consumes), and that the plan's
+// embedding strategy matches the scenario's configuration.
+func TestScenarioPlanCompiles(t *testing.T) {
+	for _, cfg := range []core.Config{core.Baseline(), core.CB(), core.CBFE(), core.CBFESC()} {
+		sc := PaperScenario(cluster.GPT25B, cfg)
+		p, err := sc.Plan()
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name(), err)
+		}
+		wantEmb := plan.EmbTwoPhase
+		if cfg.FuseEmbedding {
+			wantEmb = plan.EmbFused
+		}
+		if p.Embedding() != wantEmb {
+			t.Fatalf("%s: embedding %v, want %v", cfg.Name(), p.Embedding(), wantEmb)
+		}
+		if got := p.CompressedStages(); len(got) != sc.Map.PP {
+			t.Fatalf("%s: %d stage actions for PP %d", cfg.Name(), len(got), sc.Map.PP)
+		}
+	}
+}

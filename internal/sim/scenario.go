@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/plan"
 )
 
 // CommParams captures how far real distributed-training communication
@@ -145,6 +146,21 @@ func (s Scenario) Validate() error {
 
 // LayersPerStage returns the per-stage layer count.
 func (s Scenario) LayersPerStage() int { return s.Spec.Layers / s.Map.PP }
+
+// Plan compiles the scenario's communication/compression plan — the
+// same plan.Compile the executable trainer runs, so the simulator's
+// edge placement, §7 stage selection, and §6 embedding strategy can
+// never drift from the executed ones. The boundary shape is the
+// inter-stage activation-gradient: (micro-batch samples × seq) × hidden.
+func (s Scenario) Plan() (*plan.Plan, error) {
+	return plan.Compile(s.Cfg, plan.Grid{
+		Stages:       s.Map.PP,
+		DPGroups:     s.Map.DP,
+		MicroBatches: s.MicroBatches(),
+		BoundaryRows: s.MicroBatch * s.Spec.SeqLen,
+		BoundaryCols: s.Spec.Hidden,
+	})
+}
 
 // StageParams returns the parameter count owned by one pipeline stage,
 // embedding tables excluded (they are accounted by the EMB tasks).

@@ -504,7 +504,7 @@ func (t *Trainer) cbFor(d, s int) (*compress.ErrorFeedback, error) {
 func (t *Trainer) dpEFFor(s, dd, gi int) (*compress.ErrorFeedback, error) {
 	if s < 0 || s >= t.cfg.Stages || dd < 0 || dd >= t.cfg.DPGroups ||
 		gi < 0 || gi >= len(t.grads[0][s]) ||
-		!t.compressedStages[s] || !compressibleShape(t.grads[0][s][gi]) {
+		!t.plan.DPCompressed(s) || !compressibleShape(t.grads[0][s][gi]) {
 		return nil, fmt.Errorf("train: checkpoint carries DP-sync compressor state for key (%d,%d,%d) the configuration does not have", s, dd, gi)
 	}
 	return t.dpEF(s, dd, gi), nil

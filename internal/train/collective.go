@@ -3,6 +3,7 @@ package train
 import (
 	"repro/internal/collective"
 	"repro/internal/compress"
+	"repro/internal/plan"
 	"repro/internal/tensor"
 )
 
@@ -73,7 +74,7 @@ func newCollectiveState(t *Trainer) *collectiveState {
 				bufs[dd] = t.grads[dd][s][gi]
 			}
 			cs.dpBufs[s][gi] = bufs
-			if t.compressedStages[s] && compressibleShape(bufs[0]) {
+			if t.plan.DPCompressed(s) && compressibleShape(bufs[0]) {
 				efs := make([]*compress.ErrorFeedback, cfg.DPGroups)
 				for dd := 0; dd < cfg.DPGroups; dd++ {
 					efs[dd] = t.dpEF(s, dd, gi) // same seeds as the serial path
@@ -83,12 +84,12 @@ func newCollectiveState(t *Trainer) *collectiveState {
 		}
 	}
 
-	// Embedding groups (§6). Only the path the (immutable) configuration
-	// will run is built: the fused 2D-way group — whose ring order
-	// matches the serial fused reduction Σ_d (first_d + last_d) — or the
-	// baseline's per-side and per-replica groups.
+	// Embedding groups (§6). Only the path the (immutable) plan selects
+	// is built: the fused 2D-way group — whose ring order matches the
+	// serial fused reduction Σ_d (first_d + last_d) — or the baseline's
+	// per-side and per-replica groups.
 	last := cfg.Stages - 1
-	if cfg.Stages == 1 || cfg.Opt.FuseEmbedding {
+	if emb := t.plan.Embedding(); emb == plan.EmbDPOnly || emb == plan.EmbFused {
 		cs.embFused = cs.rt.NewGroup(collective.ClassEmb, topo.EmbGroup())
 		for dd := 0; dd < cfg.DPGroups; dd++ {
 			cs.embFusedBufs = append(cs.embFusedBufs, t.replicas[dd][0].EmbeddingGrad())
@@ -134,20 +135,21 @@ func (cs *collectiveState) syncStage(t *Trainer, s int, compressed bool) {
 	}
 }
 
-// syncEmbedding runs the §6 phase on the runtime: the fused 2D-way
-// all-reduce (Fig. 7b, Eq. 16) or the baseline per-side averages plus
-// per-replica sums (Fig. 7a, Eq. 15). Traffic lands on ClassEmb.
+// syncEmbedding runs the §6 phase the plan selected on the runtime: the
+// fused 2D-way all-reduce (Fig. 7b, Eq. 16) or the baseline per-side
+// averages plus per-replica sums (Fig. 7a, Eq. 15). Traffic lands on
+// ClassEmb.
 func (cs *collectiveState) syncEmbedding(t *Trainer) {
 	cfg := t.cfg
 	d := float64(cfg.DPGroups)
-	if cfg.Stages == 1 {
+	strategy := t.plan.Embedding()
+	t.exec.emb, t.exec.embRan = strategy, true
+	switch strategy {
+	case plan.EmbDPOnly:
 		// The table is shared in place; only the DP average remains.
-		if cfg.DPGroups > 1 {
-			cs.embFused.AllReduce(cs.embFusedBufs, 1/d)
-		}
+		cs.embFused.AllReduce(cs.embFusedBufs, 1/d)
 		return
-	}
-	if cfg.Opt.FuseEmbedding {
+	case plan.EmbFused:
 		// One 2D-way all-reduce: Σ over both sides and all replicas, /D.
 		cs.embFused.AllReduce(cs.embFusedBufs, 1/d)
 		return

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/compress"
+	"repro/internal/plan"
 	"repro/internal/tensor"
 )
 
@@ -25,11 +26,11 @@ func (t *Trainer) syncDataParallel() {
 	if d <= 1 {
 		return
 	}
-	compressedStages := t.compressedStages
+	t.exec.dpRan = true
 	workers := t.syncWorkers()
 	if workers <= 1 || cfg.Stages == 1 {
 		for s := 0; s < cfg.Stages; s++ {
-			t.syncStage(s, compressedStages[s])
+			t.syncStage(s, t.plan.DPCompressed(s))
 		}
 		return
 	}
@@ -40,7 +41,7 @@ func (t *Trainer) syncDataParallel() {
 		sem <- struct{}{}
 		go func(s int) {
 			defer wg.Done()
-			t.syncStage(s, compressedStages[s])
+			t.syncStage(s, t.plan.DPCompressed(s))
 			<-sem
 		}(s)
 	}
@@ -64,6 +65,7 @@ func (t *Trainer) syncWorkers() int {
 // this is a ring all-reduce per gradient; the serial reduction below is
 // the DisableCollective fallback and the bit-identity oracle.
 func (t *Trainer) syncStage(s int, compressed bool) {
+	t.exec.dp[s] = compressed
 	if t.coll != nil {
 		t.coll.syncStage(t, s, compressed)
 		return
@@ -98,16 +100,18 @@ func (t *Trainer) syncStage(s int, compressed bool) {
 func compressibleShape(g *tensor.Matrix) bool { return g.Rows > 1 && g.Cols > 1 }
 
 // dpEF returns (lazily creating) the error-feedback compressor for
-// gradient matrix gi of stage s in group dd. Creation is guarded by a
-// mutex because stages sync concurrently; each compressor instance is
-// only ever used by its own (s, dd, gi) task, so use needs no lock.
+// gradient matrix gi of stage s in group dd, built from the plan's
+// registry spec for that channel. Creation is guarded by a mutex because
+// stages sync concurrently; each compressor instance is only ever used
+// by its own (s, dd, gi) task, so use needs no lock.
 func (t *Trainer) dpEF(s, dd, gi int) *compress.ErrorFeedback {
 	key := [3]int{s, dd, gi}
 	t.dpcMu.Lock()
 	ef := t.dpc[key]
 	if ef == nil {
-		ef = compress.NewErrorFeedback(compress.NewPowerSGD(t.cfg.Opt.DPRank,
-			t.cfg.Seed+int64(100000+s*1000+dd*100+gi)))
+		// The spec family was validated by plan.Compile, so Build only
+		// fails on a programming error.
+		ef = compress.NewErrorFeedback(compress.MustBuild(t.plan.DPSpec(s, dd, gi)))
 		ef.SetPool(t.pool)
 		t.dpc[key] = ef
 	}
@@ -130,12 +134,14 @@ func (t *Trainer) syncEmbedding() {
 	}
 	cfg := t.cfg
 	dN := float64(cfg.DPGroups)
-	if cfg.Stages == 1 {
-		// Single stage: the table is shared in-place (no inter-stage sync);
-		// only the DP average remains.
-		if cfg.DPGroups <= 1 {
-			return
-		}
+	strategy := t.plan.Embedding()
+	t.exec.emb, t.exec.embRan = strategy, true
+	switch strategy {
+	case plan.EmbNone:
+		// Single rank: the table is shared in place; nothing to sync.
+		return
+	case plan.EmbDPOnly:
+		// Single stage: only the DP average remains.
 		g0 := t.replicas[0][0].EmbeddingGrad()
 		avg := t.pool.Get(g0.Rows, g0.Cols)
 		for dd := 0; dd < cfg.DPGroups; dd++ {
@@ -149,7 +155,7 @@ func (t *Trainer) syncEmbedding() {
 		return
 	}
 	last := cfg.Stages - 1
-	if cfg.Opt.FuseEmbedding {
+	if strategy == plan.EmbFused {
 		// One 2D-way all-reduce: Σ over both sides and all groups, /D.
 		g0 := t.replicas[0][0].EmbeddingGrad()
 		total := t.pool.Get(g0.Rows, g0.Cols)

@@ -1,0 +1,79 @@
+package train
+
+import "fmt"
+
+// Engine selects how a training iteration executes. It replaces the
+// DisableCollective/DisablePipeline negative booleans with one positive
+// knob; the old fields remain for one release as deprecated aliases that
+// Config.Validate maps onto the enum (see ResolvedEngine).
+type Engine int
+
+// Engines, from most to least machinery.
+const (
+	// EngineAuto resolves to EnginePipelined (the default execution
+	// stack), unless a deprecated Disable* alias demotes it.
+	EngineAuto Engine = iota
+	// EnginePipelined runs micro-batches on the 1F1B executor — one
+	// goroutine per (dp group, stage) rank over the collective
+	// runtime's point-to-point transport — and the sync phases on the
+	// ring collectives. On a single-stage grid the micro-batch loop
+	// degenerates to serial (there is no pipeline), but sync stays on
+	// the runtime.
+	EnginePipelined
+	// EngineSerial runs the serial in-loop micro-batch path while sync
+	// still executes (and is accounted) on the collective runtime —
+	// the pipeline-executor oracle.
+	EngineSerial
+	// EngineReference runs everything serially with in-place
+	// reductions and no collective runtime at all — the bit-identity
+	// oracle for the whole communication stack. No traffic accounting.
+	EngineReference
+)
+
+// engineNames maps flag spellings to engines (see ParseEngine).
+var engineNames = map[string]Engine{
+	"auto":      EngineAuto,
+	"pipelined": EnginePipelined,
+	"serial":    EngineSerial,
+	"reference": EngineReference,
+}
+
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EnginePipelined:
+		return "pipelined"
+	case EngineSerial:
+		return "serial"
+	case EngineReference:
+		return "reference"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// ParseEngine resolves a flag spelling ("auto", "pipelined", "serial",
+// "reference") to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	if e, ok := engineNames[s]; ok {
+		return e, nil
+	}
+	return EngineAuto, fmt.Errorf("train: unknown engine %q (want auto, pipelined, serial, or reference)", s)
+}
+
+// ResolvedEngine maps the configuration — including the deprecated
+// DisableCollective/DisablePipeline aliases — onto a concrete engine.
+// An explicit Engine wins; the aliases only apply under EngineAuto
+// (setting both an explicit engine and an alias is a Validate error).
+func (c Config) ResolvedEngine() Engine {
+	if c.Engine != EngineAuto {
+		return c.Engine
+	}
+	switch {
+	case c.DisableCollective:
+		return EngineReference
+	case c.DisablePipeline:
+		return EngineSerial
+	}
+	return EnginePipelined
+}

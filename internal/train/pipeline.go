@@ -143,7 +143,13 @@ func (t *Trainer) pipeSendBackward(d, s, mi int, g, fwdAct *tensor.Matrix) {
 	rt := t.coll.rt
 	topo := t.coll.topo
 	from, to := topo.Rank(d, s), topo.Rank(d, s-1)
-	if !t.shouldCompressBackward(s, mi) {
+	compressed := t.plan.CompressBackward(s, mi)
+	if d == 0 {
+		// Group 0's stage-s rank is the only writer of this row, so the
+		// executor's concurrent ranks never race on the log.
+		t.exec.bwd[s][mi] = compressed
+	}
+	if !compressed {
 		rt.Send(collective.ClassPP, from, to, g)
 		return
 	}

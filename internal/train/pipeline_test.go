@@ -100,19 +100,24 @@ func TestPipelineExecutorBitIdentical(t *testing.T) {
 }
 
 // probeCBWireBytes returns the wire size of one compressed backward
-// payload for cfg's boundary shape, measured on a compressor identical
-// to the trainer's (payload sizes are shape-determined, so one probe
-// predicts every send). For low-rank configurations it also pins the
-// measured size to core.LowRankWireBytes — the closed form the pipeline
-// experiment and the quickstart price predictions with.
+// payload for cfg's boundary shape, measured on a compressor built from
+// the trainer's compiled plan spec through the registry (payload sizes
+// are shape-determined, so one probe predicts every send). For low-rank
+// configurations it also pins the measured size to core.LowRankWireBytes
+// — the closed form the pipeline experiment and the quickstart price
+// predictions with.
 func probeCBWireBytes(t *testing.T, tr *Trainer) int64 {
 	t.Helper()
 	probe := tensor.New(tr.cfg.MicroBatch, tr.cfg.Model.Hidden)
 	for i := range probe.Data {
 		probe.Data[i] = float64(i%13) / 13
 	}
-	wire := tr.newCBCompressor(0).Compress(probe).WireBytes()
-	if tr.cfg.Opt.CBAlg != core.CBTopK {
+	c, err := compress.Build(tr.Plan().CBSpec(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := c.Compress(probe).WireBytes()
+	if tr.Plan().CBFamily() == "powersgd" {
 		if want := core.LowRankWireBytes(probe.Rows, probe.Cols, tr.cfg.Opt.CBRank, compress.ElemBytes); wire != want {
 			t.Fatalf("measured PowerSGD payload %d bytes, closed form says %d", wire, want)
 		}

@@ -1,0 +1,243 @@
+package train
+
+import (
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/sim"
+)
+
+// TestExecutedPlacementEqualsPlanAndPrediction pins the redesign's
+// acceptance criterion: neither the trainer nor the simulator re-derives
+// compression placement — both consume the compiled plan, and what the
+// engine *actually executed* (recorded at the send/sync call sites,
+// independently of the plan) equals the plan's edge and stage sets
+// exactly, on both engines, with the simulator's plan-derived byte
+// prediction matching the transport's measured pp-class traffic.
+func TestExecutedPlacementEqualsPlanAndPrediction(t *testing.T) {
+	c := testCorpus(t)
+	for name, opt := range executorOpts() {
+		for _, g := range executorGrids {
+			for _, engine := range []Engine{EnginePipelined, EngineSerial} {
+				cfg := gridConfig(opt, g.dp, g.pp, g.micros)
+				cfg.Engine = engine
+				tr, err := New(cfg, c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tr.TrainIteration()
+
+				// Executed backward edge set == plan edge set.
+				pl := tr.Plan()
+				execBwd := tr.ExecutedBackwardActions()
+				for s := 1; s < cfg.Stages; s++ {
+					for mi := 0; mi < cfg.MicroBatches; mi++ {
+						if execBwd[s][mi] != pl.CompressBackward(s, mi) {
+							t.Fatalf("%s %v dp%d×pp%d m=%d: edge (s=%d,mi=%d) executed=%v plan=%v",
+								name, engine, g.dp, g.pp, g.micros, s, mi,
+								execBwd[s][mi], pl.CompressBackward(s, mi))
+						}
+					}
+				}
+
+				// Executed DP-sync stage set == plan stage set.
+				execDP, ran := tr.ExecutedCompressedStages()
+				if want := cfg.DPGroups > 1; ran != want {
+					t.Fatalf("%s %v: dp sync ran=%v, want %v", name, engine, ran, want)
+				}
+				if ran {
+					for s, got := range execDP {
+						if got != pl.DPCompressed(s) {
+							t.Fatalf("%s %v: stage %d executed dp-compress=%v plan=%v",
+								name, engine, s, got, pl.DPCompressed(s))
+						}
+					}
+				}
+
+				// Executed embedding strategy == plan strategy.
+				if emb, ran := tr.ExecutedEmbedding(); !ran || emb != pl.Embedding() {
+					t.Fatalf("%s %v: executed embedding %v (ran=%v), plan says %v",
+						name, engine, emb, ran, pl.Embedding())
+				}
+
+				// The simulator's prediction, derived from the same plan,
+				// equals the transport's measured pp traffic to the byte.
+				if st, ok := tr.CollectiveStats(); ok && cfg.Stages > 1 {
+					dense := int64(cfg.MicroBatch*cfg.Model.Hidden) * compress.ElemBytes
+					var cmp int64
+					if opt.CompressBackprop {
+						cmp = probeCBWireBytes(t, tr)
+					}
+					pred := sim.PredictInterStageFromPlan(pl, dense, cmp)
+					exec := st.For(collective.ClassPP)
+					scale := int64(cfg.DPGroups)
+					if exec.Bytes != pred.Bytes*scale || exec.Messages != pred.Messages*scale {
+						t.Fatalf("%s %v dp%d×pp%d: executed pp (%d B, %d msgs) != plan-derived prediction (%d B, %d msgs)",
+							name, engine, g.dp, g.pp, exec.Bytes, exec.Messages,
+							pred.Bytes*scale, pred.Messages*scale)
+					}
+				}
+				tr.Close()
+			}
+		}
+	}
+}
+
+// TestEngineResolution pins the Engine enum and its deprecated aliases.
+func TestEngineResolution(t *testing.T) {
+	base := testConfig(core.Baseline())
+	cases := []struct {
+		mutate func(*Config)
+		want   Engine
+	}{
+		{func(*Config) {}, EnginePipelined},
+		{func(c *Config) { c.Engine = EnginePipelined }, EnginePipelined},
+		{func(c *Config) { c.Engine = EngineSerial }, EngineSerial},
+		{func(c *Config) { c.Engine = EngineReference }, EngineReference},
+		{func(c *Config) { c.DisablePipeline = true }, EngineSerial},
+		{func(c *Config) { c.DisableCollective = true }, EngineReference},
+		{func(c *Config) { c.DisableCollective = true; c.DisablePipeline = true }, EngineReference},
+	}
+	for i, cse := range cases {
+		cfg := base
+		cse.mutate(&cfg)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got := cfg.ResolvedEngine(); got != cse.want {
+			t.Fatalf("case %d: resolved %v, want %v", i, got, cse.want)
+		}
+	}
+
+	// Explicit engine + deprecated alias is a configuration error.
+	bad := base
+	bad.Engine = EngineSerial
+	bad.DisableCollective = true
+	if bad.Validate() == nil {
+		t.Fatal("conflicting Engine + DisableCollective accepted")
+	}
+	bad = base
+	bad.Engine = Engine(99)
+	if bad.Validate() == nil {
+		t.Fatal("out-of-range engine accepted")
+	}
+}
+
+// TestEngineTrinityBitIdentical runs the same configuration on all
+// three engines and asserts bit-identical losses and weights — the
+// Engine knob must be a pure execution-stack choice.
+func TestEngineTrinityBitIdentical(t *testing.T) {
+	c := testCorpus(t)
+	opt := core.CBFESC()
+	opt.CBRank = 2
+	opt.DPRank = 2
+	var trainers []*Trainer
+	for _, e := range []Engine{EnginePipelined, EngineSerial, EngineReference} {
+		cfg := testConfig(opt)
+		cfg.Engine = e
+		tr, err := New(cfg, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		if tr.Engine() != e {
+			t.Fatalf("engine %v resolved as %v", e, tr.Engine())
+		}
+		trainers = append(trainers, tr)
+	}
+	for i := 0; i < 3; i++ {
+		l0 := trainers[0].TrainIteration()
+		for _, tr := range trainers[1:] {
+			if l := tr.TrainIteration(); l != l0 {
+				t.Fatalf("iteration %d: engine %v loss %v != %v", i, tr.Engine(), l, l0)
+			}
+		}
+	}
+	assertSameWeights(t, trainers[0], trainers[1], "pipelined-vs-serial")
+	assertSameWeights(t, trainers[0], trainers[2], "pipelined-vs-reference")
+}
+
+// TestTernGradDPSyncTrains pins the previously dead quantizer family end
+// to end through the trainer: -dp-alg terngrad reaches the compressed
+// ring all-reduce via the registry, the model still learns, and the
+// executed dp-class wire volume is below the dense baseline's.
+func TestTernGradDPSyncTrains(t *testing.T) {
+	c := testCorpus(t)
+	opt := core.CBFESC()
+	opt.CBRank = 2
+	opt.DPRank = 2
+	opt.DPAlg = "terngrad"
+	tr, err := New(testConfig(opt), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if got := tr.Plan().DPFamily(); got != "terngrad" {
+		t.Fatalf("plan DP family %q", got)
+	}
+	first := tr.TrainIteration()
+	last := tr.Train(40, nil)
+	if last >= first {
+		t.Fatalf("terngrad DP sync did not learn: %v → %v", first, last)
+	}
+
+	// Same config with dense DP sync for the wire-volume comparison.
+	dense := testConfig(core.Baseline())
+	dtr, err := New(dense, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dtr.Close()
+	for i := 0; i < 3; i++ {
+		dtr.TrainIteration()
+	}
+	ds, _ := dtr.CollectiveStats()
+	ts, _ := tr.CollectiveStats()
+	tIters, dIters := int64(tr.Iteration()), int64(dtr.Iteration())
+	if ts.For(collective.ClassDP).Bytes/tIters >= ds.For(collective.ClassDP).Bytes/dIters {
+		t.Fatalf("terngrad dp traffic %d/iter not below dense %d/iter",
+			ts.For(collective.ClassDP).Bytes/tIters, ds.For(collective.ClassDP).Bytes/dIters)
+	}
+}
+
+// TestTrainerPlanMatchesScenarioPlan asserts the trainer and the
+// simulator compile literally interchangeable plans for matching shapes:
+// same edge grid, same stage set, same embedding strategy.
+func TestTrainerPlanMatchesScenarioPlan(t *testing.T) {
+	c := testCorpus(t)
+	opt := core.CBFESC()
+	opt.CBRank = 2
+	opt.DPRank = 2
+	cfg := testConfig(opt)
+	tr, err := New(cfg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	normalized := cfg.Opt
+	normalized.Seed = cfg.Seed
+	other := plan.MustCompile(normalized, plan.Grid{
+		Stages:       cfg.Stages,
+		DPGroups:     cfg.DPGroups,
+		MicroBatches: cfg.MicroBatches,
+		BoundaryRows: cfg.MicroBatch,
+		BoundaryCols: cfg.Model.Hidden,
+	})
+	a, b := tr.Plan(), other
+	for s := 0; s < cfg.Stages; s++ {
+		if a.DPCompressed(s) != b.DPCompressed(s) {
+			t.Fatalf("stage %d DP action differs", s)
+		}
+		for mi := 0; mi < cfg.MicroBatches; mi++ {
+			if a.CompressBackward(s, mi) != b.CompressBackward(s, mi) {
+				t.Fatalf("edge (%d,%d) differs", s, mi)
+			}
+		}
+	}
+	if a.Embedding() != b.Embedding() || a.String() != b.String() {
+		t.Fatal("plans render differently for identical inputs")
+	}
+}

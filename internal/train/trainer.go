@@ -38,6 +38,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/model"
 	"repro/internal/pipeline"
+	"repro/internal/plan"
 	"repro/internal/tensor"
 )
 
@@ -67,22 +68,17 @@ type Config struct {
 	// synchronization out over independent stages (0 = GOMAXPROCS,
 	// 1 = serial). Results are bit-identical at any setting.
 	SyncWorkers int
-	// DisableCollective routes gradient and embedding synchronization
-	// through the serial in-place reductions instead of the rank-based
-	// collective runtime (internal/collective). The runtime is the
-	// default; both paths are bit-identical (asserted by tests), but only
-	// the runtime executes and accounts real per-rank ring traffic.
-	// Disabling the collective also disables the pipeline executor (it
-	// needs the runtime's transport).
+	// Engine selects the execution stack: the 1F1B executor over the
+	// collective runtime (default), the serial loop over the runtime, or
+	// the fully serial reference oracle. All engines are bit-identical
+	// (asserted by tests); only the runtime-backed ones execute and
+	// account real per-rank traffic.
+	Engine Engine
+	// DisableCollective is a deprecated alias for Engine =
+	// EngineReference (kept one release; see ResolvedEngine).
 	DisableCollective bool
-	// DisablePipeline routes micro-batch execution through the serial
-	// per-micro-batch loop instead of the 1F1B pipeline executor (one
-	// goroutine per (dp group, stage) rank, inter-stage tensors shipped
-	// over the collective transport). The executor is the default on
-	// multi-stage grids; both paths are bit-identical (asserted by
-	// tests), but only the executor really moves activations and
-	// activation-gradients between ranks. When the executor runs,
-	// ParallelGroups is moot — every (group, stage) rank is concurrent.
+	// DisablePipeline is a deprecated alias for Engine = EngineSerial
+	// (kept one release; see ResolvedEngine).
 	DisablePipeline bool
 	Seed            int64
 }
@@ -105,7 +101,8 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors, including conflicts between the
+// Engine knob and its deprecated Disable* aliases.
 func (c Config) Validate() error {
 	if err := c.Model.Validate(); err != nil {
 		return err
@@ -122,13 +119,23 @@ func (c Config) Validate() error {
 		return fmt.Errorf("train: micro-batch settings must be ≥ 1")
 	case c.LR <= 0:
 		return fmt.Errorf("train: LR %v <= 0", c.LR)
+	case c.Engine < EngineAuto || c.Engine > EngineReference:
+		return fmt.Errorf("train: unknown engine %v", c.Engine)
+	case c.Engine != EngineAuto && (c.DisableCollective || c.DisablePipeline):
+		return fmt.Errorf("train: Engine %v conflicts with the deprecated DisableCollective/DisablePipeline flags; set only one", c.Engine)
 	}
 	return nil
 }
 
 // Trainer holds the replicated pipeline and all compression state.
 type Trainer struct {
-	cfg    Config
+	cfg Config
+	// plan is the compiled communication/compression plan — the single
+	// source of truth for which edges compress, which stages' DP sync
+	// compresses, and how the embedding synchronizes. The trainer never
+	// re-derives placement from cfg.Opt directly.
+	plan   *plan.Plan
+	engine Engine
 	corpus *data.Corpus
 	sched  *pipeline.Schedule
 	// replicas[d][s] is pipeline stage s of data-parallel group d.
@@ -147,11 +154,8 @@ type Trainer struct {
 	// embSkip marks every embedding-table gradient; DP sync skips them
 	// (they belong to the §6 embedding-synchronization phase).
 	embSkip map[*tensor.Matrix]bool
-	// compressedStages caches cfg.Opt.CompressedStages (selective stage
-	// compression, §7), which is pure in the config.
-	compressedStages []bool
 	// coll is the rank-based collective runtime backing the sync phases
-	// (nil when DisableCollective is set or the grid is a single rank).
+	// (nil under EngineReference or on a single-rank grid).
 	coll *collectiveState
 
 	// cb[d][s] compresses the backward send from stage s to s−1 of group
@@ -163,11 +167,33 @@ type Trainer struct {
 	dpc   map[[3]int]*compress.ErrorFeedback
 	dpcMu sync.Mutex
 
+	// exec records what the engine actually did, independently of the
+	// plan, so crosscheck tests can compare executed placement against
+	// the compiled plan and the simulator's prediction.
+	exec execLog
+
 	stats *Stats
 	iter  int
 }
 
-// New builds a trainer over the given corpus.
+// execLog captures executed communication decisions: group 0's backward
+// edge actions (identical across groups), the DP-sync stage selection,
+// and the embedding strategy. bwd[s][mi] is written only by group 0's
+// stage-s rank (distinct rows per goroutine), so no locking is needed.
+type execLog struct {
+	bwd [][]bool
+	dp  []bool
+	// dpRan reports whether a DP sync executed at all (DPGroups > 1).
+	dpRan bool
+	emb   plan.EmbeddingStrategy
+	// embRan reports whether an embedding sync path executed.
+	embRan bool
+}
+
+// New builds a trainer over the given corpus. The configuration is
+// compiled into a *plan.Plan first (plan.Compile is where every
+// placement and compressor-family decision is validated and resolved);
+// the trainer then only executes what the plan says.
 func New(cfg Config, corpus *data.Corpus) (*Trainer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -175,12 +201,29 @@ func New(cfg Config, corpus *data.Corpus) (*Trainer, error) {
 	if corpus.Vocab != cfg.Model.Vocab {
 		return nil, fmt.Errorf("train: corpus vocab %d != model vocab %d", corpus.Vocab, cfg.Model.Vocab)
 	}
+	// The run seed (cfg.Seed) drives every compressor sketch, as it
+	// always has; the core.Config's own Seed field is normalized to it
+	// so the compiled plan's specs carry the effective seed.
+	opt := cfg.Opt
+	opt.Seed = cfg.Seed
+	pl, err := plan.Compile(opt, plan.Grid{
+		Stages:       cfg.Stages,
+		DPGroups:     cfg.DPGroups,
+		MicroBatches: cfg.MicroBatches,
+		BoundaryRows: cfg.MicroBatch,
+		BoundaryCols: cfg.Model.Hidden,
+	})
+	if err != nil {
+		return nil, err
+	}
 	sched, err := pipeline.OneFOneB(cfg.Stages, cfg.MicroBatches)
 	if err != nil {
 		return nil, err
 	}
 	t := &Trainer{
 		cfg:     cfg,
+		plan:    pl,
+		engine:  cfg.ResolvedEngine(),
 		corpus:  corpus,
 		sched:   sched,
 		opt:     model.NewSGD(cfg.LR, cfg.Momentum, cfg.Clip),
@@ -188,9 +231,12 @@ func New(cfg Config, corpus *data.Corpus) (*Trainer, error) {
 		pool:    tensor.NewPool(),
 		dpc:     make(map[[3]int]*compress.ErrorFeedback),
 		embSkip: make(map[*tensor.Matrix]bool),
-
-		compressedStages: cfg.Opt.CompressedStages(cfg.Stages),
 	}
+	t.exec.bwd = make([][]bool, cfg.Stages)
+	for s := range t.exec.bwd {
+		t.exec.bwd[s] = make([]bool, cfg.MicroBatches)
+	}
+	t.exec.dp = make([]bool, cfg.Stages)
 	for d := 0; d < cfg.DPGroups; d++ {
 		stages, err := model.NewStages(cfg.Model, cfg.Stages)
 		if err != nil {
@@ -213,8 +259,12 @@ func New(cfg Config, corpus *data.Corpus) (*Trainer, error) {
 		for d := 0; d < cfg.DPGroups; d++ {
 			row := make([]*compress.ErrorFeedback, cfg.Stages)
 			for s := 1; s < cfg.Stages; s++ {
-				ef := compress.NewErrorFeedback(t.newCBCompressor(int64(d*100 + s)))
-				ef.SetEnabled(cfg.Opt.LazyErrorPropagation)
+				inner, err := compress.Build(pl.CBSpec(d, s))
+				if err != nil {
+					return nil, fmt.Errorf("train: boundary (%d,%d): %w", d, s, err)
+				}
+				ef := compress.NewErrorFeedback(inner)
+				ef.SetEnabled(pl.LazyErrorPropagation())
 				ef.SetPool(t.pool)
 				row[s] = ef
 			}
@@ -224,7 +274,7 @@ func New(cfg Config, corpus *data.Corpus) (*Trainer, error) {
 	if cfg.CollectStats {
 		t.stats = NewStats()
 	}
-	if !cfg.DisableCollective && (cfg.DPGroups > 1 || cfg.Stages > 1) {
+	if t.engine != EngineReference && (cfg.DPGroups > 1 || cfg.Stages > 1) {
 		t.coll = newCollectiveState(t)
 		// A trainer that is dropped without Close (the experiment harness
 		// creates dozens) must not pin its rank workers and pool forever:
@@ -254,22 +304,39 @@ func (t *Trainer) CollectiveStats() (s collective.Stats, ok bool) {
 	return t.coll.rt.Stats(), true
 }
 
-func (t *Trainer) newCBCompressor(seed int64) compress.Compressor {
-	if t.cfg.Opt.CBAlg == core.CBTopK {
-		// Match the low-rank element budget: r(n+m)/(n·m) of elements.
-		n := t.cfg.MicroBatch
-		m := t.cfg.Model.Hidden
-		frac := float64(t.cfg.Opt.CBRank*(n+m)) / float64(n*m)
-		if frac > 1 {
-			frac = 1
-		}
-		return compress.NewTopK(frac)
-	}
-	return compress.NewPowerSGD(t.cfg.Opt.CBRank, t.cfg.Seed+seed)
-}
-
 // Stages returns replica 0's stage chain (for evaluation).
 func (t *Trainer) Stages() []*model.Stage { return t.replicas[0] }
+
+// Plan returns the compiled communication/compression plan the trainer
+// executes.
+func (t *Trainer) Plan() *plan.Plan { return t.plan }
+
+// Engine returns the resolved execution engine.
+func (t *Trainer) Engine() Engine { return t.engine }
+
+// ExecutedBackwardActions returns the [stage][micro] compression grid
+// the engine actually applied to group 0's backward sends during the
+// last iteration (a copy; identical across groups by construction —
+// the crosscheck tests compare it against the plan and the simulator).
+func (t *Trainer) ExecutedBackwardActions() [][]bool {
+	out := make([][]bool, len(t.exec.bwd))
+	for s := range t.exec.bwd {
+		out[s] = append([]bool(nil), t.exec.bwd[s]...)
+	}
+	return out
+}
+
+// ExecutedCompressedStages returns the per-stage DP-sync compression the
+// engine actually applied (a copy), and whether a DP sync ran at all.
+func (t *Trainer) ExecutedCompressedStages() ([]bool, bool) {
+	return append([]bool(nil), t.exec.dp...), t.exec.dpRan
+}
+
+// ExecutedEmbedding returns the §6 strategy the engine actually ran,
+// and whether an embedding sync executed.
+func (t *Trainer) ExecutedEmbedding() (plan.EmbeddingStrategy, bool) {
+	return t.exec.emb, t.exec.embRan
+}
 
 // Pool returns the trainer's workspace pool (exposed for benchmarks and
 // pool-reuse assertions).
@@ -324,10 +391,10 @@ func (t *Trainer) TrainIteration() float64 {
 }
 
 // pipelineActive reports whether micro-batches execute on the 1F1B
-// pipeline executor (multi-stage grid, collective runtime available, not
-// opted out).
+// pipeline executor (multi-stage grid, collective runtime available,
+// engine not demoted to a serial loop).
 func (t *Trainer) pipelineActive() bool {
-	return t.coll != nil && t.cfg.Stages > 1 && !t.cfg.DisablePipeline
+	return t.coll != nil && t.cfg.Stages > 1 && t.engine == EnginePipelined
 }
 
 // runSerial executes every group's micro-batches with the serial
@@ -430,14 +497,17 @@ func (t *Trainer) runMicroBatch(d, mi int, mb microBatch) float64 {
 // error-propagation reconstruction is ErrorFeedback-owned scratch and must
 // not be returned to the pool.)
 func (t *Trainer) transferBackward(d, s, mi int, g, fwdAct *tensor.Matrix) (sent *tensor.Matrix, pooled bool) {
-	cfg := t.cfg
-	if !t.shouldCompressBackward(s, mi) {
+	compressed := t.plan.CompressBackward(s, mi)
+	if d == 0 {
+		t.exec.bwd[s][mi] = compressed
+	}
+	if !compressed {
 		t.accountBackward(d, s, g.SizeBytes(compress.ElemBytes))
 		return g, false
 	}
 	ef := t.cb[d][s]
 	var recon *tensor.Matrix
-	if cfg.Opt.LazyErrorPropagation {
+	if t.plan.LazyErrorPropagation() {
 		var pl compress.Payload
 		pl, recon = ef.CompressWithFeedback(g)
 		t.accountBackward(d, s, pl.WireBytes())
@@ -452,17 +522,6 @@ func (t *Trainer) transferBackward(d, s, mi int, g, fwdAct *tensor.Matrix) (sent
 		t.stats.Record(g, recon, fwdAct)
 	}
 	return recon, pooled
-}
-
-// shouldCompressBackward reports whether the backward send of micro-batch
-// mi from stage s is compressed under the configuration — every send
-// when CompressBackprop is on, only the 1F1B epilogue drain when
-// EpilogueOnly restricts it (§5.2). This is the single classification
-// both the serial path and the pipeline executor apply; their
-// bit-identity depends on sharing it.
-func (t *Trainer) shouldCompressBackward(s, mi int) bool {
-	return t.cfg.Opt.CompressBackprop &&
-		(!t.cfg.Opt.EpilogueOnly || t.sched.IsEpilogueBackward(s, mi))
 }
 
 // accountBackward books one inter-stage backward transfer on the
