@@ -1,10 +1,12 @@
 // Command optcc-bench regenerates the paper's tables and figures. Each
 // experiment prints a text table; -exp all regenerates everything (the
 // content of EXPERIMENTS.md's measured sections). -collective-bench
-// instead micro-benchmarks the collective runtime, and -pipeline-bench
-// the 1F1B pipeline executor, and -plan-bench the compiled-plan API;
+// instead micro-benchmarks the collective runtime, -pipeline-bench the
+// 1F1B pipeline executor, -plan-bench the compiled-plan API, and
+// -overlap-bench blocking vs overlapped bucketed DP synchronization;
 // all write the machine-readable perf trails (BENCH_collective.json /
-// BENCH_pipeline.json / BENCH_plan.json) that CI archives.
+// BENCH_pipeline.json / BENCH_plan.json / BENCH_overlap.json) that CI
+// archives.
 //
 // Examples:
 //
@@ -14,6 +16,7 @@
 //	optcc-bench -collective-bench -benchtime 1x -bench-out BENCH_collective.json
 //	optcc-bench -pipeline-bench -benchtime 1x -bench-out BENCH_pipeline.json
 //	optcc-bench -plan-bench -benchtime 1x -bench-out BENCH_plan.json
+//	optcc-bench -overlap-bench -bench-out BENCH_overlap.json
 package main
 
 import (
@@ -33,7 +36,8 @@ func main() {
 	collBench := flag.Bool("collective-bench", false, "run collective-runtime micro-benchmarks and write machine-readable results")
 	pipeBench := flag.Bool("pipeline-bench", false, "run 1F1B pipeline-executor benchmarks and write machine-readable results")
 	planBench := flag.Bool("plan-bench", false, "run plan-compile benchmarks (compile ns/op + allocs/op, steady-state exec allocs) and write machine-readable results")
-	benchOut := flag.String("bench-out", "", "output path for benchmark JSON (default BENCH_collective.json / BENCH_pipeline.json / BENCH_plan.json)")
+	overlapBench := flag.Bool("overlap-bench", false, "run blocking-vs-overlapped DP-sync benchmarks (full iterations, exposed comm time, async-handle allocs) and write machine-readable results")
+	benchOut := flag.String("bench-out", "", "output path for benchmark JSON (default BENCH_collective.json / BENCH_pipeline.json / BENCH_plan.json / BENCH_overlap.json)")
 	benchtime := flag.String("benchtime", "1s", "per-benchmark measurement budget for the bench modes (e.g. 1s, 100x, 1x)")
 	flag.Parse()
 
@@ -59,6 +63,10 @@ func main() {
 		runBench(runPlanBenchmarks, "BENCH_plan.json")
 		return
 	}
+	if *overlapBench {
+		runBench(runOverlapBenchmarks, "BENCH_overlap.json")
+		return
+	}
 
 	opts := experiments.DefaultOptions()
 	if *quick {
@@ -72,7 +80,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "optcc-bench:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
+		// Close explicitly and check: an unflushed results file must not
+		// exit 0.
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "optcc-bench:", err)
+				os.Exit(1)
+			}
+		}()
 		w = io.MultiWriter(os.Stdout, f)
 	}
 

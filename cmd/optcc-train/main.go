@@ -44,8 +44,8 @@ func main() {
 	cbAlg := flag.String("cb-alg", "", "override the inter-stage compressor family by registry name (powersgd, topk, randomk, terngrad, ...)")
 	dpAlg := flag.String("dp-alg", "", "override the DP-sync compressor family by registry name (powersgd, terngrad, ...)")
 	printPlan := flag.Bool("print-plan", false, "print the compiled communication/compression plan before training")
-	noCollective := flag.Bool("no-collective", false, "deprecated: alias for -engine reference")
-	noPipeline := flag.Bool("no-pipeline", false, "deprecated: alias for -engine serial")
+	dpSync := flag.String("dp-sync", "auto", "DP synchronization mode: auto, overlapped (bucketed all-reduces issued during backward), blocking (barrier after backward)")
+	bucketBytes := flag.Int64("bucket-bytes", 0, "DP-sync bucket byte budget (0 = plan default)")
 	checkpoint := flag.String("checkpoint", "", "write the final training state (v2: weights, momentum, error-feedback residuals) to this file")
 	resume := flag.String("resume", "", "restore training state from this checkpoint before training (v2 resumes bit-identically)")
 	flag.Parse()
@@ -85,8 +85,18 @@ func main() {
 	cfg.CollectStats = *stats
 	cfg.ParallelGroups = *parallel
 	cfg.Engine = eng
-	cfg.DisableCollective = *noCollective
-	cfg.DisablePipeline = *noPipeline
+	cfg.BucketBytes = *bucketBytes
+	switch *dpSync {
+	case "auto":
+		cfg.DPSync = train.DPSyncAuto
+	case "overlapped":
+		cfg.DPSync = train.DPSyncOverlapped
+	case "blocking":
+		cfg.DPSync = train.DPSyncBlocking
+	default:
+		fmt.Fprintf(os.Stderr, "optcc-train: unknown -dp-sync %q (want auto, overlapped, or blocking)\n", *dpSync)
+		os.Exit(1)
+	}
 
 	tr, err := train.New(cfg, corpus)
 	if err != nil {
@@ -146,16 +156,25 @@ func main() {
 		}
 	}
 	if *checkpoint != "" {
-		f, err := os.Create(*checkpoint)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "optcc-train:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := tr.SaveCheckpoint(f); err != nil {
+		if err := writeCheckpoint(tr, *checkpoint); err != nil {
 			fmt.Fprintln(os.Stderr, "optcc-train:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("checkpoint written to %s\n", *checkpoint)
 	}
+}
+
+// writeCheckpoint saves the training state to path, propagating the
+// Close error: a checkpoint whose final flush failed (full disk, broken
+// mount) must not report a successful save.
+func writeCheckpoint(tr *train.Trainer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.SaveCheckpoint(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -24,9 +24,17 @@
 // rank, shipping forward activations and compressed backward
 // activation-gradients over the transport — bit-identical to the serial
 // oracle, with executed pp-class traffic equal to sim.PredictInterStage's
-// fwd+bwd model exactly. Checkpoints (v2) persist the full resume state:
-// weights, optimizer momentum, iteration/sampling position, and every
-// error-feedback residual and PowerSGD warm-start factor.
+// fwd+bwd model exactly. Data-parallel synchronization is overlapped with
+// the backward pass: the plan compiles a byte-budgeted bucket schedule,
+// each stage's buckets are issued as asynchronous collectives (*Pending
+// handles, per-rank op queues, deterministic in-flight execution) the
+// moment the stage's gradients are final, and the iteration waits on
+// every handle before the optimizer step — still bit-identical, with
+// executed per-bucket wire volume equal to sim.PredictDPBucketBytes
+// exactly and the exposed tail modeled by sim.PredictDPOverlap.
+// Checkpoints (v2) persist the full resume state: weights, optimizer
+// momentum, iteration/sampling position, and every error-feedback
+// residual and PowerSGD warm-start factor.
 //
 // See README.md for a guided tour (quickstart, package map, and the
 // pooled zero-allocation compression API) and CHANGES.md for the per-PR

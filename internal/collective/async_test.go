@@ -1,0 +1,226 @@
+package collective
+
+import (
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/tensor"
+)
+
+// TestAsyncAllReduceMatchesBlocking pins the issue/wait split's first
+// contract: N operations issued back-to-back on one group — all in
+// flight together — produce exactly the buffers the blocking calls
+// produce one at a time, at tolerance 0 and any rank count.
+func TestAsyncAllReduceMatchesBlocking(t *testing.T) {
+	const ops = 8
+	for _, d := range []int{2, 3, 4, 7} {
+		rt := flatRuntime(t, d)
+		grp := rt.NewGroup(ClassDP, rt.Topology().DPGroup(0))
+
+		async := make([][]*tensor.Matrix, ops)
+		block := make([][]*tensor.Matrix, ops)
+		for i := range async {
+			async[i] = randBufs(d, 5, 9, int64(100*d+i))
+			block[i] = make([]*tensor.Matrix, d)
+			for j := range block[i] {
+				block[i][j] = async[i][j].Clone()
+			}
+		}
+
+		handles := make([]*Pending, ops)
+		for i, bufs := range async {
+			handles[i] = grp.AllReduceAsync(bufs, 1/float64(d))
+		}
+		for _, h := range handles {
+			h.Wait()
+		}
+		for i, bufs := range block {
+			grp.AllReduce(bufs, 1/float64(d))
+			for j := range bufs {
+				if !bufs[j].Equal(async[i][j], 0) {
+					t.Fatalf("d=%d op %d buffer %d: async result differs from blocking", d, i, j)
+				}
+			}
+		}
+		rt.Close()
+	}
+}
+
+// TestAsyncCompressedMatchesBlocking covers the lossy variant: the
+// error-feedback residual sequence must be identical whether operations
+// are waited one at a time or all in flight, because each compressor is
+// driven exactly once per issue in issue order.
+func TestAsyncCompressedMatchesBlocking(t *testing.T) {
+	const d, ops = 3, 6
+	mkEFs := func() []*compress.ErrorFeedback {
+		efs := make([]*compress.ErrorFeedback, d)
+		for i := range efs {
+			efs[i] = compress.NewErrorFeedback(compress.NewPowerSGD(2, int64(40+i)))
+		}
+		return efs
+	}
+	run := func(asyncIssue bool) [][]*tensor.Matrix {
+		rt := flatRuntime(t, d)
+		defer rt.Close()
+		grp := rt.NewGroup(ClassDP, rt.Topology().DPGroup(0))
+		efs := mkEFs()
+		out := make([][]*tensor.Matrix, ops)
+		var handles []*Pending
+		for i := range out {
+			out[i] = randBufs(d, 6, 8, int64(i))
+			if asyncIssue {
+				handles = append(handles, grp.AllReduceCompressedAsync(out[i], efs, 1/float64(d)))
+			} else {
+				grp.AllReduceCompressed(out[i], efs, 1/float64(d))
+			}
+		}
+		for _, h := range handles {
+			h.Wait()
+		}
+		return out
+	}
+	a, b := run(true), run(false)
+	for i := range a {
+		for j := range a[i] {
+			if !a[i][j].Equal(b[i][j], 0) {
+				t.Fatalf("op %d buffer %d: in-flight compressed result differs from blocking", i, j)
+			}
+		}
+	}
+}
+
+// TestAsyncBroadcastMatchesBlocking covers the third primitive.
+func TestAsyncBroadcastMatchesBlocking(t *testing.T) {
+	const d = 4
+	rt := flatRuntime(t, d)
+	defer rt.Close()
+	grp := rt.NewGroup(ClassDP, rt.Topology().DPGroup(0))
+	bufs := randBufs(d, 3, 5, 9)
+	h := grp.BroadcastAsync(bufs, 1)
+	h.Wait()
+	for j := range bufs {
+		if !bufs[j].Equal(bufs[1], 0) {
+			t.Fatalf("buffer %d differs from root after async broadcast", j)
+		}
+	}
+}
+
+// TestPendingWireBytes pins the executed per-operation volume the bucket
+// crosschecks rely on: a dense all-reduce of a V-byte buffer moves
+// exactly 2·V·(D−1) bytes in aggregate, a broadcast (D−1)·V, and a
+// compressed all-reduce (D−1)·Σ payload bytes.
+func TestPendingWireBytes(t *testing.T) {
+	const rows, cols = 6, 8
+	v := int64(rows*cols) * compress.ElemBytes
+	for _, d := range []int{2, 3, 5} {
+		rt := flatRuntime(t, d)
+		grp := rt.NewGroup(ClassDP, rt.Topology().DPGroup(0))
+
+		h := grp.AllReduceAsync(randBufs(d, rows, cols, 1), 1/float64(d))
+		h.Wait()
+		if got, want := h.WireBytes(), 2*v*int64(d-1); got != want {
+			t.Fatalf("d=%d dense all-reduce wire %d, want %d", d, got, want)
+		}
+
+		h = grp.BroadcastAsync(randBufs(d, rows, cols, 2), 0)
+		h.Wait()
+		if got, want := h.WireBytes(), v*int64(d-1); got != want {
+			t.Fatalf("d=%d broadcast wire %d, want %d", d, got, want)
+		}
+
+		efs := make([]*compress.ErrorFeedback, d)
+		for i := range efs {
+			efs[i] = compress.NewErrorFeedback(compress.NewPowerSGD(2, int64(i)))
+		}
+		payload := int64(2*(rows+cols)) * compress.ElemBytes // rank·(n+m) elements
+		h = grp.AllReduceCompressedAsync(randBufs(d, rows, cols, 3), efs, 1/float64(d))
+		h.Wait()
+		if got, want := h.WireBytes(), int64(d)*int64(d-1)*payload; got != want {
+			t.Fatalf("d=%d compressed all-reduce wire %d, want %d", d, got, want)
+		}
+		rt.Close()
+	}
+}
+
+// TestPendingDone pins the non-blocking completion probe: after Wait has
+// returned on a fresh handle, Done reported true; Done never consumes
+// the handle.
+func TestPendingDone(t *testing.T) {
+	const d = 3
+	rt := flatRuntime(t, d)
+	defer rt.Close()
+	grp := rt.NewGroup(ClassDP, rt.Topology().DPGroup(0))
+	h := grp.AllReduceAsync(randBufs(d, 4, 4, 1), 1)
+	for !h.Done() {
+	}
+	if !h.Done() {
+		t.Fatal("Done flipped back")
+	}
+	h.Wait()
+
+	// Single-rank issues complete at issue time.
+	single := rt.NewGroup(ClassDP, []int{0})
+	h = single.AllReduceAsync([]*tensor.Matrix{tensor.New(2, 2)}, 0.5)
+	if !h.Done() {
+		t.Fatal("single-rank async op not Done at issue")
+	}
+	h.Wait()
+}
+
+// TestAsyncSteadyStateZeroAllocs pins the handle model's allocation
+// contract: issuing and waiting collectives — including several in
+// flight at once — reuses pooled op descriptors and allocates nothing
+// after warm-up.
+func TestAsyncSteadyStateZeroAllocs(t *testing.T) {
+	const d = 4
+	rt := flatRuntime(t, d)
+	defer rt.Close()
+	grp := rt.NewGroup(ClassDP, rt.Topology().DPGroup(0))
+	a := randBufs(d, 8, 8, 1)
+	b := randBufs(d, 8, 8, 2)
+	handles := make([]*Pending, 2)
+	warm := func() {
+		handles[0] = grp.AllReduceAsync(a, 0.5)
+		handles[1] = grp.AllReduceAsync(b, 0.5)
+		handles[0].Wait()
+		handles[1].Wait()
+	}
+	warm()
+	if n := testing.AllocsPerRun(20, warm); n != 0 {
+		t.Fatalf("steady-state async issue+wait allocates (%v allocs/op)", n)
+	}
+}
+
+// TestAsyncManyInFlightDeterministic stresses the op-queue path well past
+// the queue depth: 100 in-flight dense ops on one group, then the same
+// sequence blocking, bit-identical.
+func TestAsyncManyInFlightDeterministic(t *testing.T) {
+	const d, ops = 3, 100
+	rt := flatRuntime(t, d)
+	defer rt.Close()
+	grp := rt.NewGroup(ClassDP, rt.Topology().DPGroup(0))
+	async := make([][]*tensor.Matrix, ops)
+	block := make([][]*tensor.Matrix, ops)
+	handles := make([]*Pending, ops)
+	for i := range async {
+		async[i] = randBufs(d, 2, 3, int64(i))
+		block[i] = make([]*tensor.Matrix, d)
+		for j := range block[i] {
+			block[i][j] = async[i][j].Clone()
+		}
+	}
+	for i := range async {
+		handles[i] = grp.AllReduceAsync(async[i], 1/float64(d))
+	}
+	for i := ops - 1; i >= 0; i-- { // wait out of order: handles are independent
+		handles[i].Wait()
+	}
+	for i := range block {
+		grp.AllReduce(block[i], 1/float64(d))
+		for j := range block[i] {
+			if !block[i][j].Equal(async[i][j], 0) {
+				t.Fatalf("op %d buffer %d differs", i, j)
+			}
+		}
+	}
+}

@@ -57,10 +57,28 @@
 // safe are carried by the step tokens themselves, which the race-enabled
 // tests exercise.
 //
+// # Async handles
+//
+// Every collective also exists as an issued operation:
+// AllReduceAsync/AllReduceCompressedAsync/BroadcastAsync return a
+// *Pending handle immediately (Wait, Done, WaitBytes — the last also
+// reporting the operation's executed wire volume, which the trainer's
+// per-bucket crosschecks reconcile against plan and simulator
+// predictions). The blocking methods are issue+wait wrappers, so both
+// paths execute the identical deterministic schedule. Per-rank op
+// queues run a group's in-flight operations in issue order on every
+// member, preserving the flat-rank-order reduction with overlap; op
+// descriptors are pooled, so issuing stays 0 allocs/op. This is what
+// lets internal/train hide bucketed DP synchronization under the
+// backward pass.
+//
 // # Concurrency contract
 //
 // Distinct Groups over disjoint rank sets may run collectives
 // concurrently (the trainer fans per-stage DP groups out this way).
-// A single Group runs one collective at a time, and two groups that share
-// a rank must not run concurrently — each rank has one worker.
+// A single Group's operations must all be issued from one goroutine at
+// a time (in-flight operations are fine — they execute in issue
+// order); two groups that share a rank must not run concurrently —
+// each rank has one worker and op queues are per rank, so cross-group
+// issue order would be racy.
 package collective

@@ -3,6 +3,7 @@ package collective
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/compress"
 	"repro/internal/tensor"
@@ -12,28 +13,26 @@ import (
 // collectives operate on one buffer per member rank (bufs[i] belongs to
 // ranks[i]) — the in-process stand-in for each rank's device memory.
 //
-// A Group runs one collective at a time; its op descriptor and per-member
-// view headers are reused across calls so the steady state allocates
-// nothing.
+// Collectives come in two flavours: the blocking methods (AllReduce,
+// AllReduceCompressed, Broadcast) and their Async variants, which issue
+// the operation and return a *Pending handle immediately. The blocking
+// methods are issue+wait wrappers over the async ones, so both paths
+// execute the identical deterministic schedule.
+//
+// A group may have several operations in flight at once (issued from one
+// goroutine, so each rank's op queue sees them in issue order); their
+// per-op descriptors are recycled through a free list, so the steady
+// state allocates nothing.
 type Group struct {
 	rt    *Runtime
 	class Class
 	ranks []int
 
-	// Reused op descriptor: written by the submitting goroutine, read by
-	// the rank workers after they receive their task (the channel receive
-	// is the happens-before edge).
-	kind    opKind
-	bufs    []*tensor.Matrix
-	efs     []*compress.ErrorFeedback
-	scale   float64
-	root    int
-	opBytes int64
-	offs    []int // chunk offsets, len(ranks)+1
-	recons  []*tensor.Matrix
-	viewA   []tensor.Matrix // per-member destination view headers
-	viewB   []tensor.Matrix // per-member source view headers
-	wg      sync.WaitGroup
+	// free recycles op descriptors between issues. Pending handles are
+	// returned here by Wait; issue and wait may run on different
+	// goroutines, hence the lock.
+	mu   sync.Mutex
+	free []*Pending
 }
 
 type opKind int
@@ -43,6 +42,39 @@ const (
 	opAllReduceCompressed
 	opBroadcast
 )
+
+// Pending is one issued collective operation. Wait blocks until every
+// member rank has finished its share and then recycles the descriptor:
+// a handle is dead after Wait returns, and Wait must be called exactly
+// once per issued operation (the blocking wrappers do so internally).
+//
+// The descriptor is written by the issuing goroutine and read by the
+// rank workers after they receive their task — the op-queue channel
+// receive is the happens-before edge, exactly as for the ring's step
+// tokens.
+type Pending struct {
+	g     *Group
+	kind  opKind
+	bufs  []*tensor.Matrix
+	efs   []*compress.ErrorFeedback
+	scale float64
+	root  int
+	// opBytes is the dense wire size of one broadcast hop.
+	opBytes int64
+	offs    []int // chunk offsets, len(ranks)+1
+	recons  []*tensor.Matrix
+	viewA   []tensor.Matrix // per-member destination view headers
+	viewB   []tensor.Matrix // per-member source view headers
+	wg      sync.WaitGroup
+
+	// remaining counts member ranks still executing (Done polls it).
+	remaining atomic.Int32
+	// wire tallies the bytes this operation actually put on the
+	// transport, summed over every member's sends — the executed
+	// per-operation volume the bucket crosscheck tests reconcile
+	// against plan and simulator predictions.
+	wire atomic.Int64
+}
 
 // Size returns the number of member ranks.
 func (g *Group) Size() int { return len(g.ranks) }
@@ -60,15 +92,22 @@ func (g *Group) Class() Class { return g.class }
 // reduction applies in flat ring order, so the result is bit-identical to
 // the serial reference sum at any rank count (see the package comment).
 func (g *Group) AllReduce(bufs []*tensor.Matrix, scale float64) {
-	g.prep(opAllReduce, bufs, scale)
+	g.AllReduceAsync(bufs, scale).Wait()
+}
+
+// AllReduceAsync issues AllReduce and returns immediately. The buffers
+// must not be touched until the returned handle's Wait returns.
+func (g *Group) AllReduceAsync(bufs []*tensor.Matrix, scale float64) *Pending {
+	p := g.prep(opAllReduce, bufs, scale)
 	if len(g.ranks) == 1 {
 		if scale != 1 {
 			bufs[0].Scale(scale)
 		}
-		return
+		return p
 	}
-	g.dispatch()
 	g.rt.tr.AddSteps(g.class, 2*(len(g.ranks)-1))
+	p.dispatch()
+	return p
 }
 
 // AllReduceCompressed is the lossy variant: each rank compresses its own
@@ -79,13 +118,31 @@ func (g *Group) AllReduce(bufs []*tensor.Matrix, scale float64) {
 // buffer. The result matches the serial per-group compress-then-average
 // semantics bit for bit.
 func (g *Group) AllReduceCompressed(bufs []*tensor.Matrix, efs []*compress.ErrorFeedback, scale float64) {
+	g.AllReduceCompressedAsync(bufs, efs, scale).Wait()
+}
+
+// AllReduceCompressedAsync issues AllReduceCompressed and returns
+// immediately. Buffers and compressors belong to the operation until the
+// returned handle's Wait returns.
+func (g *Group) AllReduceCompressedAsync(bufs []*tensor.Matrix, efs []*compress.ErrorFeedback, scale float64) *Pending {
 	if len(efs) != len(g.ranks) {
 		panic(fmt.Sprintf("collective: %d compressors for %d ranks", len(efs), len(g.ranks)))
 	}
-	g.prep(opAllReduceCompressed, bufs, scale)
-	g.efs = efs
-	g.dispatch()
+	p := g.prep(opAllReduceCompressed, bufs, scale)
+	p.efs = efs
+	if len(g.ranks) == 1 {
+		// Degenerate ring: compress/reconstruct locally so the error-
+		// feedback residual sequence matches the serial semantics.
+		_, recon := efs[0].CompressWithFeedback(bufs[0])
+		bufs[0].CopyFrom(recon)
+		if scale != 1 {
+			bufs[0].Scale(scale)
+		}
+		return p
+	}
 	g.rt.tr.AddSteps(g.class, len(g.ranks)-1)
+	p.dispatch()
+	return p
 }
 
 // Broadcast copies the root member's buffer into every other member's
@@ -93,21 +150,56 @@ func (g *Group) AllReduceCompressed(bufs []*tensor.Matrix, efs []*compress.Error
 // steps. root indexes the member (position in ring order), not the global
 // rank.
 func (g *Group) Broadcast(bufs []*tensor.Matrix, root int) {
+	g.BroadcastAsync(bufs, root).Wait()
+}
+
+// BroadcastAsync issues Broadcast and returns immediately.
+func (g *Group) BroadcastAsync(bufs []*tensor.Matrix, root int) *Pending {
 	if root < 0 || root >= len(g.ranks) {
 		panic(fmt.Sprintf("collective: broadcast root %d outside group of %d", root, len(g.ranks)))
 	}
-	g.prep(opBroadcast, bufs, 1)
-	g.root = root
-	g.opBytes = bufs[0].SizeBytes(compress.ElemBytes)
+	p := g.prep(opBroadcast, bufs, 1)
+	p.root = root
+	p.opBytes = bufs[0].SizeBytes(compress.ElemBytes)
 	if len(g.ranks) == 1 {
-		return
+		return p
 	}
-	g.dispatch()
 	g.rt.tr.AddSteps(g.class, len(g.ranks)-1)
+	p.dispatch()
+	return p
 }
 
-// prep validates the buffers and loads the shared op descriptor.
-func (g *Group) prep(kind opKind, bufs []*tensor.Matrix, scale float64) {
+// getOp pops a recycled descriptor (or builds the group's next one).
+func (g *Group) getOp() *Pending {
+	g.mu.Lock()
+	if n := len(g.free); n > 0 {
+		p := g.free[n-1]
+		g.free = g.free[:n-1]
+		g.mu.Unlock()
+		return p
+	}
+	g.mu.Unlock()
+	d := len(g.ranks)
+	return &Pending{
+		g:      g,
+		offs:   make([]int, d+1),
+		recons: make([]*tensor.Matrix, d),
+		viewA:  make([]tensor.Matrix, d),
+		viewB:  make([]tensor.Matrix, d),
+	}
+}
+
+// putOp recycles a finished descriptor.
+func (g *Group) putOp(p *Pending) {
+	p.bufs = nil
+	p.efs = nil
+	g.mu.Lock()
+	g.free = append(g.free, p)
+	g.mu.Unlock()
+}
+
+// prep validates the buffers and loads a fresh op descriptor.
+func (g *Group) prep(kind opKind, bufs []*tensor.Matrix, scale float64) *Pending {
 	if len(bufs) != len(g.ranks) {
 		panic(fmt.Sprintf("collective: %d buffers for %d ranks", len(bufs), len(g.ranks)))
 	}
@@ -117,54 +209,105 @@ func (g *Group) prep(kind opKind, bufs []*tensor.Matrix, scale float64) {
 			panic(fmt.Sprintf("collective: buffer shape %dx%d != %dx%d", r, c, r0, c0))
 		}
 	}
-	g.kind = kind
-	g.bufs = bufs
-	g.efs = nil
-	g.scale = scale
-	g.chunkOffsets(r0 * c0)
+	p := g.getOp()
+	p.kind = kind
+	p.bufs = bufs
+	p.efs = nil
+	p.scale = scale
+	p.wire.Store(0)
+	p.chunkOffsets(r0 * c0)
+	return p
 }
 
 // chunkOffsets computes the balanced D-way partition of n elements:
 // chunk c covers [offs[c], offs[c+1]), sizes differing by at most one
 // element (odd sizes and n < D — empty chunks — are fine).
-func (g *Group) chunkOffsets(n int) {
-	d := len(g.ranks)
+func (p *Pending) chunkOffsets(n int) {
+	d := len(p.g.ranks)
 	base, rem := n/d, n%d
 	off := 0
 	for c := 0; c < d; c++ {
-		g.offs[c] = off
+		p.offs[c] = off
 		off += base
 		if c < rem {
 			off++
 		}
 	}
-	g.offs[d] = off
+	p.offs[d] = off
 }
 
-// dispatch hands one task per member to the rank workers and waits.
-func (g *Group) dispatch() {
-	g.wg.Add(len(g.ranks))
+// dispatch hands one task per member to the rank workers. Tasks enter
+// each rank's op queue in issue order, so multiple in-flight operations
+// of one group execute in the same order on every member — the property
+// that keeps the flat-rank-order reduction deterministic with overlap.
+func (p *Pending) dispatch() {
+	g := p.g
+	p.wg.Add(len(g.ranks))
+	p.remaining.Store(int32(len(g.ranks)))
 	for m, r := range g.ranks {
-		g.rt.work[r] <- task{g: g, member: m}
+		g.rt.work[r] <- task{p: p, member: m}
 	}
-	g.wg.Wait()
 }
 
-// exec runs member m's share of the current op (called on rank workers).
-func (g *Group) exec(m int) {
-	switch g.kind {
+// Wait blocks until the operation has finished on every member rank,
+// then recycles the descriptor. The handle must not be used afterwards.
+func (p *Pending) Wait() { p.WaitBytes() }
+
+// WaitBytes is Wait, additionally returning the operation's executed
+// wire volume (see WireBytes) — the last moment it can be read, since
+// waiting recycles the descriptor.
+func (p *Pending) WaitBytes() int64 {
+	p.wg.Wait()
+	n := p.wire.Load()
+	p.g.putOp(p)
+	return n
+}
+
+// Done reports whether the operation has finished on every member rank
+// (without blocking and without consuming the handle — Wait must still
+// be called).
+func (p *Pending) Done() bool { return p.remaining.Load() == 0 }
+
+// WireBytes returns the bytes this operation has put on the transport so
+// far, summed over every member's sends: 2V·(D−1) for a dense all-reduce
+// of a V-byte buffer, (D−1)·Σ payloads for a compressed one, (D−1)·V for
+// a broadcast. Only stable once Done reports true; callers that need the
+// executed volume must read it between Done and Wait (or from the value
+// Wait leaves behind — see the trainer's bucket log).
+func (p *Pending) WireBytes() int64 { return p.wire.Load() }
+
+// exec runs member m's share of the operation (called on rank workers).
+func (p *Pending) exec(m int) {
+	switch p.kind {
 	case opAllReduce:
-		g.runAllReduce(m)
+		p.runAllReduce(m)
 	case opAllReduceCompressed:
-		g.runAllReduceCompressed(m)
+		p.runAllReduceCompressed(m)
 	case opBroadcast:
-		g.runBroadcast(m)
+		p.runBroadcast(m)
+	}
+	if p.remaining.Add(-1) == 0 && p.kind == opAllReduceCompressed {
+		// Last member out returns the op's reconstruction copies to the
+		// pool — only now is every member done reading them.
+		for i, r := range p.recons {
+			if r != nil {
+				p.g.rt.pool.Put(r)
+				p.recons[i] = nil
+			}
+		}
 	}
 }
 
 // chunkBytes returns chunk c's wire size at the dense element width.
-func (g *Group) chunkBytes(c int) int64 {
-	return int64(g.offs[c+1]-g.offs[c]) * compress.ElemBytes
+func (p *Pending) chunkBytes(c int) int64 {
+	return int64(p.offs[c+1]-p.offs[c]) * compress.ElemBytes
+}
+
+// send puts one step token on the transport and tallies the op's
+// executed wire volume.
+func (p *Pending) send(self, right int, bytes int64) {
+	p.g.rt.tr.Send(p.g.class, self, right, Msg{Bytes: bytes})
+	p.wire.Add(bytes)
 }
 
 // mod returns x mod d for possibly-negative x.
@@ -174,14 +317,15 @@ func mod(x, d int) int { return ((x % d) + d) % d }
 // the byte accounting and the happens-before edges that make the
 // shared-memory reads race-free; the race-enabled equivalence tests
 // execute exactly this path.
-func (g *Group) runAllReduce(m int) {
+func (p *Pending) runAllReduce(m int) {
+	g := p.g
 	d := len(g.ranks)
 	tr, cls := g.rt.tr, g.class
 	self, right, left := g.ranks[m], g.ranks[mod(m+1, d)], g.ranks[mod(m-1, d)]
 
 	// Reduce-scatter rounds: at step t the ring forwards chunk (m−t).
 	for t := 0; t < d-1; t++ {
-		tr.Send(cls, self, right, Msg{Bytes: g.chunkBytes(mod(m-t, d))})
+		p.send(self, right, p.chunkBytes(mod(m-t, d)))
 		tr.Recv(cls, self, left)
 	}
 
@@ -190,19 +334,19 @@ func (g *Group) runAllReduce(m int) {
 	// member's segment; reads of other buffers touch only that segment,
 	// which no other member writes before its all-gather token arrives.
 	seg := mod(m+1, d)
-	lo, hi := g.offs[seg], g.offs[seg+1]
+	lo, hi := p.offs[seg], p.offs[seg+1]
 	if hi > lo {
 		sum := g.rt.pool.Get(1, hi-lo)
-		vb := &g.viewB[m]
-		for _, b := range g.bufs {
+		vb := &p.viewB[m]
+		for _, b := range p.bufs {
 			b.SliceInto(vb, lo, hi)
 			sum.Add(vb)
 		}
-		if g.scale != 1 {
-			sum.Scale(g.scale)
+		if p.scale != 1 {
+			sum.Scale(p.scale)
 		}
-		va := &g.viewA[m]
-		g.bufs[m].SliceInto(va, lo, hi)
+		va := &p.viewA[m]
+		p.bufs[m].SliceInto(va, lo, hi)
 		va.CopyFrom(sum)
 		g.rt.pool.Put(sum)
 	}
@@ -210,14 +354,14 @@ func (g *Group) runAllReduce(m int) {
 	// All-gather rounds: chunk (m+1−t) goes right, chunk (m−t) arrives
 	// from the left member's buffer and is copied into ours.
 	for t := 0; t < d-1; t++ {
-		tr.Send(cls, self, right, Msg{Bytes: g.chunkBytes(mod(m+1-t, d))})
+		p.send(self, right, p.chunkBytes(mod(m+1-t, d)))
 		tr.Recv(cls, self, left)
 		c := mod(m-t, d)
-		lo, hi := g.offs[c], g.offs[c+1]
+		lo, hi := p.offs[c], p.offs[c+1]
 		if hi > lo {
-			va, vb := &g.viewA[m], &g.viewB[m]
-			g.bufs[m].SliceInto(va, lo, hi)
-			g.bufs[mod(m-1, d)].SliceInto(vb, lo, hi)
+			va, vb := &p.viewA[m], &p.viewB[m]
+			p.bufs[m].SliceInto(va, lo, hi)
+			p.bufs[mod(m-1, d)].SliceInto(vb, lo, hi)
 			va.CopyFrom(vb)
 		}
 	}
@@ -228,41 +372,50 @@ func (g *Group) runAllReduce(m int) {
 // forwards the payload received on the previous one, so variable payload
 // sizes are accounted exactly), then reduce every rank's reconstruction
 // in flat ring order into this member's buffer.
-func (g *Group) runAllReduceCompressed(m int) {
+func (p *Pending) runAllReduceCompressed(m int) {
+	g := p.g
 	d := len(g.ranks)
 	tr, cls := g.rt.tr, g.class
 	self, right, left := g.ranks[m], g.ranks[mod(m+1, d)], g.ranks[mod(m-1, d)]
 
-	pl, recon := g.efs[m].CompressWithFeedback(g.bufs[m])
-	g.recons[m] = recon
+	// The reconstruction is the compressor's own scratch, overwritten by
+	// its next same-shape compression — which an in-flight successor op
+	// sharing this compressor may issue before every member here has
+	// reduced it. Ship a pooled copy instead (the SendCompressed
+	// precedent); the op's last member returns the copies to the pool.
+	pl, recon := p.efs[m].CompressWithFeedback(p.bufs[m])
+	ship := g.rt.pool.GetUninit(recon.Rows, recon.Cols) // CopyFrom writes every element
+	ship.CopyFrom(recon)
+	p.recons[m] = ship
 	wire := pl.WireBytes()
 	for t := 0; t < d-1; t++ {
-		tr.Send(cls, self, right, Msg{Bytes: wire})
+		p.send(self, right, wire)
 		wire = tr.Recv(cls, self, left).Bytes
 	}
 
-	buf := g.bufs[m]
+	buf := p.bufs[m]
 	buf.Zero()
-	for _, r := range g.recons {
+	for _, r := range p.recons {
 		buf.Add(r)
 	}
-	if g.scale != 1 {
-		buf.Scale(g.scale)
+	if p.scale != 1 {
+		buf.Scale(p.scale)
 	}
 }
 
 // runBroadcast executes member m's share of the ring pipeline rooted at
-// member g.root.
-func (g *Group) runBroadcast(m int) {
+// member p.root.
+func (p *Pending) runBroadcast(m int) {
+	g := p.g
 	d := len(g.ranks)
 	tr, cls := g.rt.tr, g.class
 	self, right, left := g.ranks[m], g.ranks[mod(m+1, d)], g.ranks[mod(m-1, d)]
-	rel := mod(m-g.root, d)
+	rel := mod(m-p.root, d)
 	if rel > 0 {
 		tr.Recv(cls, self, left)
-		g.bufs[m].CopyFrom(g.bufs[mod(m-1, d)])
+		p.bufs[m].CopyFrom(p.bufs[mod(m-1, d)])
 	}
 	if rel < d-1 {
-		tr.Send(cls, self, right, Msg{Bytes: g.opBytes})
+		p.send(self, right, p.opBytes)
 	}
 }

@@ -21,11 +21,19 @@ type Runtime struct {
 	closeOnce sync.Once
 }
 
-// task is one rank's share of a group collective.
+// task is one rank's share of an issued group collective.
 type task struct {
-	g      *Group
+	p      *Pending
 	member int
 }
+
+// workQueueDepth sizes each rank's op queue. The depth only throttles
+// how far ahead an issuing goroutine can run — correctness is
+// independent of it (workers drain their queues in FIFO order, and ops
+// are fully enqueued before the next one starts) — but it should absorb
+// a full stage's bucketed DP-sync issue burst so overlapped issue never
+// blocks on the queue in practice.
+const workQueueDepth = 32
 
 // NewRuntime starts one worker per rank of topo. A nil transport gets an
 // in-process MemTransport sized to the topology; a nil pool gets a fresh
@@ -40,7 +48,7 @@ func NewRuntime(topo Topology, tr Transport, pool *tensor.Pool) *Runtime {
 	}
 	r := &Runtime{topo: topo, tr: tr, pool: pool, work: make([]chan task, topo.World())}
 	for i := range r.work {
-		r.work[i] = make(chan task, 2)
+		r.work[i] = make(chan task, workQueueDepth)
 		go r.worker(i)
 	}
 	return r
@@ -48,8 +56,8 @@ func NewRuntime(topo Topology, tr Transport, pool *tensor.Pool) *Runtime {
 
 func (r *Runtime) worker(rank int) {
 	for tk := range r.work[rank] {
-		tk.g.exec(tk.member)
-		tk.g.wg.Done()
+		tk.p.exec(tk.member)
+		tk.p.wg.Done()
 	}
 }
 
@@ -99,14 +107,9 @@ func (r *Runtime) NewGroup(class Class, ranks []int) *Group {
 		}
 		seen[rk] = true
 	}
-	d := len(ranks)
 	return &Group{
-		rt:     r,
-		class:  class,
-		ranks:  append([]int(nil), ranks...),
-		offs:   make([]int, d+1),
-		recons: make([]*tensor.Matrix, d),
-		viewA:  make([]tensor.Matrix, d),
-		viewB:  make([]tensor.Matrix, d),
+		rt:    r,
+		class: class,
+		ranks: append([]int(nil), ranks...),
 	}
 }

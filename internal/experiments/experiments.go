@@ -168,6 +168,7 @@ var Registry = map[string]Runner{
 	// and the 1F1B pipeline executor's traffic vs the inter-stage model.
 	"collective": func(o Options) (Result, error) { return CollectiveVolumeExperiment(o) },
 	"pipeline":   func(o Options) (Result, error) { return PipelineVolumeExperiment(o) },
+	"overlap":    func(o Options) (Result, error) { return OverlapExperiment(o) },
 	// Ablations beyond the paper's own artifacts.
 	"ablate-lep":        AblateLEPGrid,
 	"ablate-warmstart":  AblateWarmStart,

@@ -15,7 +15,7 @@ func tinyOptions() Options {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig3", "table2", "fig9", "fig10", "table3", "table4",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "emb", "epilogue",
-		"collective", "pipeline",
+		"collective", "pipeline", "overlap",
 		"ablate-lep", "ablate-warmstart", "ablate-compressor", "ablate-schedules"}
 	for _, name := range want {
 		if Registry[name] == nil {

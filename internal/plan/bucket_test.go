@@ -1,0 +1,116 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func bucketGrid(sizes [][]int64, budget int64) Grid {
+	return Grid{
+		Stages:         len(sizes),
+		DPGroups:       2,
+		MicroBatches:   2,
+		StageGradBytes: sizes,
+		BucketBytes:    budget,
+	}
+}
+
+// TestBucketPacking pins the packing rule: channels walked reverse-
+// backward (tail of the gradient list first), zero-size channels
+// skipped, buckets closed at the byte budget, oversized channels alone.
+func TestBucketPacking(t *testing.T) {
+	p := MustCompile(core.Baseline(), bucketGrid([][]int64{
+		// stage 0: emb (skipped), three 100 B channels, one 250 B.
+		{0, 100, 100, 100, 250},
+		// stage 1: a single channel over budget.
+		{500},
+	}, 200))
+
+	if !p.HasBuckets() {
+		t.Fatal("plan has no bucket schedule")
+	}
+	if p.BucketBudget() != 200 {
+		t.Fatalf("budget %d", p.BucketBudget())
+	}
+	b0 := p.Buckets(0)
+	// Reverse-backward: 250 alone (over budget), then 100+100, then 100.
+	want := []Bucket{
+		{Channels: []int{4}, Bytes: 250},
+		{Channels: []int{3, 2}, Bytes: 200},
+		{Channels: []int{1}, Bytes: 100},
+	}
+	if len(b0) != len(want) {
+		t.Fatalf("stage 0: %d buckets, want %d: %+v", len(b0), len(want), b0)
+	}
+	for i, b := range b0 {
+		if b.Bytes != want[i].Bytes || len(b.Channels) != len(want[i].Channels) {
+			t.Fatalf("stage 0 bucket %d = %+v, want %+v", i, b, want[i])
+		}
+		for j, c := range b.Channels {
+			if c != want[i].Channels[j] {
+				t.Fatalf("stage 0 bucket %d channels %v, want %v", i, b.Channels, want[i].Channels)
+			}
+		}
+	}
+	b1 := p.Buckets(1)
+	if len(b1) != 1 || b1[0].Bytes != 500 || len(b1[0].Channels) != 1 {
+		t.Fatalf("oversized channel not a singleton bucket: %+v", b1)
+	}
+	if p.BucketCount(0) != 3 || p.BucketCount(1) != 1 || p.BucketCount(9) != 0 {
+		t.Fatal("BucketCount mismatch")
+	}
+	if !strings.Contains(p.String(), "dp-buckets: budget 200 B, per-stage counts [3 1]") {
+		t.Fatalf("String() missing bucket line:\n%s", p.String())
+	}
+}
+
+// TestBucketDefaults pins the default budget and the no-schedule path.
+func TestBucketDefaults(t *testing.T) {
+	p := MustCompile(core.Baseline(), bucketGrid([][]int64{{100}, {100}}, 0))
+	if p.BucketBudget() != DefaultBucketBytes {
+		t.Fatalf("default budget %d, want %d", p.BucketBudget(), DefaultBucketBytes)
+	}
+
+	// No sizes → no schedule, and every accessor degrades gracefully.
+	bare := MustCompile(core.Baseline(), Grid{Stages: 2, DPGroups: 2, MicroBatches: 2})
+	if bare.HasBuckets() || bare.BucketCount(0) != 0 || bare.Buckets(0) != nil || bare.BucketBudget() != 0 {
+		t.Fatal("plan without sizes grew a bucket schedule")
+	}
+	if strings.Contains(bare.String(), "dp-buckets") {
+		t.Fatal("String() renders a bucket line without a schedule")
+	}
+}
+
+// TestBucketGridValidation pins the new Grid error cases.
+func TestBucketGridValidation(t *testing.T) {
+	bad := bucketGrid([][]int64{{100}}, 10) // 1 stage of sizes, 2 declared
+	bad.Stages = 2
+	if _, err := Compile(core.Baseline(), bad); err == nil {
+		t.Fatal("stage-count mismatch accepted")
+	}
+	if _, err := Compile(core.Baseline(), bucketGrid([][]int64{{-1}}, 10)); err == nil {
+		t.Fatal("negative channel size accepted")
+	}
+	neg := bucketGrid([][]int64{{1}}, 0)
+	neg.BucketBytes = -5
+	if _, err := Compile(core.Baseline(), neg); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	orphan := Grid{Stages: 1, DPGroups: 1, MicroBatches: 1, BucketBytes: 10}
+	if _, err := Compile(core.Baseline(), orphan); err == nil {
+		t.Fatal("BucketBytes without StageGradBytes accepted")
+	}
+}
+
+// TestBucketsImmutable pins the copy contract: mutating a returned
+// bucket must not leak into the plan.
+func TestBucketsImmutable(t *testing.T) {
+	p := MustCompile(core.Baseline(), bucketGrid([][]int64{{10, 10}}, 100))
+	b := p.Buckets(0)
+	b[0].Channels[0] = 99
+	if got := p.Buckets(0)[0].Channels[0]; got == 99 {
+		t.Fatal("Buckets returned an aliased slice")
+	}
+}

@@ -50,7 +50,24 @@ type Grid struct {
 	// zero when unknown (e.g. pure placement/pricing uses): the plan still
 	// compiles, but building a sparse CB spec then fails loudly.
 	BoundaryRows, BoundaryCols int
+
+	// StageGradBytes[s][g] is the dense byte size of stage s's gradient
+	// channel g, aligned with the executor's per-stage gradient list; a
+	// zero marks a channel outside data-parallel synchronization (the §6
+	// embedding-table gradients, which have their own phase). When set,
+	// Compile derives the per-stage DP-sync bucket schedule from it; nil
+	// compiles a plan without one (pure placement/pricing uses).
+	StageGradBytes [][]int64
+	// BucketBytes caps one DP-sync bucket's dense payload (0 =
+	// DefaultBucketBytes). Only meaningful with StageGradBytes set.
+	BucketBytes int64
 }
+
+// DefaultBucketBytes is the bucket byte budget used when Grid.BucketBytes
+// is zero: small enough that a realistic stage splits into several
+// buckets (so communication starts before the whole stage's gradients
+// are packed), large enough that vector channels coalesce.
+const DefaultBucketBytes = 64 << 10
 
 // Validate reports grid errors.
 func (g Grid) Validate() error {
@@ -65,6 +82,22 @@ func (g Grid) Validate() error {
 		return fmt.Errorf("plan: negative boundary shape %dx%d", g.BoundaryRows, g.BoundaryCols)
 	case (g.BoundaryRows == 0) != (g.BoundaryCols == 0):
 		return fmt.Errorf("plan: boundary shape %dx%d half-specified", g.BoundaryRows, g.BoundaryCols)
+	case g.BucketBytes < 0:
+		return fmt.Errorf("plan: negative bucket budget %d", g.BucketBytes)
+	case g.BucketBytes > 0 && g.StageGradBytes == nil:
+		return fmt.Errorf("plan: BucketBytes set without StageGradBytes")
+	}
+	if g.StageGradBytes != nil {
+		if len(g.StageGradBytes) != g.Stages {
+			return fmt.Errorf("plan: StageGradBytes for %d stages, grid has %d", len(g.StageGradBytes), g.Stages)
+		}
+		for s, row := range g.StageGradBytes {
+			for c, b := range row {
+				if b < 0 {
+					return fmt.Errorf("plan: stage %d gradient channel %d has negative size %d", s, c, b)
+				}
+			}
+		}
 	}
 	return nil
 }
@@ -98,6 +131,19 @@ type StageAction struct {
 	// Spec is the per-channel compressor template; the per-(group, grad)
 	// seed is resolved by Plan.DPSpec. Zero value when dense.
 	Spec compress.Spec
+}
+
+// Bucket is one compiled DP-sync bucket: a run of gradient channels
+// synchronized as a unit, capped by the grid's byte budget. Channels are
+// listed in reverse-backward order — the order the backward pass
+// finalizes them — so the first bucket of a stage is the first whose
+// all-reduce can be issued while upstream stages still compute.
+type Bucket struct {
+	// Channels indexes the stage's gradient list (zero-size channels —
+	// the §6 embedding gradients — never appear).
+	Channels []int
+	// Bytes is the bucket's dense payload size (Σ channel sizes).
+	Bytes int64
 }
 
 // EmbeddingStrategy is the §6 embedding-synchronization choice.
@@ -149,6 +195,11 @@ type Plan struct {
 	// cbFraction is the byte-matched kept fraction for sparse CB
 	// families (0 when not applicable or the boundary shape is unknown).
 	cbFraction float64
+
+	// buckets[s] is stage s's DP-sync bucket schedule (nil when the grid
+	// carried no gradient sizes); bucketBytes the resolved budget.
+	buckets     [][]Bucket
+	bucketBytes int64
 }
 
 // normalizeFamily maps the historical names onto registry names.
@@ -244,6 +295,23 @@ func Compile(cfg core.Config, g Grid) (*Plan, error) {
 	// §7 selective stage compression.
 	p.dpCompressed = cfg.CompressedStages(g.Stages)
 
+	// DP-sync bucket schedule: pack each stage's non-embedding gradient
+	// channels, walking reverse-backward, into buckets of at most
+	// bucketBytes (a channel larger than the budget gets a bucket of its
+	// own). The schedule tells the executor when a run of gradients is
+	// complete enough to put on the wire, and the simulator how much
+	// backward compute remains to hide each bucket under.
+	if g.StageGradBytes != nil {
+		p.bucketBytes = g.BucketBytes
+		if p.bucketBytes == 0 {
+			p.bucketBytes = DefaultBucketBytes
+		}
+		p.buckets = make([][]Bucket, g.Stages)
+		for s, sizes := range g.StageGradBytes {
+			p.buckets[s] = packBuckets(sizes, p.bucketBytes)
+		}
+	}
+
 	// §6 embedding strategy.
 	switch {
 	case g.Stages == 1 && g.DPGroups == 1:
@@ -256,6 +324,31 @@ func Compile(cfg core.Config, g Grid) (*Plan, error) {
 		p.emb = EmbTwoPhase
 	}
 	return p, nil
+}
+
+// packBuckets assembles one stage's bucket schedule: channels visited
+// from the last index down (reverse-backward — the backward pass
+// produces the tail of the gradient list first), zero-size channels
+// skipped, each bucket closed once adding the next channel would exceed
+// the budget (so an oversized channel stands alone).
+func packBuckets(sizes []int64, budget int64) []Bucket {
+	var out []Bucket
+	var cur Bucket
+	for c := len(sizes) - 1; c >= 0; c-- {
+		if sizes[c] == 0 {
+			continue
+		}
+		if len(cur.Channels) > 0 && cur.Bytes+sizes[c] > budget {
+			out = append(out, cur)
+			cur = Bucket{}
+		}
+		cur.Channels = append(cur.Channels, c)
+		cur.Bytes += sizes[c]
+	}
+	if len(cur.Channels) > 0 {
+		out = append(out, cur)
+	}
+	return out
 }
 
 // MustCompile is Compile for configurations the caller already
@@ -342,6 +435,36 @@ func (p *Plan) DPSpec(stage, group, grad int) compress.Spec {
 	}
 }
 
+// HasBuckets reports whether the plan carries a DP-sync bucket schedule
+// (the grid supplied gradient channel sizes).
+func (p *Plan) HasBuckets() bool { return p.buckets != nil }
+
+// BucketBudget returns the resolved bucket byte budget (0 when the plan
+// carries no bucket schedule).
+func (p *Plan) BucketBudget() int64 { return p.bucketBytes }
+
+// BucketCount returns stage's bucket count (0 when the plan carries no
+// bucket schedule or the stage has no DP-synchronized channels).
+func (p *Plan) BucketCount(stage int) int {
+	if p.buckets == nil || stage < 0 || stage >= len(p.buckets) {
+		return 0
+	}
+	return len(p.buckets[stage])
+}
+
+// Buckets returns stage's bucket schedule in issue (reverse-backward)
+// order, as a deep copy.
+func (p *Plan) Buckets(stage int) []Bucket {
+	if p.BucketCount(stage) == 0 {
+		return nil
+	}
+	out := make([]Bucket, len(p.buckets[stage]))
+	for i, b := range p.buckets[stage] {
+		out[i] = Bucket{Channels: append([]int(nil), b.Channels...), Bytes: b.Bytes}
+	}
+	return out
+}
+
 // Embedding returns the §6 strategy.
 func (p *Plan) Embedding() EmbeddingStrategy { return p.emb }
 
@@ -422,6 +545,14 @@ func (p *Plan) String() string {
 			strings.Join(sel, ","), p.DPSpec(0, 0, 0).String())
 	} else {
 		b.WriteString("  dp-sync: dense on every stage\n")
+	}
+	if p.buckets != nil {
+		var counts []string
+		for s := range p.buckets {
+			counts = append(counts, fmt.Sprint(len(p.buckets[s])))
+		}
+		fmt.Fprintf(&b, "  dp-buckets: budget %d B, per-stage counts [%s]\n",
+			p.bucketBytes, strings.Join(counts, " "))
 	}
 	fmt.Fprintf(&b, "  embedding: %s", p.emb)
 	return b.String()

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/simnet"
+)
+
+// TestPredictDPOverlapStructure pins the schedule-derived overlap model:
+// the hide window grows with the stage index (later stages finish their
+// last backward with more of the wave still to run — in backward order,
+// stage 0 runs last), exposed = max(0, comm − hide) per stage, and the
+// iteration-level exposure is the per-stage maximum.
+func TestPredictDPOverlapStructure(t *testing.T) {
+	sc := PaperScenario(cluster.GPT25B, core.Baseline())
+	ov, err := PredictDPOverlap(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ov.Stages) != sc.Map.PP {
+		t.Fatalf("%d stage rows, want %d", len(ov.Stages), sc.Map.PP)
+	}
+	var maxExposed, commSum float64
+	for i, so := range ov.Stages {
+		if so.Buckets < 1 {
+			t.Fatalf("stage %d has no buckets", i)
+		}
+		if so.CommSec <= 0 {
+			t.Fatalf("stage %d non-positive comm %v", i, so.CommSec)
+		}
+		if i == 0 && so.HideSec != 0 {
+			t.Fatalf("stage 0 hide window %v, want 0 (nothing runs after its last backward)", so.HideSec)
+		}
+		if i > 0 && so.HideSec <= ov.Stages[i-1].HideSec {
+			t.Fatalf("hide window not increasing: stage %d %v <= stage %d %v",
+				i, so.HideSec, i-1, ov.Stages[i-1].HideSec)
+		}
+		if want := simnet.ExposedCommTime(so.CommSec, so.HideSec); so.ExposedSec != want {
+			t.Fatalf("stage %d exposed %v, want max(0, comm−hide) = %v", i, so.ExposedSec, want)
+		}
+		if so.ExposedSec > maxExposed {
+			maxExposed = so.ExposedSec
+		}
+		commSum += so.CommSec
+	}
+	if ov.ExposedSec != maxExposed || ov.CommSec != commSum {
+		t.Fatalf("totals (%v, %v) disagree with rows (%v, %v)",
+			ov.CommSec, ov.ExposedSec, commSum, maxExposed)
+	}
+	// Stage 0's DP sync has no backward left to hide under: fully exposed.
+	if s0 := ov.Stages[0]; s0.ExposedSec != s0.CommSec {
+		t.Fatalf("stage 0 exposed %v != comm %v", s0.ExposedSec, s0.CommSec)
+	}
+	if ov.EmbExposedSec <= 0 {
+		t.Fatal("embedding phase predicted free")
+	}
+	// Overlap can only help: exposure never exceeds total comm.
+	if ov.ExposedSec > ov.CommSec {
+		t.Fatal("exposure exceeds total communication")
+	}
+}
+
+// TestExposedCommTime pins the simnet helper.
+func TestExposedCommTime(t *testing.T) {
+	if got := simnet.ExposedCommTime(3, 1); got != 2 {
+		t.Fatalf("ExposedCommTime(3,1) = %v", got)
+	}
+	if got := simnet.ExposedCommTime(1, 3); got != 0 {
+		t.Fatalf("ExposedCommTime(1,3) = %v", got)
+	}
+	if got := simnet.ExposedCommTime(2, 2); got != 0 {
+		t.Fatalf("ExposedCommTime(2,2) = %v", got)
+	}
+}
+
+// TestScenarioPlanCarriesBuckets pins that the simulator compiles the
+// same kind of bucket schedule the trainer executes: per-layer gradient
+// channels, TP-sharded sizes, default budget.
+func TestScenarioPlanCarriesBuckets(t *testing.T) {
+	sc := PaperScenario(cluster.GPT25B, core.CBFESC())
+	pl, err := sc.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.HasBuckets() {
+		t.Fatal("scenario plan carries no bucket schedule")
+	}
+	if pl.BucketBudget() != plan.DefaultBucketBytes {
+		t.Fatalf("budget %d, want default %d", pl.BucketBudget(), plan.DefaultBucketBytes)
+	}
+	grid := pl.Grid()
+	chanBytes := sc.Spec.ParamsPerLayer() / int64(sc.Map.TP) * 2
+	for st := 0; st < sc.Map.PP; st++ {
+		if len(grid.StageGradBytes[st]) != sc.LayersPerStage() {
+			t.Fatalf("stage %d has %d channels, want one per layer (%d)",
+				st, len(grid.StageGradBytes[st]), sc.LayersPerStage())
+		}
+		for _, b := range grid.StageGradBytes[st] {
+			if b != chanBytes {
+				t.Fatalf("channel size %d, want %d", b, chanBytes)
+			}
+		}
+		// Real-scale layer gradients exceed the budget: singleton buckets.
+		if got, want := pl.BucketCount(st), sc.LayersPerStage(); got != want {
+			t.Fatalf("stage %d bucket count %d, want %d", st, got, want)
+		}
+	}
+}
+
+// TestPredictDPBucketBytesFormula pins the volume formulas on a small
+// hand-checked plan.
+func TestPredictDPBucketBytesFormula(t *testing.T) {
+	cfg := core.Baseline()
+	p := plan.MustCompile(cfg, plan.Grid{
+		Stages: 1, DPGroups: 4, MicroBatches: 2,
+		StageGradBytes: [][]int64{{100, 300}},
+		BucketBytes:    1000,
+	})
+	vols, err := PredictDPBucketBytes(p, func(int, int) int64 { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One bucket of 400 B dense across D=4: 2·400·3 = 2400 aggregate.
+	if len(vols) != 1 || len(vols[0]) != 1 || vols[0][0] != 2400 {
+		t.Fatalf("dense bucket volume %v, want [[2400]]", vols)
+	}
+
+	// Compressed stage: payload of 50 B per rank → (D−1)·D·50 per channel.
+	ccfg := core.CBFESC()
+	ccfg.CBRank = 2
+	ccfg.DPRank = 2
+	ccfg.SelectiveStageFraction = 1 // compress every stage
+	cp := plan.MustCompile(ccfg, plan.Grid{
+		Stages: 1, DPGroups: 4, MicroBatches: 2,
+		BoundaryRows: 8, BoundaryCols: 8,
+		StageGradBytes: [][]int64{{100, 300}},
+		BucketBytes:    1000,
+	})
+	if !cp.DPCompressed(0) {
+		t.Fatal("stage 0 not selected for DP compression")
+	}
+	vols, err = PredictDPBucketBytes(cp, func(st, ch int) int64 {
+		if ch == 1 {
+			return 50
+		}
+		return 0 // channel 0 incompressible → dense
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(3*4*50 + 2*100*3) // compressed ch 1 + dense ch 0
+	if vols[0][0] != want {
+		t.Fatalf("mixed bucket volume %d, want %d", vols[0][0], want)
+	}
+
+	bare := plan.MustCompile(cfg, plan.Grid{Stages: 1, DPGroups: 2, MicroBatches: 1})
+	if _, err := PredictDPBucketBytes(bare, func(int, int) int64 { return 0 }); err == nil {
+		t.Fatal("plan without a bucket schedule accepted")
+	}
+}

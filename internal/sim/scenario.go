@@ -49,6 +49,13 @@ type CommParams struct {
 	// are never hidden (§5.2). A strict-dependency DAG would expose every
 	// steady send in full, which contradicts the paper's measured
 	// behaviour; this factor models Megatron's async comm streams.
+	//
+	// The scalar applies to the pp link class only. DP-sync overlap is
+	// not a tunable: it is computed from the compiled bucket schedule
+	// and the 1F1B structure (PredictDPOverlap — exposed comm =
+	// max(0, comm − remaining backward compute)), mirroring how the
+	// executable trainer actually hides bucketed all-reduces under the
+	// backward pass.
 	SteadyOverlap float64
 }
 
@@ -89,6 +96,9 @@ type Scenario struct {
 	Cfg         core.Config
 	Comm        CommParams
 	Cost        core.CompressionCostModel
+	// BucketBytes caps one DP-sync bucket's dense payload in the
+	// compiled plan's bucket schedule (0 = plan.DefaultBucketBytes).
+	BucketBytes int64
 }
 
 // PaperScenario returns the Table 1 setup for the given model spec and
@@ -149,16 +159,29 @@ func (s Scenario) LayersPerStage() int { return s.Spec.Layers / s.Map.PP }
 
 // Plan compiles the scenario's communication/compression plan — the
 // same plan.Compile the executable trainer runs, so the simulator's
-// edge placement, §7 stage selection, and §6 embedding strategy can
-// never drift from the executed ones. The boundary shape is the
-// inter-stage activation-gradient: (micro-batch samples × seq) × hidden.
+// edge placement, §7 stage selection, §6 embedding strategy, and
+// DP-sync bucket schedule can never drift from the executed ones. The
+// boundary shape is the inter-stage activation-gradient: (micro-batch
+// samples × seq) × hidden; the gradient channels are one per layer, the
+// TP-sharded per-layer gradient.
 func (s Scenario) Plan() (*plan.Plan, error) {
+	chanBytes := s.Spec.ParamsPerLayer() / int64(s.Map.TP) * 2
+	sizes := make([][]int64, s.Map.PP)
+	for st := range sizes {
+		row := make([]int64, s.LayersPerStage())
+		for c := range row {
+			row[c] = chanBytes
+		}
+		sizes[st] = row
+	}
 	return plan.Compile(s.Cfg, plan.Grid{
-		Stages:       s.Map.PP,
-		DPGroups:     s.Map.DP,
-		MicroBatches: s.MicroBatches(),
-		BoundaryRows: s.MicroBatch * s.Spec.SeqLen,
-		BoundaryCols: s.Spec.Hidden,
+		Stages:         s.Map.PP,
+		DPGroups:       s.Map.DP,
+		MicroBatches:   s.MicroBatches(),
+		BoundaryRows:   s.MicroBatch * s.Spec.SeqLen,
+		BoundaryCols:   s.Spec.Hidden,
+		StageGradBytes: sizes,
+		BucketBytes:    s.BucketBytes,
 	})
 }
 

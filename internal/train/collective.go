@@ -15,7 +15,7 @@ import (
 //
 // The runtime's deterministic ring collectives are bit-identical to the
 // serial reference reductions in comm.go, which stays as the
-// DisableCollective fallback and as the oracle for the equivalence tests.
+// EngineReference fallback and as the oracle for the equivalence tests.
 type collectiveState struct {
 	topo collective.Topology
 	rt   *collective.Runtime
@@ -27,6 +27,14 @@ type collectiveState struct {
 	dp     []*collective.Group
 	dpBufs [][][]*tensor.Matrix
 	dpEFs  [][][]*compress.ErrorFeedback
+	// buckets[s][b] lists stage s's bucket-b gradient channel indices —
+	// the plan's DP-sync bucket schedule, copied once so the per-
+	// iteration issue path never allocates. blockHandles[s] is the
+	// blocking path's per-stage handle scratch, capacity = the stage's
+	// largest bucket (stages sync on distinct goroutines at most, so a
+	// per-stage slice is race-free).
+	buckets      [][][]int
+	blockHandles [][]*collective.Pending
 
 	// embFused is the §6 fused group — (first, last) of every replica in
 	// the serial reduction order; with a single stage it degenerates to
@@ -59,11 +67,22 @@ func newCollectiveState(t *Trainer) *collectiveState {
 		rt:   collective.NewRuntime(topo, tr, t.pool),
 	}
 
-	// Per-stage DP groups with cached buffer/compressor lists.
+	// Per-stage DP groups with cached buffer/compressor lists and the
+	// plan's bucket schedule.
 	cs.dp = make([]*collective.Group, cfg.Stages)
 	cs.dpBufs = make([][][]*tensor.Matrix, cfg.Stages)
 	cs.dpEFs = make([][][]*compress.ErrorFeedback, cfg.Stages)
+	cs.buckets = make([][][]int, cfg.Stages)
+	cs.blockHandles = make([][]*collective.Pending, cfg.Stages)
 	for s := 0; s < cfg.Stages; s++ {
+		maxBucket := 0
+		for _, b := range t.plan.Buckets(s) {
+			cs.buckets[s] = append(cs.buckets[s], b.Channels)
+			if len(b.Channels) > maxBucket {
+				maxBucket = len(b.Channels)
+			}
+		}
+		cs.blockHandles[s] = make([]*collective.Pending, 0, maxBucket)
 		cs.dp[s] = cs.rt.NewGroup(collective.ClassDP, topo.DPGroup(s))
 		nGrads := len(t.grads[0][s])
 		cs.dpBufs[s] = make([][]*tensor.Matrix, nGrads)
@@ -117,21 +136,40 @@ func newCollectiveState(t *Trainer) *collectiveState {
 	return cs
 }
 
-// syncStage averages stage s's non-embedding gradients across the DP
-// groups on the runtime: a compressed ring all-reduce with per-rank
-// error feedback where selective stage compression applies, the exact
-// deterministic ring otherwise. Bit-identical to the serial syncStage.
-func (cs *collectiveState) syncStage(t *Trainer, s int, compressed bool) {
+// issueChannel issues gradient channel gi of stage s as an asynchronous
+// ring all-reduce on the runtime: a compressed ring with per-rank error
+// feedback where selective stage compression applies and the shape is
+// compressible, the exact deterministic ring otherwise. Bit-identical to
+// the serial syncStageSerial whichever path runs, and whenever the
+// returned handle is waited.
+func (cs *collectiveState) issueChannel(t *Trainer, s, gi int, compressed bool) *collective.Pending {
 	d := float64(t.cfg.DPGroups)
-	for gi, bufs := range cs.dpBufs[s] {
-		if t.embSkip[bufs[0]] {
-			continue
+	bufs := cs.dpBufs[s][gi]
+	if efs := cs.dpEFs[s][gi]; compressed && efs != nil {
+		return cs.dp[s].AllReduceCompressedAsync(bufs, efs, 1/d)
+	}
+	return cs.dp[s].AllReduceAsync(bufs, 1/d)
+}
+
+// syncStageBlocking runs stage s's bucket schedule as a sequence of
+// barriers: one bucket's channels are issued together and all waited
+// before the next bucket starts — the un-overlapped baseline — recording
+// executed wire volume per bucket exactly like the overlapped path. The
+// per-bucket handle scratch is cached on the state so the steady state
+// allocates nothing.
+func (cs *collectiveState) syncStageBlocking(t *Trainer, s int) {
+	compressed := t.plan.DPCompressed(s)
+	t.exec.dp[s] = compressed
+	for bi, bucket := range cs.buckets[s] {
+		handles := cs.blockHandles[s][:0]
+		for _, gi := range bucket {
+			handles = append(handles, cs.issueChannel(t, s, gi, compressed))
 		}
-		if efs := cs.dpEFs[s][gi]; compressed && efs != nil {
-			cs.dp[s].AllReduceCompressed(bufs, efs, 1/d)
-		} else {
-			cs.dp[s].AllReduce(bufs, 1/d)
+		var wire int64
+		for _, h := range handles {
+			wire += h.WaitBytes()
 		}
+		t.exec.dpBuckets[s][bi] = wire
 	}
 }
 

@@ -15,9 +15,8 @@ import (
 func trainPair(t *testing.T, cfg Config, c *data.Corpus, iters int) (serial, coll *Trainer) {
 	t.Helper()
 	sCfg := cfg
-	sCfg.DisableCollective = true
+	sCfg.Engine = EngineReference
 	cCfg := cfg
-	cCfg.DisableCollective = false
 
 	serial, err := New(sCfg, c)
 	if err != nil {
@@ -202,6 +201,7 @@ func TestCollectiveSyncSteadyStateZeroAllocs(t *testing.T) {
 	opt.DPRank = 2
 	cfg := testConfig(opt)
 	cfg.SyncWorkers = 1 // keep the fan-out goroutine spawns out of the count
+	cfg.DPSync = DPSyncBlocking
 	tr, err := New(cfg, testCorpus(t))
 	if err != nil {
 		t.Fatal(err)
@@ -213,5 +213,40 @@ func TestCollectiveSyncSteadyStateZeroAllocs(t *testing.T) {
 		tr.syncEmbedding()
 	}); n != 0 {
 		t.Fatalf("steady-state collective sync allocates (%v allocs/op)", n)
+	}
+}
+
+// TestOverlappedSyncSteadyStateZeroAllocs pins the same contract on the
+// overlapped path: arming the arrival counters, issuing every stage's
+// buckets through the async handles, draining them, and the embedding
+// phase — the exact per-iteration sync work — allocates nothing once
+// warm.
+func TestOverlappedSyncSteadyStateZeroAllocs(t *testing.T) {
+	opt := core.CBFESC()
+	opt.CBRank = 2
+	opt.DPRank = 2
+	cfg := testConfig(opt)
+	tr, err := New(cfg, testCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if tr.ov == nil {
+		t.Fatal("overlapped sync not active on the default config")
+	}
+	tr.Train(3, nil) // warm every workspace, residual, and payload buffer
+	pass := func() {
+		tr.ov.reset(cfg.DPGroups)
+		for s := cfg.Stages - 1; s >= 0; s-- {
+			for d := 0; d < cfg.DPGroups; d++ {
+				tr.dpStageReady(s)
+			}
+		}
+		tr.syncDataParallel()
+		tr.syncEmbedding()
+	}
+	pass()
+	if n := testing.AllocsPerRun(10, pass); n != 0 {
+		t.Fatalf("steady-state overlapped sync allocates (%v allocs/op)", n)
 	}
 }

@@ -3,6 +3,7 @@ package train
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/compress"
 	"repro/internal/plan"
@@ -15,9 +16,13 @@ import (
 // everything else is averaged exactly. Embedding-table gradients are
 // excluded here — they belong to the embedding-synchronization phase (§6).
 //
-// Stages are independent (disjoint gradient tensors, private compressor
-// state per (stage, group, grad) key), so they are fanned out over a
-// bounded worker pool; results are bit-identical to the serial order.
+// Under overlapped sync (the default on runtime-backed engines) the
+// buckets were already issued during the backward pass and only the
+// in-flight handles remain to be drained here. Under blocking sync the
+// plan's bucket schedule runs now, stages fanned out over a bounded
+// worker pool (disjoint gradient tensors, private compressor state per
+// (stage, group, grad) key — bit-identical to the serial order). The
+// reference engine keeps the in-place serial reduction as the oracle.
 // Averaging buffers come from the trainer's pool, so steady-state sync
 // performs no matrix allocations.
 func (t *Trainer) syncDataParallel() {
@@ -27,25 +32,37 @@ func (t *Trainer) syncDataParallel() {
 		return
 	}
 	t.exec.dpRan = true
-	workers := t.syncWorkers()
-	if workers <= 1 || cfg.Stages == 1 {
+	if t.ov != nil {
+		t.waitDPSync()
+		return
+	}
+	if t.coll == nil {
 		for s := 0; s < cfg.Stages; s++ {
-			t.syncStage(s, t.plan.DPCompressed(s))
+			t.syncStageSerial(s, t.plan.DPCompressed(s))
 		}
 		return
 	}
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for s := 0; s < cfg.Stages; s++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(s int) {
-			defer wg.Done()
-			t.syncStage(s, t.plan.DPCompressed(s))
-			<-sem
-		}(s)
+	start := time.Now()
+	workers := t.syncWorkers()
+	if workers <= 1 || cfg.Stages == 1 {
+		for s := 0; s < cfg.Stages; s++ {
+			t.coll.syncStageBlocking(t, s)
+		}
+	} else {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for s := 0; s < cfg.Stages; s++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(s int) {
+				defer wg.Done()
+				t.coll.syncStageBlocking(t, s)
+				<-sem
+			}(s)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	t.dpWaitNs += time.Since(start).Nanoseconds()
 }
 
 // syncWorkers resolves the worker-pool bound for DP-group×stage sync.
@@ -60,16 +77,12 @@ func (t *Trainer) syncWorkers() int {
 	return w
 }
 
-// syncStage averages (optionally compressing) every non-embedding gradient
-// of stage s across the DP groups, in place. On the collective runtime
-// this is a ring all-reduce per gradient; the serial reduction below is
-// the DisableCollective fallback and the bit-identity oracle.
-func (t *Trainer) syncStage(s int, compressed bool) {
+// syncStageSerial averages (optionally compressing) every non-embedding
+// gradient of stage s across the DP groups, in place, with the fully
+// serial reduction — the EngineReference fallback and the bit-identity
+// oracle for both runtime sync modes.
+func (t *Trainer) syncStageSerial(s int, compressed bool) {
 	t.exec.dp[s] = compressed
-	if t.coll != nil {
-		t.coll.syncStage(t, s, compressed)
-		return
-	}
 	d := t.cfg.DPGroups
 	for gi := range t.grads[0][s] {
 		if t.embSkip[t.grads[0][s][gi]] || t.embSkip[t.grads[d-1][s][gi]] {

@@ -2,16 +2,16 @@ package train
 
 import "fmt"
 
-// Engine selects how a training iteration executes. It replaces the
-// DisableCollective/DisablePipeline negative booleans with one positive
-// knob; the old fields remain for one release as deprecated aliases that
-// Config.Validate maps onto the enum (see ResolvedEngine).
+// Engine selects how a training iteration executes. It replaced the
+// DisableCollective/DisablePipeline negative booleans in PR 4; the
+// deprecated aliases have since been removed, and Engine is the only
+// knob.
 type Engine int
 
 // Engines, from most to least machinery.
 const (
 	// EngineAuto resolves to EnginePipelined (the default execution
-	// stack), unless a deprecated Disable* alias demotes it.
+	// stack).
 	EngineAuto Engine = iota
 	// EnginePipelined runs micro-batches on the 1F1B executor — one
 	// goroutine per (dp group, stage) rank over the collective
@@ -61,19 +61,53 @@ func ParseEngine(s string) (Engine, error) {
 	return EngineAuto, fmt.Errorf("train: unknown engine %q (want auto, pipelined, serial, or reference)", s)
 }
 
-// ResolvedEngine maps the configuration — including the deprecated
-// DisableCollective/DisablePipeline aliases — onto a concrete engine.
-// An explicit Engine wins; the aliases only apply under EngineAuto
-// (setting both an explicit engine and an alias is a Validate error).
+// ResolvedEngine maps the configuration onto a concrete engine:
+// EngineAuto becomes EnginePipelined, everything else is taken as is.
 func (c Config) ResolvedEngine() Engine {
-	if c.Engine != EngineAuto {
-		return c.Engine
+	if c.Engine == EngineAuto {
+		return EnginePipelined
 	}
-	switch {
-	case c.DisableCollective:
-		return EngineReference
-	case c.DisablePipeline:
-		return EngineSerial
+	return c.Engine
+}
+
+// DPSyncMode selects how data-parallel gradient synchronization
+// executes on the runtime-backed engines.
+type DPSyncMode int
+
+// DP-sync modes.
+const (
+	// DPSyncAuto resolves to DPSyncOverlapped.
+	DPSyncAuto DPSyncMode = iota
+	// DPSyncOverlapped issues each stage's bucketed all-reduces — via
+	// the collective async handles — as soon as that stage's gradients
+	// are final, while other stages are still inside the backward pass,
+	// and waits on every handle just before the optimizer step. The
+	// reduction schedule per gradient is unchanged, so results are
+	// bit-identical to every other mode.
+	DPSyncOverlapped
+	// DPSyncBlocking runs the same bucket schedule as one barrier after
+	// the whole backward pass, waiting each bucket's collectives before
+	// issuing the next — the un-overlapped baseline the -overlap-bench
+	// comparison measures against.
+	DPSyncBlocking
+)
+
+func (m DPSyncMode) String() string {
+	switch m {
+	case DPSyncAuto:
+		return "auto"
+	case DPSyncOverlapped:
+		return "overlapped"
+	case DPSyncBlocking:
+		return "blocking"
 	}
-	return EnginePipelined
+	return fmt.Sprintf("DPSyncMode(%d)", int(m))
+}
+
+// ResolvedDPSync maps the configuration onto a concrete DP-sync mode.
+func (c Config) ResolvedDPSync() DPSyncMode {
+	if c.DPSync == DPSyncAuto {
+		return DPSyncOverlapped
+	}
+	return c.DPSync
 }

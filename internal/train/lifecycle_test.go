@@ -1,0 +1,68 @@
+package train
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCloseIdempotent pins the lifecycle contract: Close may be called
+// any number of times, before or after training, without panicking —
+// and a closed trainer still answers read-only queries.
+func TestCloseIdempotent(t *testing.T) {
+	tr, err := New(testConfig(scaledCB()), testCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.TrainIteration()
+	tr.Close()
+	tr.Close()
+	tr.Close()
+	if _, ok := tr.CollectiveStats(); !ok {
+		t.Fatal("stats unavailable after Close")
+	}
+	if tr.Plan() == nil || tr.Iteration() != 1 {
+		t.Fatal("closed trainer lost state")
+	}
+
+	// A never-trained trainer closes cleanly too.
+	tr2, err := New(testConfig(scaledCB()), testCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2.Close()
+	tr2.Close()
+}
+
+// TestCollectiveStatsConcurrentWithClose pins that snapshotting executed
+// traffic races neither with Close nor with other readers — the -race
+// build executes this test, so any unsynchronized access fails CI.
+func TestCollectiveStatsConcurrentWithClose(t *testing.T) {
+	tr, err := New(testConfig(scaledCB()), testCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.TrainIteration()
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 100; j++ {
+				if _, ok := tr.CollectiveStats(); !ok {
+					t.Error("stats unavailable")
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		tr.Close()
+	}()
+	close(start)
+	wg.Wait()
+}

@@ -1,0 +1,114 @@
+package train
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/collective"
+)
+
+// Overlapped bucketed DP synchronization: the paper's headline property
+// is that compressed communication hides under compute, and this file is
+// where the trainer actually does it. The compiled plan carves each
+// stage's gradients into buckets (reverse-backward order); during the
+// backward pass, the moment a stage's gradients are final on every DP
+// group, that stage's buckets are issued as asynchronous ring
+// all-reduces on the collective runtime's rank workers — which are idle
+// during the micro-batch phase — while other stages keep computing.
+// TrainIteration waits on every handle just before the optimizer step.
+//
+// Bit-identity with the blocking and reference paths holds because
+// overlap changes only *when* each channel's all-reduce is issued, never
+// its deterministic flat-rank-order reduction, and each (stage, group,
+// grad) error-feedback compressor is still driven exactly once per
+// iteration.
+
+// dpOverlap is the per-trainer coordination state.
+type dpOverlap struct {
+	// arrivals[s] counts DP groups whose stage-s gradients are not yet
+	// final this iteration; the goroutine that decrements it to zero
+	// issues the stage's buckets. Reset each iteration.
+	arrivals []atomic.Int32
+	// handles[s] holds stage s's in-flight handles, one per synchronized
+	// gradient channel, in bucket-schedule order. Written by the stage's
+	// issuing goroutine, read by waitDPSync after every engine goroutine
+	// has joined — the engine's WaitGroup is the happens-before edge.
+	handles [][]*collective.Pending
+}
+
+// newDPOverlap sizes the coordinator from the trainer's compiled plan.
+func newDPOverlap(t *Trainer) *dpOverlap {
+	ov := &dpOverlap{
+		arrivals: make([]atomic.Int32, t.cfg.Stages),
+		handles:  make([][]*collective.Pending, t.cfg.Stages),
+	}
+	for s := 0; s < t.cfg.Stages; s++ {
+		var n int
+		for _, b := range t.plan.Buckets(s) {
+			n += len(b.Channels)
+		}
+		ov.handles[s] = make([]*collective.Pending, n)
+	}
+	return ov
+}
+
+// reset re-arms the arrival counters for a new iteration.
+func (ov *dpOverlap) reset(groups int) {
+	for s := range ov.arrivals {
+		ov.arrivals[s].Store(int32(groups))
+	}
+}
+
+// dpStageReady marks one DP group's stage-s gradients final. The last
+// group to arrive issues the stage's bucketed all-reduces. No-op unless
+// overlapped sync is active.
+func (t *Trainer) dpStageReady(s int) {
+	if t.ov == nil {
+		return
+	}
+	if t.ov.arrivals[s].Add(-1) == 0 {
+		t.issueStageBuckets(s)
+	}
+}
+
+// issueStageBuckets puts stage s's buckets on the wire, bucket by bucket
+// in the plan's reverse-backward order, recording the in-flight handles
+// for waitDPSync. Runs on whichever engine goroutine arrived last for
+// this stage; stages issue on disjoint rank sets, so concurrent issuers
+// never contend.
+func (t *Trainer) issueStageBuckets(s int) {
+	cs := t.coll
+	compressed := t.plan.DPCompressed(s)
+	t.exec.dp[s] = compressed
+	k := 0
+	for _, bucket := range cs.buckets[s] {
+		for _, gi := range bucket {
+			t.ov.handles[s][k] = cs.issueChannel(t, s, gi, compressed)
+			k++
+		}
+	}
+}
+
+// waitDPSync drains every in-flight handle, charging each operation's
+// executed wire volume to its bucket's slot in the exec log and the
+// blocked wall time to the exposed-communication clock. Called from the
+// iteration goroutine once the engines have joined.
+func (t *Trainer) waitDPSync() {
+	start := time.Now()
+	cs := t.coll
+	for s := range cs.buckets {
+		k := 0
+		for bi, bucket := range cs.buckets[s] {
+			var wire int64
+			for range bucket {
+				if h := t.ov.handles[s][k]; h != nil {
+					wire += h.WaitBytes()
+					t.ov.handles[s][k] = nil
+				}
+				k++
+			}
+			t.exec.dpBuckets[s][bi] = wire
+		}
+	}
+	t.dpWaitNs += time.Since(start).Nanoseconds()
+}

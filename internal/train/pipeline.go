@@ -132,6 +132,11 @@ func (t *Trainer) runStageRank(d, s int, mbs []microBatch, loss *float64) {
 	for _, g := range t.grads[d][s] {
 		g.Scale(inv)
 	}
+	// This rank's gradients are final; under overlapped DP sync the last
+	// of the stage's D ranks to get here issues the stage's bucketed
+	// all-reduces — on the rank workers, concurrently with the backward
+	// compute still running on other stages' rank goroutines.
+	t.dpStageReady(s)
 }
 
 // pipeSendBackward ships the activation gradient g from stage s to s−1

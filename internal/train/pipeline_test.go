@@ -61,7 +61,7 @@ func TestPipelineExecutorBitIdentical(t *testing.T) {
 	for name, opt := range executorOpts() {
 		for _, g := range executorGrids {
 			sCfg := gridConfig(opt, g.dp, g.pp, g.micros)
-			sCfg.DisablePipeline = true
+			sCfg.Engine = EngineSerial
 			pCfg := gridConfig(opt, g.dp, g.pp, g.micros)
 
 			serial, err := New(sCfg, c)
@@ -189,7 +189,7 @@ func TestPipelineSerialAccountingAgrees(t *testing.T) {
 	for name, opt := range executorOpts() {
 		cfg := gridConfig(opt, 2, 4, 4)
 		sCfg := cfg
-		sCfg.DisablePipeline = true
+		sCfg.Engine = EngineSerial
 		serial, err := New(sCfg, c)
 		if err != nil {
 			t.Fatal(err)

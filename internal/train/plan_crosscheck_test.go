@@ -86,7 +86,9 @@ func TestExecutedPlacementEqualsPlanAndPrediction(t *testing.T) {
 	}
 }
 
-// TestEngineResolution pins the Engine enum and its deprecated aliases.
+// TestEngineResolution pins the Engine enum (the deprecated
+// DisableCollective/DisablePipeline aliases are gone — Engine is the
+// only knob) and the DP-sync mode resolution.
 func TestEngineResolution(t *testing.T) {
 	base := testConfig(core.Baseline())
 	cases := []struct {
@@ -97,9 +99,6 @@ func TestEngineResolution(t *testing.T) {
 		{func(c *Config) { c.Engine = EnginePipelined }, EnginePipelined},
 		{func(c *Config) { c.Engine = EngineSerial }, EngineSerial},
 		{func(c *Config) { c.Engine = EngineReference }, EngineReference},
-		{func(c *Config) { c.DisablePipeline = true }, EngineSerial},
-		{func(c *Config) { c.DisableCollective = true }, EngineReference},
-		{func(c *Config) { c.DisableCollective = true; c.DisablePipeline = true }, EngineReference},
 	}
 	for i, cse := range cases {
 		cfg := base
@@ -112,17 +111,28 @@ func TestEngineResolution(t *testing.T) {
 		}
 	}
 
-	// Explicit engine + deprecated alias is a configuration error.
 	bad := base
-	bad.Engine = EngineSerial
-	bad.DisableCollective = true
-	if bad.Validate() == nil {
-		t.Fatal("conflicting Engine + DisableCollective accepted")
-	}
-	bad = base
 	bad.Engine = Engine(99)
 	if bad.Validate() == nil {
 		t.Fatal("out-of-range engine accepted")
+	}
+	bad = base
+	bad.DPSync = DPSyncMode(9)
+	if bad.Validate() == nil {
+		t.Fatal("out-of-range DP-sync mode accepted")
+	}
+	bad = base
+	bad.BucketBytes = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative bucket budget accepted")
+	}
+	if base.ResolvedDPSync() != DPSyncOverlapped {
+		t.Fatal("DPSyncAuto did not resolve to overlapped")
+	}
+	blk := base
+	blk.DPSync = DPSyncBlocking
+	if blk.ResolvedDPSync() != DPSyncBlocking {
+		t.Fatal("DPSyncBlocking did not stick")
 	}
 }
 
@@ -219,13 +229,16 @@ func TestTrainerPlanMatchesScenarioPlan(t *testing.T) {
 	defer tr.Close()
 	normalized := cfg.Opt
 	normalized.Seed = cfg.Seed
-	other := plan.MustCompile(normalized, plan.Grid{
-		Stages:       cfg.Stages,
-		DPGroups:     cfg.DPGroups,
-		MicroBatches: cfg.MicroBatches,
-		BoundaryRows: cfg.MicroBatch,
-		BoundaryCols: cfg.Model.Hidden,
-	})
+	grid := tr.Plan().Grid()
+	if grid.Stages != cfg.Stages || grid.DPGroups != cfg.DPGroups ||
+		grid.MicroBatches != cfg.MicroBatches ||
+		grid.BoundaryRows != cfg.MicroBatch || grid.BoundaryCols != cfg.Model.Hidden {
+		t.Fatalf("trainer compiled an unexpected grid: %+v", grid)
+	}
+	if grid.StageGradBytes == nil {
+		t.Fatal("trainer grid carries no gradient sizes — no bucket schedule")
+	}
+	other := plan.MustCompile(normalized, grid)
 	a, b := tr.Plan(), other
 	for s := 0; s < cfg.Stages; s++ {
 		if a.DPCompressed(s) != b.DPCompressed(s) {

@@ -20,6 +20,10 @@ func benchTrainer(b *testing.B, workers int) *Trainer {
 	opt.DPRank = 2
 	cfg := testConfig(opt)
 	cfg.SyncWorkers = workers
+	// The benchmarks drive syncDataParallel directly, outside an
+	// iteration: blocking mode makes that the full issue+wait path
+	// (under overlapped sync the work happens during backward).
+	cfg.DPSync = DPSyncBlocking
 	tr, err := New(cfg, corpus)
 	if err != nil {
 		b.Fatal(err)

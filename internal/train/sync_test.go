@@ -54,12 +54,14 @@ func TestSyncSteadyStateReusesPool(t *testing.T) {
 	opt.CBRank = 2
 	opt.DPRank = 2
 	cfg := testConfig(opt)
-	// The serial micro-batch loop keeps pool traffic deterministic. The
-	// 1F1B executor's concurrent ranks may fault in an extra same-shape
-	// buffer whenever their sends happen to overlap — a one-time
-	// high-water-mark growth, not a steady-state leak (the leak tests
-	// cover the executor).
-	cfg.DisablePipeline = true
+	// The serial micro-batch loop with blocking sync keeps pool traffic
+	// deterministic. The 1F1B executor's concurrent ranks — and
+	// overlapped sync's concurrent per-stage rings — may fault in an
+	// extra same-shape buffer whenever their operations happen to
+	// overlap: a one-time high-water-mark growth, not a steady-state
+	// leak (the leak tests and zero-alloc sync tests cover those paths).
+	cfg.Engine = EngineSerial
+	cfg.DPSync = DPSyncBlocking
 	tr, err := New(cfg, testCorpus(t))
 	if err != nil {
 		t.Fatal(err)

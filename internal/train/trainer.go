@@ -20,10 +20,18 @@
 // goroutine per (dp group, stage) rank drives the schedule's ops in
 // order, shipping forward activations and backward activation-gradients
 // over the collective runtime's point-to-point transport (pipeline.go).
-// The serial in-loop path remains as the DisablePipeline oracle; both are
+// The serial in-loop path remains as the EngineSerial oracle; both are
 // bit-identical (per-stage gradient accumulation, per-boundary compressor
 // state, and per-group losses all follow micro-batch order on both
 // paths), so runs are bit-reproducible given a seed on either.
+//
+// Data-parallel synchronization overlaps with the backward pass by
+// default: the compiled plan carves each stage's gradients into
+// byte-budgeted buckets, and the moment a stage's gradients are final on
+// every group its buckets are issued as asynchronous ring all-reduces
+// (overlap.go); the iteration waits on every handle before the optimizer
+// step. Config.DPSync selects the blocking barrier instead; both modes
+// and the fully serial EngineReference oracle are bit-identical.
 package train
 
 import (
@@ -74,13 +82,15 @@ type Config struct {
 	// (asserted by tests); only the runtime-backed ones execute and
 	// account real per-rank traffic.
 	Engine Engine
-	// DisableCollective is a deprecated alias for Engine =
-	// EngineReference (kept one release; see ResolvedEngine).
-	DisableCollective bool
-	// DisablePipeline is a deprecated alias for Engine = EngineSerial
-	// (kept one release; see ResolvedEngine).
-	DisablePipeline bool
-	Seed            int64
+	// DPSync selects overlapped (default) vs blocking data-parallel
+	// gradient synchronization on the runtime-backed engines. Both run
+	// the plan's bucket schedule and are bit-identical; only the timing
+	// differs (see DPSyncMode).
+	DPSync DPSyncMode
+	// BucketBytes caps one DP-sync bucket's dense payload
+	// (0 = plan.DefaultBucketBytes).
+	BucketBytes int64
+	Seed        int64
 }
 
 // DefaultConfig returns the configuration used by the quality experiments:
@@ -121,8 +131,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("train: LR %v <= 0", c.LR)
 	case c.Engine < EngineAuto || c.Engine > EngineReference:
 		return fmt.Errorf("train: unknown engine %v", c.Engine)
-	case c.Engine != EngineAuto && (c.DisableCollective || c.DisablePipeline):
-		return fmt.Errorf("train: Engine %v conflicts with the deprecated DisableCollective/DisablePipeline flags; set only one", c.Engine)
+	case c.DPSync < DPSyncAuto || c.DPSync > DPSyncBlocking:
+		return fmt.Errorf("train: unknown DP-sync mode %v", c.DPSync)
+	case c.BucketBytes < 0:
+		return fmt.Errorf("train: negative BucketBytes %d", c.BucketBytes)
 	}
 	return nil
 }
@@ -157,6 +169,11 @@ type Trainer struct {
 	// coll is the rank-based collective runtime backing the sync phases
 	// (nil under EngineReference or on a single-rank grid).
 	coll *collectiveState
+	// ov coordinates overlapped bucketed DP synchronization: arrival
+	// counting per stage, the in-flight handle table, and the exposed
+	// wait-time clock (nil when overlap is off — blocking mode,
+	// EngineReference, or a single DP group).
+	ov *dpOverlap
 
 	// cb[d][s] compresses the backward send from stage s to s−1 of group
 	// d (s ≥ 1). The ErrorFeedback residual IS lazy error propagation.
@@ -174,6 +191,11 @@ type Trainer struct {
 
 	stats *Stats
 	iter  int
+	// dpWaitNs accumulates the wall time TrainIteration spent blocked on
+	// DP synchronization after the backward pass — the executed
+	// "exposed communication" the overlap bench reports. Written only by
+	// the iteration goroutine.
+	dpWaitNs int64
 }
 
 // execLog captures executed communication decisions: group 0's backward
@@ -183,6 +205,12 @@ type Trainer struct {
 type execLog struct {
 	bwd [][]bool
 	dp  []bool
+	// dpBuckets[s][b] is the aggregate wire volume the runtime actually
+	// moved for stage s's bucket b during the last DP sync (zero on the
+	// reference engine, which has no transport). Rows are written by one
+	// goroutine each — the stage's issuing/syncing goroutine — so no
+	// locking is needed.
+	dpBuckets [][]int64
 	// dpRan reports whether a DP sync executed at all (DPGroups > 1).
 	dpRan bool
 	emb   plan.EmbeddingStrategy
@@ -201,28 +229,12 @@ func New(cfg Config, corpus *data.Corpus) (*Trainer, error) {
 	if corpus.Vocab != cfg.Model.Vocab {
 		return nil, fmt.Errorf("train: corpus vocab %d != model vocab %d", corpus.Vocab, cfg.Model.Vocab)
 	}
-	// The run seed (cfg.Seed) drives every compressor sketch, as it
-	// always has; the core.Config's own Seed field is normalized to it
-	// so the compiled plan's specs carry the effective seed.
-	opt := cfg.Opt
-	opt.Seed = cfg.Seed
-	pl, err := plan.Compile(opt, plan.Grid{
-		Stages:       cfg.Stages,
-		DPGroups:     cfg.DPGroups,
-		MicroBatches: cfg.MicroBatches,
-		BoundaryRows: cfg.MicroBatch,
-		BoundaryCols: cfg.Model.Hidden,
-	})
-	if err != nil {
-		return nil, err
-	}
 	sched, err := pipeline.OneFOneB(cfg.Stages, cfg.MicroBatches)
 	if err != nil {
 		return nil, err
 	}
 	t := &Trainer{
 		cfg:     cfg,
-		plan:    pl,
 		engine:  cfg.ResolvedEngine(),
 		corpus:  corpus,
 		sched:   sched,
@@ -232,11 +244,6 @@ func New(cfg Config, corpus *data.Corpus) (*Trainer, error) {
 		dpc:     make(map[[3]int]*compress.ErrorFeedback),
 		embSkip: make(map[*tensor.Matrix]bool),
 	}
-	t.exec.bwd = make([][]bool, cfg.Stages)
-	for s := range t.exec.bwd {
-		t.exec.bwd[s] = make([]bool, cfg.MicroBatches)
-	}
-	t.exec.dp = make([]bool, cfg.Stages)
 	for d := 0; d < cfg.DPGroups; d++ {
 		stages, err := model.NewStages(cfg.Model, cfg.Stages)
 		if err != nil {
@@ -254,6 +261,47 @@ func New(cfg Config, corpus *data.Corpus) (*Trainer, error) {
 		}
 		t.grads = append(t.grads, gRow)
 		t.params = append(t.params, pRow)
+	}
+	// The run seed (cfg.Seed) drives every compressor sketch, as it
+	// always has; the core.Config's own Seed field is normalized to it
+	// so the compiled plan's specs carry the effective seed. The grid
+	// carries the per-stage gradient channel sizes (embedding channels
+	// zeroed — they belong to the §6 phase) so Compile can derive the
+	// DP-sync bucket schedule; replicas are built first for exactly this
+	// reason.
+	opt := cfg.Opt
+	opt.Seed = cfg.Seed
+	sizes := make([][]int64, cfg.Stages)
+	for s := 0; s < cfg.Stages; s++ {
+		row := make([]int64, len(t.grads[0][s]))
+		for gi, g := range t.grads[0][s] {
+			if !t.embSkip[g] {
+				row[gi] = g.SizeBytes(compress.ElemBytes)
+			}
+		}
+		sizes[s] = row
+	}
+	pl, err := plan.Compile(opt, plan.Grid{
+		Stages:         cfg.Stages,
+		DPGroups:       cfg.DPGroups,
+		MicroBatches:   cfg.MicroBatches,
+		BoundaryRows:   cfg.MicroBatch,
+		BoundaryCols:   cfg.Model.Hidden,
+		StageGradBytes: sizes,
+		BucketBytes:    cfg.BucketBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.plan = pl
+	t.exec.bwd = make([][]bool, cfg.Stages)
+	for s := range t.exec.bwd {
+		t.exec.bwd[s] = make([]bool, cfg.MicroBatches)
+	}
+	t.exec.dp = make([]bool, cfg.Stages)
+	t.exec.dpBuckets = make([][]int64, cfg.Stages)
+	for s := range t.exec.dpBuckets {
+		t.exec.dpBuckets[s] = make([]int64, pl.BucketCount(s))
 	}
 	if cfg.Opt.CompressBackprop {
 		for d := 0; d < cfg.DPGroups; d++ {
@@ -282,6 +330,9 @@ func New(cfg Config, corpus *data.Corpus) (*Trainer, error) {
 		// runtime never references the trainer, so the cleanup can fire;
 		// Close stays the deterministic path and is idempotent.
 		runtime.AddCleanup(t, func(rt *collective.Runtime) { rt.Close() }, t.coll.rt)
+		if cfg.DPGroups > 1 && cfg.ResolvedDPSync() == DPSyncOverlapped {
+			t.ov = newDPOverlap(t)
+		}
 	}
 	return t, nil
 }
@@ -296,7 +347,7 @@ func (t *Trainer) Close() {
 
 // CollectiveStats snapshots the collective runtime's per-class executed
 // traffic (bytes, messages, steps). ok is false when the trainer runs on
-// the serial sync path (DisableCollective, or a single-rank grid).
+// the serial sync path (EngineReference, or a single-rank grid).
 func (t *Trainer) CollectiveStats() (s collective.Stats, ok bool) {
 	if t.coll == nil {
 		return collective.Stats{}, false
@@ -338,6 +389,29 @@ func (t *Trainer) ExecutedEmbedding() (plan.EmbeddingStrategy, bool) {
 	return t.exec.emb, t.exec.embRan
 }
 
+// ExecutedDPBuckets returns the aggregate wire volume the collective
+// runtime actually moved per (stage, bucket) during the last DP sync (a
+// copy, aligned with the plan's bucket schedule), and whether a
+// runtime-accounted DP sync ran at all (false on the reference engine
+// and on single-group grids).
+func (t *Trainer) ExecutedDPBuckets() ([][]int64, bool) {
+	out := make([][]int64, len(t.exec.dpBuckets))
+	for s := range t.exec.dpBuckets {
+		out[s] = append([]int64(nil), t.exec.dpBuckets[s]...)
+	}
+	return out, t.exec.dpRan && t.coll != nil
+}
+
+// DPSyncExposedNs returns the cumulative wall time TrainIteration spent
+// blocked on data-parallel synchronization after the backward pass — the
+// executed exposed communication. Under overlapped sync this is only the
+// tail the backward compute could not hide; under blocking sync it is
+// the whole synchronization.
+func (t *Trainer) DPSyncExposedNs() int64 { return t.dpWaitNs }
+
+// DPSyncMode returns the resolved synchronization mode the trainer runs.
+func (t *Trainer) DPSyncMode() DPSyncMode { return t.cfg.ResolvedDPSync() }
+
 // Pool returns the trainer's workspace pool (exposed for benchmarks and
 // pool-reuse assertions).
 func (t *Trainer) Pool() *tensor.Pool { return t.pool }
@@ -367,6 +441,9 @@ func (t *Trainer) TrainIteration() float64 {
 		}
 	}
 	losses := make([]float64, cfg.DPGroups)
+	if t.ov != nil {
+		t.ov.reset(cfg.DPGroups)
+	}
 	if t.pipelineActive() {
 		t.runPipelined(batches, losses)
 	} else {
@@ -412,12 +489,16 @@ func (t *Trainer) runSerial(batches [][]microBatch, losses []float64) {
 			losses[d] += t.runMicroBatch(d, mi, batches[d][mi])
 		}
 		// Average gradient over micro-batches (each micro's loss gradient
-		// is already 1/MicroBatch).
+		// is already 1/MicroBatch). Stages finalize in reverse-backward
+		// order — the order the last backward wave touched them — so
+		// under overlapped DP sync each stage's buckets go on the wire
+		// while the remaining stages are still being finalized.
 		inv := 1.0 / float64(cfg.MicroBatches)
-		for _, gs := range t.grads[d] {
-			for _, g := range gs {
+		for s := cfg.Stages - 1; s >= 0; s-- {
+			for _, g := range t.grads[d][s] {
 				g.Scale(inv)
 			}
+			t.dpStageReady(s)
 		}
 	}
 	if cfg.ParallelGroups && cfg.DPGroups > 1 {
