@@ -1,0 +1,168 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/compress"
+	"repro/internal/tensor"
+)
+
+// sparseBenchResult is one row of BENCH_sparse.json — the perf trail for
+// the sparse-native payload pipeline. The densified rows are the PR-5
+// baseline path (same compressors, dense scatter-add reduction); the
+// sparse rows are the merge-union path. SpeedupVsDensified is filled on
+// sparse rows whose densified twin ran in the same invocation. The PGO
+// columns are absent from a default build's output; optcc-gate
+// -merge-pgo fills them from a second, -pgo=auto build's run.
+type sparseBenchResult struct {
+	Op          string  `json:"op"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  int64   `json:"bytes_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+	WireBytesOp int64   `json:"wire_bytes_op"`
+	Speedup     float64 `json:"speedup_vs_densified,omitempty"`
+	PGONsPerOp  float64 `json:"pgo_ns_op,omitempty"`
+	PGODeltaPct float64 `json:"pgo_delta_pct,omitempty"`
+}
+
+// runSparseBenchmarks measures the sparse-native compress+reduce+
+// decompress pipeline against the densified oracle path at the
+// acceptance shape (8 ranks × 512×512, 2% and 5% density — a
+// bandwidth-bound regime where the densified path's full-shape
+// reconstruction, scatter and d-way dense adds dominate) plus
+// per-family error-feedback compression micros, writing
+// BENCH_sparse.json.
+func runSparseBenchmarks(w io.Writer, outPath, benchtime string) error {
+	testing.Init()
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		return fmt.Errorf("benchtime %q: %w", benchtime, err)
+	}
+	var results []sparseBenchResult
+
+	fill := func(bufs []*tensor.Matrix, seed int) {
+		for i, b := range bufs {
+			for j := range b.Data {
+				b.Data[j] = float64((i*131+j*7+seed)%47)/47 - 0.5
+			}
+		}
+	}
+	measure := func(op string, rt *collective.Runtime, cls collective.Class, f func()) sparseBenchResult {
+		f() // warm pools, EF residuals, payload capacities
+		f()
+		f()
+		before := rt.Stats().For(cls)
+		var ops int64
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f()
+			}
+			ops += int64(b.N)
+		})
+		after := rt.Stats().For(cls)
+		res := sparseBenchResult{
+			Op:          op,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			WireBytesOp: (after.Bytes - before.Bytes) / ops,
+		}
+		results = append(results, res)
+		return res
+	}
+
+	newEFs := func(family string, d int, fraction float64, pool *tensor.Pool) []*compress.ErrorFeedback {
+		efs := make([]*compress.ErrorFeedback, d)
+		for i := range efs {
+			var inner compress.Compressor
+			if family == "topk" {
+				inner = compress.NewTopK(fraction)
+			} else {
+				inner = compress.NewRandomK(fraction, int64(100+i))
+			}
+			efs[i] = compress.NewErrorFeedback(inner)
+			if pool != nil {
+				efs[i].SetPool(pool)
+			}
+		}
+		return efs
+	}
+
+	// End-to-end all-reduce: sparse merge-union vs densified scatter-add,
+	// same compressors, same wire bytes — the ≥3× acceptance row.
+	const d, rows, cols = 8, 512, 512
+	for _, family := range []string{"topk", "randomk"} {
+		for _, fraction := range []float64{0.02, 0.05} {
+			topo, err := collective.NewTopology(d, 2)
+			if err != nil {
+				return err
+			}
+			rt := collective.NewRuntime(topo, nil, nil)
+			sparseGrp := rt.NewGroup(collective.ClassDP, topo.DPGroup(0))
+			denseGrp := rt.NewGroup(collective.ClassDP, topo.DPGroup(0))
+			denseGrp.SetDensifiedReduce(true)
+			sparseEFs := newEFs(family, d, fraction, rt.Pool())
+			denseEFs := newEFs(family, d, fraction, rt.Pool())
+			bufs := make([]*tensor.Matrix, d)
+			for i := range bufs {
+				bufs[i] = tensor.New(rows, cols)
+			}
+
+			fill(bufs, 1)
+			dn := measure(fmt.Sprintf("allreduce-densified/%s-d%d-f%g", family, d, fraction),
+				rt, collective.ClassDP, func() { denseGrp.AllReduceCompressed(bufs, denseEFs, 1.0/d) })
+			fill(bufs, 1)
+			sp := measure(fmt.Sprintf("allreduce-sparse/%s-d%d-f%g", family, d, fraction),
+				rt, collective.ClassDP, func() { sparseGrp.AllReduceCompressed(bufs, sparseEFs, 1.0/d) })
+			results[len(results)-1].Speedup = dn.NsPerOp / sp.NsPerOp
+			rt.Close()
+		}
+	}
+
+	// Per-family error-feedback compression micros: the sparse entry
+	// point (payload stays sparse, residual fixed up via gather/scatter)
+	// vs the dense entry point (dense reconstruction + full-shape
+	// residual subtraction).
+	for _, family := range []string{"topk", "randomk"} {
+		topo, err := collective.NewTopology(1, 2)
+		if err != nil {
+			return err
+		}
+		rt := collective.NewRuntime(topo, nil, nil)
+		g := tensor.New(rows, cols)
+		fill([]*tensor.Matrix{g}, 2)
+		efDense := newEFs(family, 1, 0.02, rt.Pool())[0]
+		efSparse := newEFs(family, 1, 0.02, rt.Pool())[0]
+		dn := measure(fmt.Sprintf("ef-compress-densified/%s-f0.02", family), rt, collective.ClassDP,
+			func() { efDense.CompressWithFeedback(g) })
+		sp := measure(fmt.Sprintf("ef-compress-sparse/%s-f0.02", family), rt, collective.ClassDP,
+			func() { efSparse.CompressWithFeedbackSparse(g) })
+		results[len(results)-1].Speedup = dn.NsPerOp / sp.NsPerOp
+		rt.Close()
+	}
+
+	fmt.Fprintf(w, "### sparse-bench (%d ops → %s)\n\n", len(results), outPath)
+	fmt.Fprintf(w, "%-36s %14s %12s %10s %14s %10s\n",
+		"op", "ns/op", "B/op", "allocs/op", "wire B/op", "speedup")
+	for _, r := range results {
+		sp := ""
+		if r.Speedup > 0 {
+			sp = fmt.Sprintf("%.2fx", r.Speedup)
+		}
+		fmt.Fprintf(w, "%-36s %14.0f %12d %10d %14d %10s\n",
+			r.Op, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.WireBytesOp, sp)
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+}

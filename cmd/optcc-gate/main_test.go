@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func row(op string, ns float64, allocs int64) benchRow {
+	return benchRow{Op: op, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func TestCheckFilePassesWithinTolerance(t *testing.T) {
+	base := []benchRow{row("a", 1000, 0), row("b", 2000, 3)}
+	fresh := []benchRow{row("a", 1900, 1), row("b", 3900, 4)} // <2×, +1 alloc
+	if vs := checkFile("f", base, fresh, 1.0, 1); len(vs) != 0 {
+		t.Fatalf("expected pass, got %v", vs)
+	}
+}
+
+func TestCheckFileFlagsNsRegression(t *testing.T) {
+	base := []benchRow{row("a", 1000, 0)}
+	fresh := []benchRow{row("a", 2100, 0)}
+	vs := checkFile("f", base, fresh, 1.0, 1)
+	if len(vs) != 1 || !strings.Contains(vs[0].Reason, "ns/op") {
+		t.Fatalf("expected one ns/op violation, got %v", vs)
+	}
+}
+
+func TestCheckFileFlagsAllocRegression(t *testing.T) {
+	base := []benchRow{row("a", 1000, 0)}
+	fresh := []benchRow{row("a", 1000, 2)} // slack is 1
+	vs := checkFile("f", base, fresh, 1.0, 1)
+	if len(vs) != 1 || !strings.Contains(vs[0].Reason, "allocs/op") {
+		t.Fatalf("expected one allocs violation, got %v", vs)
+	}
+}
+
+func TestCheckFileFlagsMissingRowAndSpeedupCollapse(t *testing.T) {
+	base := []benchRow{
+		row("gone", 1000, 0),
+		{Op: "sp", NsPerOp: 1000, Speedup: 3.4},
+	}
+	fresh := []benchRow{{Op: "sp", NsPerOp: 1000, Speedup: 1.5}} // < 3.4/2
+	vs := checkFile("f", base, fresh, 1.0, 1)
+	if len(vs) != 2 {
+		t.Fatalf("expected 2 violations, got %v", vs)
+	}
+	if !strings.Contains(vs[0].Reason, "missing") || !strings.Contains(vs[1].Reason, "speedup") {
+		t.Fatalf("unexpected reasons: %v", vs)
+	}
+}
+
+func TestCheckFileModeDisambiguatesRows(t *testing.T) {
+	base := []benchRow{
+		{Op: "iter", Mode: "blocking", NsPerOp: 1000},
+		{Op: "iter", Mode: "overlapped", NsPerOp: 500},
+	}
+	fresh := []benchRow{
+		{Op: "iter", Mode: "blocking", NsPerOp: 1100},
+		{Op: "iter", Mode: "overlapped", NsPerOp: 5000}, // regressed
+	}
+	vs := checkFile("f", base, fresh, 1.0, 1)
+	if len(vs) != 1 || vs[0].Row != "iter|overlapped" {
+		t.Fatalf("expected the overlapped row to fail, got %v", vs)
+	}
+}
+
+func writeTrail(t *testing.T, path string, rows any) {
+	t.Helper()
+	data, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCheckEndToEnd(t *testing.T) {
+	baseDir, freshDir := t.TempDir(), t.TempDir()
+	writeTrail(t, filepath.Join(baseDir, "BENCH_x.json"), []benchRow{row("a", 1000, 0)})
+	writeTrail(t, filepath.Join(freshDir, "BENCH_x.json"), []benchRow{row("a", 1200, 0)})
+	var buf bytes.Buffer
+	if err := runCheck(&buf, baseDir, freshDir, 1.0, 1); err != nil {
+		t.Fatalf("expected pass: %v\n%s", err, buf.String())
+	}
+
+	// A missing fresh trail is a violation, not a silent skip.
+	if err := runCheck(&buf, baseDir, t.TempDir(), 1.0, 1); err == nil {
+		t.Fatal("expected failure for missing fresh trail")
+	}
+
+	// An empty baseline directory is a configuration error.
+	if err := runCheck(&buf, t.TempDir(), freshDir, 1.0, 1); err == nil {
+		t.Fatal("expected failure for missing baselines")
+	}
+}
+
+func TestMergePGOAndSummary(t *testing.T) {
+	dir := t.TempDir()
+	defPath := filepath.Join(dir, "def.json")
+	pgoPath := filepath.Join(dir, "pgo.json")
+	outPath := filepath.Join(dir, "merged.json")
+	// The default trail carries a field the gate does not model; the
+	// merge must preserve it.
+	writeTrail(t, defPath, []map[string]any{
+		{"op": "a", "ns_op": 1000.0, "allocs_op": 0, "wire_bytes_op": 42, "speedup_vs_densified": 3.4},
+		{"op": "b", "ns_op": 2000.0, "allocs_op": 1},
+	})
+	writeTrail(t, pgoPath, []map[string]any{
+		{"op": "a", "ns_op": 900.0, "allocs_op": 0},
+	})
+	if err := runMergePGO(defPath, pgoPath, outPath); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := loadRows(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged[0].PGONsPerOp != 900 || merged[0].PGODeltaPct != -10 {
+		t.Fatalf("bad merge: %+v", merged[0])
+	}
+	if merged[1].PGONsPerOp != 0 {
+		t.Fatalf("row without a PGO twin must stay unfilled: %+v", merged[1])
+	}
+	raw, err := loadRaw(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw[0]["wire_bytes_op"]; !ok {
+		t.Fatal("merge dropped an unmodeled field")
+	}
+
+	var buf bytes.Buffer
+	if err := runPGOSummary(&buf, outPath); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"| a | 1000 | 900 | -10.00% | 3.40x |", "| b | 2000 | — | — | — |"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/experiments"
+	"repro/internal/prof"
 	"repro/internal/train"
 )
 
@@ -48,7 +49,16 @@ func main() {
 	bucketBytes := flag.Int64("bucket-bytes", 0, "DP-sync bucket byte budget (0 = plan default)")
 	checkpoint := flag.String("checkpoint", "", "write the final training state (v2: weights, momentum, error-feedback residuals) to this file")
 	resume := flag.String("resume", "", "restore training state from this checkpoint before training (v2 resumes bit-identically)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (usable as a -pgo=auto feed)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optcc-train:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	mk, ok := configs[strings.ToLower(*config)]
 	if !ok {

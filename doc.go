@@ -36,6 +36,16 @@
 // momentum, iteration/sampling position, and every error-feedback
 // residual and PowerSGD warm-start factor.
 //
+// TopK/RandomK payloads are sparse end to end: internal/tensor's COO
+// Sparse type and kernels (gather, scatter-add, two-pointer merge-union)
+// carry compress → reduce → decompress without materializing a dense
+// image — error feedback updates only selected coordinates, the
+// collective reduces by density-capped merge-union (bit-identical dense
+// fallback), and the simulator prices sparse codecs by nnz. internal/prof
+// wires -cpuprofile/-memprofile into the binaries; the CPU profile feeds
+// the -pgo=auto build (cmd/optcc-bench/default.pgo), and cmd/optcc-gate
+// gates CI on the committed bench/BENCH_*.json baselines.
+//
 // See README.md for a guided tour (quickstart, package map, and the
 // pooled zero-allocation compression API) and CHANGES.md for the per-PR
 // change log. The root-level benchmarks (bench_test.go) regenerate each

@@ -28,12 +28,23 @@ type Group struct {
 	class Class
 	ranks []int
 
+	// denseReduce forces AllReduceCompressed to densify sparse payloads
+	// and reduce through the dense reconstruction path even for
+	// sparse-native families — the oracle knob the equivalence tests and
+	// the sparse-vs-densified benchmarks flip.
+	denseReduce bool
+
 	// free recycles op descriptors between issues. Pending handles are
 	// returned here by Wait; issue and wait may run on different
 	// goroutines, hence the lock.
 	mu   sync.Mutex
 	free []*Pending
 }
+
+// SetDensifiedReduce toggles the densified oracle path for compressed
+// all-reduces (off by default: sparse-native families reduce sparsely).
+// Must not be called while operations are in flight.
+func (g *Group) SetDensifiedReduce(on bool) { g.denseReduce = on }
 
 type opKind int
 
@@ -63,9 +74,14 @@ type Pending struct {
 	opBytes int64
 	offs    []int // chunk offsets, len(ranks)+1
 	recons  []*tensor.Matrix
-	viewA   []tensor.Matrix // per-member destination view headers
-	viewB   []tensor.Matrix // per-member source view headers
-	wg      sync.WaitGroup
+	// sparse marks a compressed op whose every compressor is sparse-native
+	// (and the group's densified-oracle knob is off): members ship sparse
+	// payload copies through spl instead of dense reconstructions.
+	sparse bool
+	spl    []*tensor.Sparse
+	viewA  []tensor.Matrix // per-member destination view headers
+	viewB  []tensor.Matrix // per-member source view headers
+	wg     sync.WaitGroup
 
 	// remaining counts member ranks still executing (Done polls it).
 	remaining atomic.Int32
@@ -130,9 +146,26 @@ func (g *Group) AllReduceCompressedAsync(bufs []*tensor.Matrix, efs []*compress.
 	}
 	p := g.prep(opAllReduceCompressed, bufs, scale)
 	p.efs = efs
+	// The whole op must pick one reduction representation: every member
+	// reads every member's payload slot, so a mixed sparse/dense op would
+	// read unset slots. Sparse-native only when every compressor is.
+	p.sparse = !g.denseReduce
+	for _, ef := range efs {
+		if !ef.SparseNative() {
+			p.sparse = false
+			break
+		}
+	}
 	if len(g.ranks) == 1 {
 		// Degenerate ring: compress/reconstruct locally so the error-
 		// feedback residual sequence matches the serial semantics.
+		if p.sparse {
+			pl, _ := efs[0].CompressWithFeedbackSparse(bufs[0])
+			bufs[0].Zero()
+			tensor.SpAxpyInto(bufs[0], scale, &pl.Sparse)
+			g.rt.spOps.Add(1)
+			return p
+		}
 		_, recon := efs[0].CompressWithFeedback(bufs[0])
 		bufs[0].CopyFrom(recon)
 		if scale != 1 {
@@ -184,6 +217,7 @@ func (g *Group) getOp() *Pending {
 		g:      g,
 		offs:   make([]int, d+1),
 		recons: make([]*tensor.Matrix, d),
+		spl:    make([]*tensor.Sparse, d),
 		viewA:  make([]tensor.Matrix, d),
 		viewB:  make([]tensor.Matrix, d),
 	}
@@ -213,6 +247,7 @@ func (g *Group) prep(kind opKind, bufs []*tensor.Matrix, scale float64) *Pending
 	p.kind = kind
 	p.bufs = bufs
 	p.efs = nil
+	p.sparse = false
 	p.scale = scale
 	p.wire.Store(0)
 	p.chunkOffsets(r0 * c0)
@@ -287,12 +322,19 @@ func (p *Pending) exec(m int) {
 		p.runBroadcast(m)
 	}
 	if p.remaining.Add(-1) == 0 && p.kind == opAllReduceCompressed {
-		// Last member out returns the op's reconstruction copies to the
-		// pool — only now is every member done reading them.
+		// Last member out returns the op's reconstruction (or sparse
+		// payload) copies to the pool — only now is every member done
+		// reading them.
 		for i, r := range p.recons {
 			if r != nil {
 				p.g.rt.pool.Put(r)
 				p.recons[i] = nil
+			}
+		}
+		for i, s := range p.spl {
+			if s != nil {
+				p.g.rt.pool.PutSparse(s)
+				p.spl[i] = nil
 			}
 		}
 	}
@@ -373,6 +415,10 @@ func (p *Pending) runAllReduce(m int) {
 // sizes are accounted exactly), then reduce every rank's reconstruction
 // in flat ring order into this member's buffer.
 func (p *Pending) runAllReduceCompressed(m int) {
+	if p.sparse {
+		p.runAllReduceCompressedSparse(m)
+		return
+	}
 	g := p.g
 	d := len(g.ranks)
 	tr, cls := g.rt.tr, g.class
@@ -401,6 +447,84 @@ func (p *Pending) runAllReduceCompressed(m int) {
 	if p.scale != 1 {
 		buf.Scale(p.scale)
 	}
+}
+
+// SparseReduceCapFraction is the density cap of the sparse merge-union
+// reduction: when the payloads' summed nnz exceeds this fraction of the
+// dense element count, the worst-case union is dense enough that the
+// per-coordinate merge bookkeeping (a branchy two-pointer walk per
+// operand pair) costs more than one streaming dense pass, so the
+// reduction falls back to scatter-adding the payloads into the zeroed
+// dense buffer. Either way the per-coordinate addition order is the
+// flat ring order, so the crossover never changes results — only which
+// loop produces them (the accounting lands in SparseReduceStats, and
+// the crossover test drives an op across the cap to pin both sides).
+const SparseReduceCapFraction = 0.5
+
+// runAllReduceCompressedSparse is the sparse-native twin of
+// runAllReduceCompressed: ship the compressed index/value payload
+// itself (no dense reconstruction anywhere), then reduce by merge-union
+// in flat ring order — per coordinate, the same left-to-right addition
+// sequence as the densified oracle, hence bit-identical at tol 0.
+func (p *Pending) runAllReduceCompressedSparse(m int) {
+	g := p.g
+	d := len(g.ranks)
+	tr, cls := g.rt.tr, g.class
+	pool := g.rt.pool
+	self, right, left := g.ranks[m], g.ranks[mod(m+1, d)], g.ranks[mod(m-1, d)]
+
+	// Like the dense path's reconstruction, the payload aliases the
+	// compressor's scratch; ship a pooled copy so an in-flight successor
+	// op on the same compressor cannot clobber it. The op's last member
+	// returns the copies to the pool.
+	pl, _ := p.efs[m].CompressWithFeedbackSparse(p.bufs[m])
+	ship := pool.GetSparse(p.bufs[m].Rows, p.bufs[m].Cols)
+	ship.CopyFrom(&pl.Sparse)
+	p.spl[m] = ship
+	wire := pl.WireBytes()
+	for t := 0; t < d-1; t++ {
+		p.send(self, right, wire)
+		wire = tr.Recv(cls, self, left).Bytes
+	}
+
+	// After d−1 ring steps every member's payload write happens-before
+	// this point (the same token chain the dense path relies on). All
+	// members see the same payloads, so the cap decision is uniform.
+	buf := p.bufs[m]
+	total := 0
+	for _, sp := range p.spl {
+		total += sp.NNZ()
+	}
+	if float64(total) > SparseReduceCapFraction*float64(buf.NumElements()) {
+		if m == 0 {
+			g.rt.spFallbacks.Add(1)
+		}
+		buf.Zero()
+		for _, sp := range p.spl {
+			tensor.SpAxpyInto(buf, 1, sp)
+		}
+		if p.scale != 1 {
+			buf.Scale(p.scale)
+		}
+		return
+	}
+	if m == 0 {
+		g.rt.spOps.Add(1)
+	}
+	sa, sb := pool.GetSparse(buf.Rows, buf.Cols), pool.GetSparse(buf.Rows, buf.Cols)
+	cur, next := p.spl[0], sa
+	for i := 1; i < d; i++ {
+		tensor.MergeUnionInto(next, cur, p.spl[i])
+		if next == sa {
+			cur, next = sa, sb
+		} else {
+			cur, next = sb, sa
+		}
+	}
+	buf.Zero()
+	tensor.SpAxpyInto(buf, p.scale, cur)
+	pool.PutSparse(sa)
+	pool.PutSparse(sb)
 }
 
 // runBroadcast executes member m's share of the ring pipeline rooted at

@@ -38,11 +38,42 @@ func (r *Runtime) SendCompressed(c Class, from, to int, t *tensor.Matrix, ef *co
 	return wire, recon
 }
 
+// SendCompressedSparse is the sparse-native twin of SendCompressed for
+// sparse-marker families (TopK/RandomK): the compressed index/value
+// payload ships as-is — no dense reconstruction is built on the send
+// side, so the sender's cost scales with nnz beyond the selection pass.
+// ok = false (nothing sent, no state touched) when ef's family is not
+// sparse-native; callers fall back to SendCompressed. The error-feedback
+// residual evolves bit-identically to the dense path, and Recv densifies
+// the payload into a pooled buffer bit-identical to the reconstruction
+// SendCompressed would have shipped.
+func (r *Runtime) SendCompressedSparse(c Class, from, to int, t *tensor.Matrix, ef *compress.ErrorFeedback) (wire int64, ok bool) {
+	pl, ok := ef.CompressWithFeedbackSparse(t)
+	if !ok {
+		return 0, false
+	}
+	// The payload aliases ef's scratch; ship a pooled copy (the
+	// SendCompressed precedent). Recv returns it to the pool.
+	ship := r.pool.GetSparse(t.Rows, t.Cols)
+	ship.CopyFrom(&pl.Sparse)
+	wire = pl.WireBytes()
+	r.tr.SendP2P(c, from, to, Msg{Bytes: wire, Sparse: ship})
+	return wire, true
+}
+
 // Recv blocks until the next point-to-point tensor from rank `from`
 // arrives at rank `to` on class c. pooled reports that the tensor was
 // borrowed from the runtime's pool (a SendCompressed reconstruction) and
-// must be returned with Pool().Put once consumed.
+// must be returned with Pool().Put once consumed. A sparse-native
+// payload (SendCompressedSparse) is densified here into a pooled buffer
+// — receivers see the identical dense tensor whichever path sent it.
 func (r *Runtime) Recv(c Class, to, from int) (m *tensor.Matrix, pooled bool) {
 	msg := r.tr.RecvP2P(c, to, from)
+	if msg.Sparse != nil {
+		dst := r.pool.GetUninit(msg.Sparse.Rows, msg.Sparse.Cols)
+		msg.Sparse.DensifyInto(dst)
+		r.pool.PutSparse(msg.Sparse)
+		return dst, true
+	}
 	return msg.Payload, msg.Pooled
 }

@@ -3,6 +3,7 @@ package collective
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/tensor"
 )
@@ -19,6 +20,29 @@ type Runtime struct {
 
 	work      []chan task
 	closeOnce sync.Once
+
+	// Sparse-reduction accounting: how many compressed all-reduces ran the
+	// merge-union path vs fell back to a dense scatter-add because the
+	// payload union crossed the density cap (see SparseReduceCapFraction).
+	spOps       atomic.Int64
+	spFallbacks atomic.Int64
+}
+
+// SparseReduceStats counts how AllReduceCompressed operations reduced
+// sparse-native payloads: SparseOps ran the merge-union path,
+// DenseFallbacks crossed the density cap and reduced densely. Ops on
+// non-sparse families (PowerSGD, quantizers) appear in neither.
+type SparseReduceStats struct {
+	SparseOps      int64
+	DenseFallbacks int64
+}
+
+// SparseReduceStats snapshots the sparse-reduction counters.
+func (r *Runtime) SparseReduceStats() SparseReduceStats {
+	return SparseReduceStats{
+		SparseOps:      r.spOps.Load(),
+		DenseFallbacks: r.spFallbacks.Load(),
+	}
 }
 
 // task is one rank's share of an issued group collective.

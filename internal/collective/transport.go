@@ -53,6 +53,11 @@ type Msg struct {
 	// Pooled marks a payload borrowed from the sender's workspace pool;
 	// the receiver must Put it back once it has been consumed.
 	Pooled bool
+	// Sparse is the sparse-native point-to-point payload (SendCompressedSparse):
+	// index/value pairs in place of a dense tensor, always borrowed from the
+	// sender's pool. Runtime.Recv densifies it transparently, so receivers
+	// see the same pooled dense tensor either way.
+	Sparse *tensor.Sparse
 }
 
 // Transport moves step tokens between ranks and accounts the traffic per

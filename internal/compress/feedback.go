@@ -139,6 +139,68 @@ func (ef *ErrorFeedback) evict(st *efState) {
 	pool.Put(st.input)
 }
 
+// sparseMarker is implemented by compressors whose Compress always
+// returns a *SparsePayload (TopK, RandomK).
+type sparseMarker interface{ sparseNative() }
+
+// addFusedCompressor is implemented by compressors that can fuse the
+// error-feedback add into their selection sweep (TopK). The contract is
+// bit-identity: CompressAddFused(r, m) must leave r and the returned
+// payload exactly as r.Add(m); Compress(r) would.
+type addFusedCompressor interface {
+	CompressAddFused(residual, m *tensor.Matrix) Payload
+}
+
+// SparseNative reports whether the wrapped compressor emits sparse
+// payloads natively, i.e. whether CompressWithFeedbackSparse applies.
+func (ef *ErrorFeedback) SparseNative() bool {
+	_, ok := ef.inner.(sparseMarker)
+	return ok
+}
+
+// CompressWithFeedbackSparse is the sparse-native twin of
+// CompressWithFeedback for sparse-marker compressors (ok = false
+// otherwise, with no state touched). It returns the sparse payload and
+// never materializes a dense reconstruction; beyond the selection pass
+// inside the inner compressor, it touches the dense shape only once —
+// and for compressors implementing addFusedCompressor (TopK) even the
+// feedback add rides inside that selection sweep.
+//
+// The residual update is done in place: residual += m makes the
+// residual buffer hold the feedback-adjusted input (IEEE addition
+// commutes, so this equals the oracle's m + residual); compressing that
+// buffer yields the identical payload; and since the reconstruction is
+// zero off the selected coordinates, residual = input − recon reduces
+// to subtracting each selected value at its own coordinate — the
+// SpAxpyInto(−1) fix-up — while untouched coordinates already hold
+// input − 0 exactly. Residual state therefore evolves bit-identically
+// to the densified path, and the two entry points may be mixed freely
+// on one instance.
+func (ef *ErrorFeedback) CompressWithFeedbackSparse(m *tensor.Matrix) (pl *SparsePayload, ok bool) {
+	if _, native := ef.inner.(sparseMarker); !native {
+		return nil, false
+	}
+	if !ef.enabled {
+		return ef.inner.Compress(m).(*SparsePayload), true
+	}
+	st := ef.state(m.Rows, m.Cols)
+	switch {
+	case st.residual == nil:
+		st.residual = poolOrShared(ef.pool).GetUninit(m.Rows, m.Cols)
+		st.residual.CopyFrom(m)
+		pl = ef.inner.Compress(st.residual).(*SparsePayload)
+	default:
+		if f, ok := ef.inner.(addFusedCompressor); ok {
+			pl = f.CompressAddFused(st.residual, m).(*SparsePayload)
+		} else {
+			st.residual.Add(m)
+			pl = ef.inner.Compress(st.residual).(*SparsePayload)
+		}
+	}
+	tensor.SpAxpyInto(st.residual, -1, &pl.Sparse)
+	return pl, true
+}
+
 // CompressWithFeedback compresses m plus the stored residual, updates the
 // residual to the new compression error, and returns both the payload and
 // the dense reconstruction (what the receiver will see). The input m is

@@ -152,10 +152,20 @@ func (c *PowerSGD) SetWarmQ(rows, cols int, q *tensor.Matrix) {
 // Name implements Compressor.
 func (c *PowerSGD) Name() string { return fmt.Sprintf("powersgd(r=%d)", c.rank) }
 
-// Ratio implements Compressor.
+// Ratio implements Compressor. Degenerate shapes (empty, or so skinny
+// the factor encoding is no smaller than dense) report 1 rather than a
+// divide-by-zero Inf/NaN or a ratio below break-even.
 func (c *PowerSGD) Ratio(rows, cols int) float64 {
 	r := c.effectiveRank(rows, cols)
-	return float64(rows*cols) / float64(r*(rows+cols))
+	denom := r * (rows + cols)
+	if denom == 0 {
+		return 1
+	}
+	ratio := float64(rows*cols) / float64(denom)
+	if ratio < 1 {
+		return 1
+	}
+	return ratio
 }
 
 func (c *PowerSGD) effectiveRank(rows, cols int) int {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 
 	"repro/internal/tensor"
 )
@@ -37,11 +38,10 @@ func NewRandomK(fraction float64, seed int64) *RandomK {
 // Name implements Compressor.
 func (c *RandomK) Name() string { return fmt.Sprintf("randomk(%.3g)", c.Fraction) }
 
-// Ratio implements Compressor.
+// Ratio implements Compressor (clamped to ≥ 1 like TopK: index overhead
+// can push the sparse encoding past dense at large fractions).
 func (c *RandomK) Ratio(rows, cols int) float64 {
-	n := rows * cols
-	k := c.keep(n)
-	return float64(DenseBytes(rows, cols)) / float64(int64(k)*(ElemBytes+IndexBytes))
+	return sparseRatio(rows, cols, c.keep(rows*cols))
 }
 
 func (c *RandomK) keep(n int) int {
@@ -57,8 +57,11 @@ func (c *RandomK) keep(n int) int {
 
 // Compress implements Compressor: sample k indices without replacement,
 // store values scaled by n/k for unbiasedness. The Fisher–Yates fill below
-// draws exactly like rand.Perm, so results are bit-identical to the
-// allocating path for the same seed.
+// draws exactly like rand.Perm, so selections are bit-identical to the
+// allocating path for the same seed. The kept indices are then sorted
+// ascending to satisfy the tensor.Sparse invariant — the selected set,
+// the per-coordinate values, and hence every reconstruction are
+// unchanged; only the in-payload pair order differs from the raw draw.
 func (c *RandomK) Compress(m *tensor.Matrix) Payload {
 	n := m.NumElements()
 	k := c.keep(n)
@@ -71,12 +74,11 @@ func (c *RandomK) Compress(m *tensor.Matrix) Payload {
 		perm[i] = perm[j]
 		perm[j] = i
 	}
+	kept := perm[:k]
+	slices.Sort(kept)
 	scale := float64(n) / float64(k)
-	c.payload.reuse(k, m.Rows, m.Cols)
-	copy(c.payload.Indices, perm[:k])
-	for i, fi := range c.payload.Indices {
-		c.payload.Values[i] = m.Data[fi] * scale
-	}
+	tensor.GatherInto(&c.payload.Sparse, m, kept)
+	tensor.SpScaleInto(&c.payload.Sparse, scale, &c.payload.Sparse)
 	return &c.payload
 }
 
@@ -95,11 +97,11 @@ func (c *RandomK) DecompressInto(dst *tensor.Matrix, pl Payload) {
 		panic(fmt.Sprintf("compress: RandomK.Decompress got %T", pl))
 	}
 	mustShape(dst, pl, "RandomK")
-	dst.Zero()
-	for i, fi := range p.Indices {
-		dst.Data[fi] = p.Values[i]
-	}
+	p.Sparse.DensifyInto(dst)
 }
+
+// sparseNative marks c's payloads as natively sparse (see SparseNative).
+func (c *RandomK) sparseNative() {}
 
 var _ Compressor = (*RandomK)(nil)
 

@@ -1,0 +1,246 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestSparseRatioClampedAtOne pins the k ≥ rows·cols edge of the sparse
+// family ratios: at fraction 1 the index overhead makes the sparse
+// encoding 3× *larger* than dense, and the ratio must clamp to 1 rather
+// than report < 1. Empty shapes must not divide by zero.
+func TestSparseRatioClampedAtOne(t *testing.T) {
+	for _, c := range []Compressor{NewTopK(1), NewRandomK(1, 1)} {
+		if r := c.Ratio(8, 8); r != 1 {
+			t.Fatalf("%s Ratio(8,8) at fraction 1 = %v, want clamp to 1", c.Name(), r)
+		}
+		if r := c.Ratio(0, 5); r != 1 {
+			t.Fatalf("%s Ratio(0,5) = %v, want 1", c.Name(), r)
+		}
+	}
+	// Fractions below break-even (< 1/3 at 2-byte elems + 4-byte indices)
+	// still report the genuine > 1 ratio.
+	if r := NewTopK(0.01).Ratio(10, 10); r <= 1 {
+		t.Fatalf("topk(0.01) Ratio = %v, want > 1", r)
+	}
+	// PowerSGD's guard: empty and ultra-skinny shapes report 1, not
+	// Inf/NaN or sub-break-even values.
+	p := NewPowerSGD(4, 1)
+	if r := p.Ratio(0, 0); r != 1 {
+		t.Fatalf("powersgd Ratio(0,0) = %v, want 1", r)
+	}
+	if r := p.Ratio(1, 5); r != 1 {
+		t.Fatalf("powersgd Ratio(1,5) = %v, want clamp to 1", r)
+	}
+}
+
+// TestInstrumentedDivisionGuards pins the guarded accessors at zero
+// traffic (already covered by TestInstrumentedEmpty for the empty case;
+// this adds the zero-wire-after-calls edge via an empty matrix).
+func TestInstrumentedDivisionGuards(t *testing.T) {
+	inst := NewInstrumented(NewIdentity())
+	if inst.AchievedRatio() != 0 || inst.MeanRelError() != 0 {
+		t.Fatal("zero-traffic Instrumented must report 0, not NaN")
+	}
+}
+
+// TestCompressWithFeedbackSparseMatchesDense drives two ErrorFeedback
+// instances over the same gradient stream — one through the densified
+// oracle, one through the sparse-native path — and requires payloads
+// and residuals to stay bit-identical (tol 0) across iterations, for
+// both sparse families, enabled and disabled feedback.
+func TestCompressWithFeedbackSparseMatchesDense(t *testing.T) {
+	build := map[string]func() Compressor{
+		"topk":    func() Compressor { return NewTopK(0.1) },
+		"randomk": func() Compressor { return NewRandomK(0.1, 42) },
+	}
+	for name, mk := range build {
+		for _, enabled := range []bool{true, false} {
+			rng := rand.New(rand.NewSource(11))
+			dense := NewErrorFeedback(mk())
+			sparse := NewErrorFeedback(mk())
+			dense.SetEnabled(enabled)
+			sparse.SetEnabled(enabled)
+			if !sparse.SparseNative() {
+				t.Fatalf("%s should be sparse-native", name)
+			}
+			rows, cols := 17, 23
+			recon := tensor.New(rows, cols)
+			for iter := 0; iter < 8; iter++ {
+				g := tensor.RandN(rng, rows, cols, 1)
+				dpl, drecon := dense.CompressWithFeedback(g)
+				spl, ok := sparse.CompressWithFeedbackSparse(g)
+				if !ok {
+					t.Fatalf("%s sparse path refused", name)
+				}
+				dsp := dpl.(*SparsePayload)
+				if len(dsp.Indices) != len(spl.Indices) {
+					t.Fatalf("%s iter %d nnz %d vs %d", name, iter, len(dsp.Indices), len(spl.Indices))
+				}
+				for i := range dsp.Indices {
+					if dsp.Indices[i] != spl.Indices[i] || dsp.Values[i] != spl.Values[i] {
+						t.Fatalf("%s iter %d payload diverges at %d", name, iter, i)
+					}
+				}
+				// The sparse payload's dense image must equal the oracle's
+				// reconstruction bit for bit.
+				spl.Sparse.DensifyInto(recon)
+				if !recon.Equal(drecon, 0) {
+					t.Fatalf("%s iter %d recon diverges", name, iter)
+				}
+				if enabled {
+					dr, sr := dense.Residual(rows, cols), sparse.Residual(rows, cols)
+					if dr == nil || sr == nil || !sr.Equal(dr, 0) {
+						t.Fatalf("%s iter %d residual diverges", name, iter)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompressWithFeedbackSparseMixedCalls interleaves the dense and
+// sparse entry points on a single instance — residual evolution must be
+// path-independent, so the mixed stream equals an all-dense stream.
+func TestCompressWithFeedbackSparseMixedCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	mixed := NewErrorFeedback(NewTopK(0.15))
+	oracle := NewErrorFeedback(NewTopK(0.15))
+	rows, cols := 12, 9
+	for iter := 0; iter < 6; iter++ {
+		g := tensor.RandN(rng, rows, cols, 1)
+		opl, _ := oracle.CompressWithFeedback(g)
+		var indices []int
+		var values []float64
+		if iter%2 == 0 {
+			spl, ok := mixed.CompressWithFeedbackSparse(g)
+			if !ok {
+				t.Fatal("sparse path refused")
+			}
+			indices, values = spl.Indices, spl.Values
+		} else {
+			mpl, _ := mixed.CompressWithFeedback(g)
+			sp := mpl.(*SparsePayload)
+			indices, values = sp.Indices, sp.Values
+		}
+		osp := opl.(*SparsePayload)
+		if len(indices) != len(osp.Indices) {
+			t.Fatalf("iter %d nnz mismatch", iter)
+		}
+		for i := range indices {
+			if indices[i] != osp.Indices[i] || values[i] != osp.Values[i] {
+				t.Fatalf("iter %d mixed-call payload diverges at %d", iter, i)
+			}
+		}
+	}
+}
+
+// TestCompressWithFeedbackSparseNotNative pins the refusal path for
+// non-sparse families: no payload and no state mutation.
+func TestCompressWithFeedbackSparseNotNative(t *testing.T) {
+	ef := NewErrorFeedback(NewPowerSGD(2, 3))
+	if ef.SparseNative() {
+		t.Fatal("powersgd must not be sparse-native")
+	}
+	g := tensor.New(6, 6)
+	g.Fill(1)
+	if pl, ok := ef.CompressWithFeedbackSparse(g); ok || pl != nil {
+		t.Fatal("non-sparse family must refuse the sparse path")
+	}
+	if ef.Residual(6, 6) != nil {
+		t.Fatal("refused sparse call must not touch residual state")
+	}
+}
+
+// TestTopKQuickselectMatchesFullSort cross-checks the quickselect
+// selection against an independent full-sort oracle on adversarial
+// inputs (constant data, sorted data, duplicated magnitudes, random).
+func TestTopKQuickselectMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	cases := map[string]func(n int) []float64{
+		"constant": func(n int) []float64 {
+			d := make([]float64, n)
+			for i := range d {
+				d[i] = 3
+			}
+			return d
+		},
+		"ascending": func(n int) []float64 {
+			d := make([]float64, n)
+			for i := range d {
+				d[i] = float64(i)
+			}
+			return d
+		},
+		"descending": func(n int) []float64 {
+			d := make([]float64, n)
+			for i := range d {
+				d[i] = float64(n - i)
+			}
+			return d
+		},
+		"dup-magnitudes": func(n int) []float64 {
+			d := make([]float64, n)
+			for i := range d {
+				d[i] = float64(i%5) * negOne(i)
+			}
+			return d
+		},
+		"random": func(n int) []float64 {
+			d := make([]float64, n)
+			for i := range d {
+				d[i] = rng.NormFloat64()
+			}
+			return d
+		},
+	}
+	for name, gen := range cases {
+		for _, n := range []int{1, 2, 7, 64, 257} {
+			for _, frac := range []float64{0.01, 0.3, 0.99, 1} {
+				data := gen(n)
+				m := tensor.FromSlice(1, n, data)
+				c := NewTopK(frac)
+				pl := c.Compress(m).(*SparsePayload)
+
+				// Oracle: full sort by the same strict total order.
+				ord := make([]int, n)
+				for i := range ord {
+					ord[i] = i
+				}
+				for i := 1; i < n; i++ { // insertion sort, independent code path
+					for j := i; j > 0 && magLess(data, ord[j], ord[j-1]); j-- {
+						ord[j], ord[j-1] = ord[j-1], ord[j]
+					}
+				}
+				k := c.keep(n)
+				want := map[int]bool{}
+				for _, fi := range ord[:k] {
+					want[fi] = true
+				}
+				if len(pl.Indices) != k {
+					t.Fatalf("%s n=%d frac=%v kept %d want %d", name, n, frac, len(pl.Indices), k)
+				}
+				for i, fi := range pl.Indices {
+					if !want[fi] {
+						t.Fatalf("%s n=%d frac=%v quickselect kept wrong index %d", name, n, frac, fi)
+					}
+					if pl.Values[i] != data[fi] {
+						t.Fatalf("%s n=%d frac=%v wrong value at %d", name, n, frac, fi)
+					}
+					if i > 0 && pl.Indices[i] <= pl.Indices[i-1] {
+						t.Fatalf("%s n=%d frac=%v indices not ascending", name, n, frac)
+					}
+				}
+			}
+		}
+	}
+}
+
+func negOne(i int) float64 {
+	if i%2 == 0 {
+		return -1
+	}
+	return 1
+}

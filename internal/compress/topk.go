@@ -3,7 +3,7 @@ package compress
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/tensor"
 )
@@ -22,9 +22,10 @@ type TopK struct {
 	// Fraction of elements kept, in (0, 1].
 	Fraction float64
 
-	order   magOrder
-	asc     ascInts
-	payload SparsePayload
+	idx          []int
+	candA, candB []int
+	keys         []uint64
+	payload      SparsePayload
 }
 
 // IndexBytes is the per-element index cost of sparse payloads.
@@ -52,18 +53,35 @@ func (c *TopK) keep(n int) int {
 	return k
 }
 
-// Ratio implements Compressor.
+// Ratio implements Compressor. Clamped to ≥ 1: with large fractions the
+// index overhead makes the sparse encoding bigger than the dense one,
+// and a reported ratio < 1 would corrupt downstream wire estimates (the
+// encoder would just ship dense in that regime).
 func (c *TopK) Ratio(rows, cols int) float64 {
-	n := rows * cols
-	k := c.keep(n)
-	return float64(DenseBytes(rows, cols)) / float64(int64(k)*(ElemBytes+IndexBytes))
+	return sparseRatio(rows, cols, c.keep(rows*cols))
 }
 
-// SparsePayload is a list of (flat index, value) pairs.
+// sparseRatio is the dense/sparse wire quotient shared by TopK and
+// RandomK, clamped to ≥ 1 (and 1 for an empty shape, where there is
+// nothing to compress).
+func sparseRatio(rows, cols, k int) float64 {
+	if rows*cols == 0 {
+		return 1
+	}
+	r := float64(DenseBytes(rows, cols)) / float64(int64(k)*(ElemBytes+IndexBytes))
+	if r < 1 {
+		return 1
+	}
+	return r
+}
+
+// SparsePayload is a list of (flat index, value) pairs — a
+// tensor.Sparse (indices strictly ascending) plus the Payload wire
+// accounting. The collective and p2p layers operate on the embedded
+// Sparse directly, so compress→reduce→decompress never materializes a
+// dense image on the sparse-native path.
 type SparsePayload struct {
-	Indices    []int
-	Values     []float64
-	rows, cols int
+	tensor.Sparse
 }
 
 // WireBytes implements Payload.
@@ -72,72 +90,290 @@ func (p *SparsePayload) WireBytes() int64 {
 }
 
 // Shape implements Payload.
-func (p *SparsePayload) Shape() (int, int) { return p.rows, p.cols }
+func (p *SparsePayload) Shape() (int, int) { return p.Sparse.Rows, p.Sparse.Cols }
 
-// reuse resizes the payload's slices to k entries without allocating when
-// capacity suffices, and restamps the dense shape.
-func (p *SparsePayload) reuse(k, rows, cols int) {
-	if cap(p.Indices) < k {
-		p.Indices = make([]int, k)
-		p.Values = make([]float64, k)
-	}
-	p.Indices = p.Indices[:k]
-	p.Values = p.Values[:k]
-	p.rows, p.cols = rows, cols
-}
-
-// magOrder sorts flat indices by |value| descending, ties by index
-// ascending — a strict total order, so every correct sort produces the
-// same permutation (determinism does not depend on sort stability).
-type magOrder struct {
-	idx  []int
-	data []float64
-}
-
-func (o *magOrder) Len() int      { return len(o.idx) }
-func (o *magOrder) Swap(a, b int) { o.idx[a], o.idx[b] = o.idx[b], o.idx[a] }
-func (o *magOrder) Less(a, b int) bool {
-	va, vb := math.Abs(o.data[o.idx[a]]), math.Abs(o.data[o.idx[b]])
+// magLess is the selection order: |value| descending, ties by index
+// ascending — a strict total order, so the top-k *set* is unique and
+// independent of the selection algorithm (full sort and the radix
+// select below agree exactly).
+func magLess(data []float64, a, b int) bool {
+	va, vb := math.Abs(data[a]), math.Abs(data[b])
 	if va != vb {
 		return va > vb
 	}
-	return o.idx[a] < o.idx[b]
+	return a < b
 }
 
-// ascInts sorts ints ascending via a pre-boxed sort.Interface (avoids the
-// per-call boxing allocation of sort.Ints).
-type ascInts struct{ v []int }
+// absKey maps v to an unsigned key whose integer order equals |v| order
+// for finite values: IEEE-754 doubles with the sign bit cleared compare
+// like their magnitudes.
+func absKey(v float64) uint64 { return math.Float64bits(v) &^ (1 << 63) }
 
-func (o *ascInts) Len() int           { return len(o.v) }
-func (o *ascInts) Swap(a, b int)      { o.v[a], o.v[b] = o.v[b], o.v[a] }
-func (o *ascInts) Less(a, b int) bool { return o.v[a] < o.v[b] }
+// sampleSize is the number of strided key samples the selection pass
+// uses to pick its candidate-collection pivot.
+const sampleSize = 1024
 
-// Compress implements Compressor by full selection (the paper notes real
-// systems use quasi-sort to cut this cost; exact selection is fine for the
-// reproduction and strictly more favourable to top-k quality).
+// selectTopK returns the indices of the k most significant elements of
+// data (k < len(data)) under magLess, in unspecified order.
+//
+// Candidate generation is a deterministic sampled-pivot collect: sort
+// sampleSize strided absKey samples, pick the quantile key expected to
+// pass ~3k elements, and sweep data once appending every index whose
+// key reaches the pivot. That sweep is one sequential, branch-
+// predictable compare per element — it runs at streaming speed, unlike
+// a histogram pass, whose read-modify-write chains on hot buckets
+// throttle to a fraction of memory bandwidth, and unlike comparison
+// selection, whose data-dependent random access dominated the compress
+// side of the sparse pipeline. If the sample misestimates and fewer
+// than k candidates pass, the pivot steps down to the next strictly
+// smaller sample key and the sweep reruns (rare, bounded, and
+// deterministic). Small inputs skip the sampling and collect on an
+// exponent histogram directly.
+//
+// The exact boundary inside the candidate set is then resolved by MSB
+// radix refinement on absKey — 11 exponent bits, then mantissa bytes —
+// over the (small) candidate list only. Elements whose full 64-bit
+// keys tie are appended in scan order, which is ascending index order
+// — exactly magLess's tie rule — so the selected set is the unique
+// top-k set regardless of distribution or pivot walk. All scratch
+// slices are owned by c and reused across calls.
+func (c *TopK) selectTopK(k int, data []float64) []int {
+	if cap(c.idx) < k {
+		c.idx = make([]int, 0, k)
+	}
+	if cap(c.candA) < len(data) {
+		c.candA = make([]int, 0, len(data))
+		c.candB = make([]int, 0, len(data))
+	}
+	kept, candA, candB := c.idx[:0], c.candA[:0], c.candB[:0]
+	rem := k
+
+	if n := len(data); n >= 4*sampleSize && 4*k <= n {
+		// Sampled-pivot candidate sweep.
+		if cap(c.keys) < sampleSize {
+			c.keys = make([]uint64, sampleSize)
+		}
+		keys := c.keys[:sampleSize]
+		stride := n / sampleSize
+		for i := range keys {
+			keys[i] = absKey(data[i*stride])
+		}
+		slices.Sort(keys)
+		pos := sampleSize - 1 - (3*k*sampleSize)/n
+		if pos < 0 {
+			pos = 0
+		}
+		pivot := keys[pos]
+		for {
+			candA = candA[:0]
+			for i, v := range data {
+				if absKey(v) >= pivot {
+					candA = append(candA, i)
+				}
+			}
+			if len(candA) >= k || pivot == 0 {
+				break
+			}
+			// Too few passed: step to the next strictly smaller sample
+			// key (an equal pivot would collect the same set again).
+			for pos > 0 && keys[pos] == pivot {
+				pos--
+			}
+			if keys[pos] == pivot {
+				pivot = 0 // no smaller sample: pass everything
+			} else {
+				pivot = keys[pos]
+			}
+		}
+	} else {
+		// Small input: one exponent histogram plus collect. Two-way
+		// banked counters keep the read-modify-writes of locally
+		// repetitive data independent.
+		var banks [2][2048]int
+		for i := 0; i+2 <= len(data); i += 2 {
+			banks[0][absKey(data[i])>>52]++
+			banks[1][absKey(data[i+1])>>52]++
+		}
+		if len(data)&1 != 0 {
+			banks[0][absKey(data[len(data)-1])>>52]++
+		}
+		t := 2047
+		for ; t >= 0; t-- {
+			n := banks[0][t] + banks[1][t]
+			if n >= rem {
+				break // the bucket the k-th element falls in
+			}
+			rem -= n
+		}
+		for i, v := range data {
+			switch b := int(absKey(v) >> 52); {
+			case b > t:
+				kept = append(kept, i)
+			case b == t:
+				candA = append(candA, i)
+			}
+		}
+	}
+
+	return c.refineTopK(kept, candA, candB, rem, data)
+}
+
+// refineTopK resolves the exact selection boundary inside a candidate
+// list: kept already holds elements known to be in the top-k, candA the
+// candidates among which the rem remaining winners hide, candB is empty
+// swap scratch. Returns the completed kept list and stores the scratch
+// slices back on c.
+func (c *TopK) refineTopK(kept, candA, candB []int, rem int, data []float64) []int {
+	// Exact-tie short circuit: error-feedback residuals repeat values
+	// heavily (untouched coordinates accumulate identical multiples), and
+	// a fully tied candidate set would crawl through every refinement
+	// level without shrinking. One early-exit equality pass detects it.
+	allTied := rem > 0 && rem < len(candA)
+	if allTied {
+		k0 := absKey(data[candA[0]])
+		for _, i := range candA[1:] {
+			if absKey(data[i]) != k0 {
+				allTied = false
+				break
+			}
+		}
+	}
+
+	if !allTied {
+		// Refine the candidates level by level: the 11 exponent bits,
+		// then mantissa bytes 51–4, then the final overlapping low byte.
+		for _, lv := range [...]struct{ shift, mask uint }{
+			{52, 2047}, {44, 255}, {36, 255}, {28, 255}, {20, 255}, {12, 255}, {4, 255}, {0, 255},
+		} {
+			if rem == 0 || rem >= len(candA) {
+				break
+			}
+			var counts [2048]int
+			for _, i := range candA {
+				counts[(absKey(data[i])>>lv.shift)&uint64(lv.mask)]++
+			}
+			t := int(lv.mask)
+			for ; t >= 0; t-- {
+				if counts[t] >= rem {
+					break
+				}
+				rem -= counts[t]
+			}
+			if counts[t] == len(candA) {
+				continue // this level does not discriminate; skip the collect
+			}
+			candB = candB[:0]
+			for _, i := range candA {
+				switch b := int((absKey(data[i]) >> lv.shift) & uint64(lv.mask)); {
+				case b > t:
+					kept = append(kept, i)
+				case b == t:
+					candB = append(candB, i)
+				}
+			}
+			candA, candB = candB, candA
+		}
+	}
+	// Exact-tie (or whole-bucket) remainder: candA is in ascending index
+	// order, magLess's tie rule, so the first rem win.
+	kept = append(kept, candA[:rem]...)
+	c.idx, c.candA, c.candB = kept, candA[:0], candB[:0]
+	return kept
+}
+
+// Compress implements Compressor: exact top-k selection (radix select
+// on the strict magnitude-then-index order), kept indices re-sorted
+// ascending so the payload satisfies the tensor.Sparse invariant.
 func (c *TopK) Compress(m *tensor.Matrix) Payload {
 	n := m.NumElements()
 	k := c.keep(n)
-	if cap(c.order.idx) < n {
-		c.order.idx = make([]int, n)
+	var kept []int
+	if k < n {
+		kept = c.selectTopK(k, m.Data)
+		slices.Sort(kept)
+	} else {
+		if cap(c.idx) < k {
+			c.idx = make([]int, 0, k)
+		}
+		kept = c.idx[:k]
+		for i := range kept {
+			kept[i] = i
+		}
 	}
-	idx := c.order.idx[:n]
-	for i := range idx {
-		idx[i] = i
+	tensor.GatherInto(&c.payload.Sparse, m, kept)
+	return &c.payload
+}
+
+// CompressAddFused is the fused error-feedback compress step:
+// residual += m and the top-k candidate sweep over the sum happen in
+// one pass over the dense shape instead of two (the feedback add and
+// selection are both memory-bound, so fusing them removes a full
+// streaming read). The additions are the same IEEE operations in the
+// same order as residual.Add(m) followed by Compress(residual), and
+// the sampled pivot is computed from the post-add keys, so the
+// residual bits, the selected set, and the payload are identical to
+// the unfused path. Inputs small enough to use the histogram path
+// fall back to exactly that unfused sequence.
+func (c *TopK) CompressAddFused(residual, m *tensor.Matrix) Payload {
+	rd, md := residual.Data, m.Data
+	n := len(rd)
+	k := c.keep(n)
+	if n < 4*sampleSize || 4*k > n || k >= n {
+		residual.Add(m)
+		return c.Compress(residual)
 	}
-	// Partial selection via full sort on |value| descending, ties by index
-	// for determinism.
-	c.order.idx, c.order.data = idx, m.Data
-	sort.Sort(&c.order)
-	c.order.data = nil // don't pin the input between calls
-	kept := idx[:k]
-	c.asc.v = kept
-	sort.Sort(&c.asc)
-	c.payload.reuse(k, m.Rows, m.Cols)
-	copy(c.payload.Indices, kept)
-	for i, fi := range kept {
-		c.payload.Values[i] = m.Data[fi]
+	if cap(c.idx) < k {
+		c.idx = make([]int, 0, k)
 	}
+	if cap(c.candA) < n {
+		c.candA = make([]int, 0, n)
+		c.candB = make([]int, 0, n)
+	}
+	if cap(c.keys) < sampleSize {
+		c.keys = make([]uint64, sampleSize)
+	}
+	// Sample the post-add keys without writing: rd[s]+md[s] here and in
+	// the sweep below round identically, so the pivot quantile is exact.
+	keys := c.keys[:sampleSize]
+	stride := n / sampleSize
+	for i := range keys {
+		s := i * stride
+		keys[i] = absKey(rd[s] + md[s])
+	}
+	slices.Sort(keys)
+	pos := sampleSize - 1 - (3*k*sampleSize)/n
+	if pos < 0 {
+		pos = 0
+	}
+	pivot := keys[pos]
+	candA := c.candA[:0]
+	for i, v := range rd {
+		v += md[i]
+		rd[i] = v
+		if absKey(v) >= pivot {
+			candA = append(candA, i)
+		}
+	}
+	// Pivot retries re-sweep the already-updated residual (no re-add).
+	for len(candA) < k && pivot != 0 {
+		for pos > 0 && keys[pos] == pivot {
+			pos--
+		}
+		if keys[pos] == pivot {
+			pivot = 0 // no smaller sample: pass everything
+		} else {
+			pivot = keys[pos]
+		}
+		candA = candA[:0]
+		for i, v := range rd {
+			if absKey(v) >= pivot {
+				candA = append(candA, i)
+			}
+		}
+	}
+	kept := c.refineTopK(c.idx[:0], candA, c.candB[:0], k, rd)
+	slices.Sort(kept)
+	tensor.GatherInto(&c.payload.Sparse, residual, kept)
 	return &c.payload
 }
 
@@ -149,17 +385,18 @@ func (c *TopK) Decompress(pl Payload) *tensor.Matrix {
 	return out
 }
 
-// DecompressInto implements Compressor.
+// DecompressInto implements Compressor: a zero-then-scatter of the
+// sparse payload.
 func (c *TopK) DecompressInto(dst *tensor.Matrix, pl Payload) {
 	p, ok := pl.(*SparsePayload)
 	if !ok {
 		panic(fmt.Sprintf("compress: TopK.Decompress got %T", pl))
 	}
 	mustShape(dst, pl, "TopK")
-	dst.Zero()
-	for i, fi := range p.Indices {
-		dst.Data[fi] = p.Values[i]
-	}
+	p.Sparse.DensifyInto(dst)
 }
+
+// sparseNative marks c's payloads as natively sparse (see SparseNative).
+func (c *TopK) sparseNative() {}
 
 var _ Compressor = (*TopK)(nil)

@@ -85,6 +85,32 @@ func (c CompressionCostModel) DecompressTime(n, m, r int) float64 {
 	return c.SetupSec + 2*float64(n)*float64(m)*float64(r)/c.GPUFLOPs
 }
 
+// SparseCompressTime returns the modeled time for a sparse-native
+// TopK/RandomK compression of an n×m matrix keeping k elements: one
+// dense selection pass over the n·m input (quickselect / index draw)
+// plus a 2k gather of the kept (index, value) pairs, under the same
+// fixed kernel setup. Unlike the low-rank codec there is no
+// orthogonalization term, which is why sparse codecs price orders of
+// magnitude cheaper at equal element budgets.
+func (c CompressionCostModel) SparseCompressTime(n, m, k int) float64 {
+	return c.SetupSec + (float64(n)*float64(m)+2*float64(k))/c.GPUFLOPs
+}
+
+// SparseDecompressTime returns the modeled time to scatter a k-element
+// sparse payload back into a dense buffer: cost scales with nnz, not
+// the dense shape — decompression of a 1% payload is ~100× cheaper
+// than the dense pass the densified path pays.
+func (c CompressionCostModel) SparseDecompressTime(k int) float64 {
+	return c.SetupSec + 2*float64(k)/c.GPUFLOPs
+}
+
+// SparseReduceTime returns the modeled time to merge-union reduce
+// sparse payloads totalling totalNNZ stored elements across ranks: a
+// linear two-pointer merge touches each (index, value) pair once.
+func (c CompressionCostModel) SparseReduceTime(totalNNZ int) float64 {
+	return 2 * float64(totalNNZ) / c.GPUFLOPs
+}
+
 // CompressThroughputBps returns the modeled compression throughput in
 // bits/second for the dense input size (n×m×elemBytes), the Fig. 15
 // y-axis.

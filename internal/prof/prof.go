@@ -1,0 +1,50 @@
+// Package prof wires the standard -cpuprofile/-memprofile flags into
+// the repo's binaries. The CPU profile doubles as the PGO feed: CI runs
+// optcc-bench -cpuprofile default.pgo, drops the file into the main
+// package directory, and rebuilds with -pgo=auto so the hot sparse
+// kernels get profile-guided inlining (the default.pgo name is what
+// the Go toolchain's auto mode looks for).
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (if non-empty) and arranges a
+// heap profile at memPath (if non-empty). The returned stop function
+// flushes both; call it before exiting on the success path (os.Exit
+// skips defers, so error paths intentionally drop partial profiles).
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+			f.Close()
+		}
+	}, nil
+}

@@ -82,8 +82,16 @@ func computeDurations(s Scenario, pl *plan.Plan) durations {
 		case pl.CBSparse():
 			// Sparse families ship (value, index) pairs: 3× the low-rank
 			// payload for the same element budget (§2.3's gather/index
-			// overhead).
+			// overhead). Their codec is priced nnz-aware: a selection pass
+			// plus per-kept gather to compress, a k-element scatter to
+			// decompress — no orthogonalization term, so the codec tracks
+			// the kept-element count rather than the dense shape.
 			wire *= 3
+			k := int(float64(n) * float64(m) * pl.CBSpec(0, 1).Fraction)
+			if k < 1 {
+				k = 1
+			}
+			d.sendBwdCodec = s.Cost.SparseCompressTime(n, m, k) + s.Cost.SparseDecompressTime(k)
 		case pl.CBFamily() != "powersgd":
 			// Quantizer families have a shape-determined fixed ratio; ask
 			// the registry-built compressor itself (Compile trial-built

@@ -85,6 +85,60 @@ func TestFamilyAwarePricing(t *testing.T) {
 	}
 }
 
+// TestSparseCodecPricingIsNNZAware pins the sparse-op cost term: a
+// TopK backward codec is priced from the kept-element count (selection
+// pass + 2k gather, k-element scatter) with no orthogonalization term,
+// so it must come out far below the PowerSGD codec at the same paper
+// shape, stay nonzero, and track the plan's byte-matched fraction —
+// the closed forms are checked directly against the scenario's model.
+func TestSparseCodecPricingIsNNZAware(t *testing.T) {
+	durationsFor := func(cfg core.Config) (durations, Scenario) {
+		sc := PaperScenario(cluster.GPT25B, cfg)
+		p, err := sc.Plan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return computeDurations(sc, p), sc
+	}
+
+	cbTopK := core.CB()
+	cbTopK.CBAlg = core.CBTopK
+	sparse, sc := durationsFor(cbTopK)
+	psgd, _ := durationsFor(core.CB())
+
+	if sparse.sendBwdCodec <= 0 {
+		t.Fatal("sparse CB codec priced at zero — selection/scatter cost dropped")
+	}
+	if sparse.sendBwdCodec >= psgd.sendBwdCodec/10 {
+		t.Fatalf("sparse codec %v not well below powersgd codec %v (no ortho term expected)",
+			sparse.sendBwdCodec, psgd.sendBwdCodec)
+	}
+
+	// The closed form: k = Fraction·n·m, codec = SparseCompressTime +
+	// SparseDecompressTime. Recompute from the compiled plan's spec.
+	p, err := sc.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := sc.MicroBatch * sc.Spec.SeqLen
+	m := sc.Spec.Hidden
+	k := int(float64(n) * float64(m) * p.CBSpec(0, 1).Fraction)
+	want := sc.Cost.SparseCompressTime(n, m, k) + sc.Cost.SparseDecompressTime(k)
+	if sparse.sendBwdCodec != want {
+		t.Fatalf("sparse codec %v != closed form %v", sparse.sendBwdCodec, want)
+	}
+
+	// nnz-awareness proper: at fixed dense shape the decompress and
+	// reduce terms scale with k, not n·m.
+	cost := sc.Cost
+	if d1, d10 := cost.SparseDecompressTime(1000), cost.SparseDecompressTime(10000); d10-cost.SetupSec < 9*(d1-cost.SetupSec) {
+		t.Fatalf("SparseDecompressTime not linear in nnz: %v vs %v", d1, d10)
+	}
+	if r1, r4 := cost.SparseReduceTime(5000), cost.SparseReduceTime(20000); r4 != 4*r1 {
+		t.Fatalf("SparseReduceTime not linear in total nnz: %v vs %v", r1, r4)
+	}
+}
+
 // TestScenarioPlanCompiles asserts every paper scenario compiles its
 // plan (the same compile path BuildGraph consumes), and that the plan's
 // embedding strategy matches the scenario's configuration.

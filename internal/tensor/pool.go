@@ -17,6 +17,10 @@ import (
 type Pool struct {
 	mu   sync.Mutex
 	free map[[2]int][]*Matrix
+	// spFree parks Sparse buffers keyed by their dense shape — the
+	// compressors and the sparse collective path recycle index/value
+	// buffers per gradient shape exactly like dense scratch.
+	spFree map[[2]int][]*Sparse
 
 	// maxPerShape caps each shape's free list (0 means DefaultMaxPerShape).
 	maxPerShape int
@@ -26,6 +30,10 @@ type Pool struct {
 	puts   atomic.Uint64
 	drops  atomic.Uint64
 	inPool atomic.Int64
+
+	spGets atomic.Uint64
+	spHits atomic.Uint64
+	spPuts atomic.Uint64
 }
 
 // DefaultMaxPerShape is the per-shape free-list cap used when a Pool is
@@ -107,10 +115,55 @@ func (p *Pool) Put(m *Matrix) {
 	p.inPool.Add(1)
 }
 
+// GetSparse returns an empty (nnz = 0) Sparse view of a rows×cols
+// shape, recycling a previously PutSparse one when available. Callers
+// size it with Reuse or CopyFrom; recycled buffers keep their capacity,
+// so the steady state allocates nothing.
+func (p *Pool) GetSparse(rows, cols int) *Sparse {
+	p.spGets.Add(1)
+	key := [2]int{rows, cols}
+	p.mu.Lock()
+	list := p.spFree[key]
+	if n := len(list); n > 0 {
+		s := list[n-1]
+		list[n-1] = nil
+		p.spFree[key] = list[:n-1]
+		p.mu.Unlock()
+		p.spHits.Add(1)
+		s.Reuse(0, rows, cols)
+		return s
+	}
+	p.mu.Unlock()
+	return NewSparse(rows, cols, 0)
+}
+
+// PutSparse recycles s for a future GetSparse of the same dense shape.
+// PutSparse(nil) is a no-op. The caller must not retain or touch s
+// afterwards.
+func (p *Pool) PutSparse(s *Sparse) {
+	if s == nil {
+		return
+	}
+	p.spPuts.Add(1)
+	key := [2]int{s.Rows, s.Cols}
+	p.mu.Lock()
+	if p.spFree == nil {
+		p.spFree = make(map[[2]int][]*Sparse)
+	}
+	if len(p.spFree[key]) >= p.cap() {
+		p.mu.Unlock()
+		p.drops.Add(1)
+		return
+	}
+	p.spFree[key] = append(p.spFree[key], s)
+	p.mu.Unlock()
+}
+
 // Reset drops every pooled matrix (they become garbage).
 func (p *Pool) Reset() {
 	p.mu.Lock()
 	p.free = make(map[[2]int][]*Matrix)
+	p.spFree = nil
 	p.mu.Unlock()
 	p.inPool.Store(0)
 }
@@ -120,17 +173,23 @@ type PoolStats struct {
 	Gets, Hits, Puts, Drops uint64
 	// InPool is the number of matrices currently parked in free lists.
 	InPool int64
+	// Sparse-buffer traffic (GetSparse/PutSparse), tracked separately so
+	// dense hit rates stay comparable across configurations.
+	SparseGets, SparseHits, SparsePuts uint64
 }
 
 // Stats returns a snapshot of cumulative pool traffic. HitRate ≈ 1 on
 // steady state is what "zero-allocation" means in practice.
 func (p *Pool) Stats() PoolStats {
 	return PoolStats{
-		Gets:   p.gets.Load(),
-		Hits:   p.hits.Load(),
-		Puts:   p.puts.Load(),
-		Drops:  p.drops.Load(),
-		InPool: p.inPool.Load(),
+		Gets:       p.gets.Load(),
+		Hits:       p.hits.Load(),
+		Puts:       p.puts.Load(),
+		Drops:      p.drops.Load(),
+		InPool:     p.inPool.Load(),
+		SparseGets: p.spGets.Load(),
+		SparseHits: p.spHits.Load(),
+		SparsePuts: p.spPuts.Load(),
 	}
 }
 

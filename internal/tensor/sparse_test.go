@@ -1,0 +1,232 @@
+package tensor
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// randSparse builds a sparse view of a rows×cols shape with nnz entries
+// at distinct ascending coordinates and N(0,1) values (plus a sprinkle
+// of exact zeros and negative zeros to exercise sign-of-zero paths).
+func randSparse(rng *rand.Rand, rows, cols, nnz int) *Sparse {
+	n := rows * cols
+	idx := rng.Perm(n)[:nnz]
+	sort.Ints(idx)
+	s := NewSparse(rows, cols, nnz)
+	s.Reuse(nnz, rows, cols)
+	copy(s.Indices, idx)
+	for i := range s.Values {
+		switch rng.Intn(8) {
+		case 0:
+			s.Values[i] = 0
+		case 1:
+			s.Values[i] = negZero()
+		default:
+			s.Values[i] = rng.NormFloat64()
+		}
+	}
+	return s
+}
+
+func negZero() float64 { return -1.0 * 0.0 }
+
+// densify is the test-local oracle: a fresh dense image of s.
+func densify(s *Sparse) *Matrix {
+	d := New(s.Rows, s.Cols)
+	for i, fi := range s.Indices {
+		d.Data[fi] = s.Values[i]
+	}
+	return d
+}
+
+// fuzzShapes covers degenerate and general shapes; densities include
+// the empty payload (0) and the full payload (1.0).
+var fuzzShapes = [][2]int{{1, 1}, {1, 7}, {5, 1}, {3, 4}, {8, 8}, {17, 13}, {32, 9}}
+var fuzzDensities = []float64{0, 0.01, 0.1, 0.5, 1.0}
+
+func nnzFor(n int, density float64) int {
+	k := int(density * float64(n))
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// TestSpAxpyIntoMatchesDenseOracle fuzzes dst += alpha·s against
+// AddScaledInto with the densified payload at tolerance 0.
+func TestSpAxpyIntoMatchesDenseOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	alphas := []float64{1, -1, 0.25, -3.5}
+	for _, sh := range fuzzShapes {
+		for _, density := range fuzzDensities {
+			for trial := 0; trial < 10; trial++ {
+				rows, cols := sh[0], sh[1]
+				s := randSparse(rng, rows, cols, nnzFor(rows*cols, density))
+				base := New(rows, cols)
+				for i := range base.Data {
+					base.Data[i] = rng.NormFloat64()
+				}
+				alpha := alphas[trial%len(alphas)]
+
+				got := base.Clone()
+				SpAxpyInto(got, alpha, s)
+
+				want := New(rows, cols)
+				AddScaledInto(want, base, alpha, densify(s))
+
+				if !got.Equal(want, 0) {
+					t.Fatalf("SpAxpyInto shape %dx%d density %v alpha %v diverges from dense oracle", rows, cols, density, alpha)
+				}
+			}
+		}
+	}
+}
+
+// TestMergeUnionIntoMatchesDenseOracle fuzzes a+b merge-union against
+// dense addition of the densified operands, checking both the dense
+// image and the ascending-index invariant.
+func TestMergeUnionIntoMatchesDenseOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, sh := range fuzzShapes {
+		for _, da := range fuzzDensities {
+			for _, db := range fuzzDensities {
+				rows, cols := sh[0], sh[1]
+				n := rows * cols
+				a := randSparse(rng, rows, cols, nnzFor(n, da))
+				b := randSparse(rng, rows, cols, nnzFor(n, db))
+				dst := NewSparse(rows, cols, 0)
+				MergeUnionInto(dst, a, b)
+
+				for i := 1; i < len(dst.Indices); i++ {
+					if dst.Indices[i] <= dst.Indices[i-1] {
+						t.Fatalf("merge-union indices not strictly ascending at %d: %v", i, dst.Indices)
+					}
+				}
+
+				want := densify(a).Add(densify(b))
+				if got := densify(dst); !got.Equal(want, 0) {
+					t.Fatalf("merge-union shape %dx%d densities (%v,%v) diverges from dense add", rows, cols, da, db)
+				}
+			}
+		}
+	}
+}
+
+// TestMergeUnionFoldMatchesScatterAddOrder pins the collective's
+// reduction property: a left-fold of merge-unions over D operands is
+// bit-identical to D scatter-adds into a zeroed dense buffer in the
+// same order — the flat-rank-order determinism AllReduceCompressed
+// relies on.
+func TestMergeUnionFoldMatchesScatterAddOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows, cols := 9, 11
+	n := rows * cols
+	for _, d := range []int{2, 3, 4, 8} {
+		ops := make([]*Sparse, d)
+		for i := range ops {
+			ops[i] = randSparse(rng, rows, cols, nnzFor(n, 0.2))
+		}
+
+		acc := NewSparse(rows, cols, 0)
+		tmp := NewSparse(rows, cols, 0)
+		acc.CopyFrom(ops[0])
+		for i := 1; i < d; i++ {
+			MergeUnionInto(tmp, acc, ops[i])
+			acc, tmp = tmp, acc
+		}
+
+		want := New(rows, cols)
+		for _, op := range ops {
+			SpAxpyInto(want, 1, op)
+		}
+		if got := densify(acc); !got.Equal(want, 0) {
+			t.Fatalf("d=%d merge-union fold diverges from scatter-add order", d)
+		}
+	}
+}
+
+func TestSpScaleInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := randSparse(rng, 6, 7, 12)
+	out := NewSparse(6, 7, 0)
+	SpScaleInto(out, 0.5, s)
+	want := densify(s).Scale(0.5)
+	if got := densify(out); !got.Equal(want, 0) {
+		t.Fatal("SpScaleInto diverges from dense Scale")
+	}
+	// In place.
+	SpScaleInto(s, 0.5, s)
+	if got := densify(s); !got.Equal(want, 0) {
+		t.Fatal("in-place SpScaleInto diverges from dense Scale")
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows, cols := 7, 5
+	src := New(rows, cols)
+	for i := range src.Data {
+		src.Data[i] = rng.NormFloat64()
+	}
+	idx := rng.Perm(rows * cols)[:9]
+	sort.Ints(idx)
+
+	s := NewSparse(rows, cols, 0)
+	GatherInto(s, src, idx)
+	for i, fi := range idx {
+		if s.Values[i] != src.Data[fi] {
+			t.Fatalf("GatherInto value %d mismatch", i)
+		}
+	}
+
+	dst := New(rows, cols)
+	dst.Fill(7)
+	s.ScatterInto(dst)
+	for fi, v := range dst.Data {
+		j := sort.SearchInts(idx, fi)
+		if j < len(idx) && idx[j] == fi {
+			if v != src.Data[fi] {
+				t.Fatalf("ScatterInto wrote wrong value at %d", fi)
+			}
+		} else if v != 7 {
+			t.Fatalf("ScatterInto touched unselected coordinate %d", fi)
+		}
+	}
+
+	dense := New(rows, cols)
+	s.DensifyInto(dense)
+	want := New(rows, cols)
+	s.ScatterInto(want)
+	if !dense.Equal(want, 0) {
+		t.Fatal("DensifyInto != Zero+ScatterInto")
+	}
+}
+
+func TestPoolSparseRecycles(t *testing.T) {
+	p := NewPool()
+	s := p.GetSparse(4, 4)
+	s.Reuse(8, 4, 4)
+	p.PutSparse(s)
+	got := p.GetSparse(4, 4)
+	if got != s {
+		t.Fatal("GetSparse did not recycle the PutSparse buffer")
+	}
+	if got.NNZ() != 0 || got.Rows != 4 || got.Cols != 4 {
+		t.Fatalf("recycled sparse not reset: nnz=%d shape=%dx%d", got.NNZ(), got.Rows, got.Cols)
+	}
+	if cap(got.Indices) < 8 {
+		t.Fatal("recycled sparse lost its capacity")
+	}
+	st := p.Stats()
+	if st.SparseGets != 2 || st.SparseHits != 1 || st.SparsePuts != 1 {
+		t.Fatalf("sparse pool stats = %+v", st)
+	}
+	// PutSparse(nil) is a no-op, and Reset drops the free list.
+	p.PutSparse(nil)
+	p.PutSparse(got)
+	p.Reset()
+	if fresh := p.GetSparse(4, 4); fresh == got {
+		t.Fatal("Reset did not drop sparse free lists")
+	}
+}

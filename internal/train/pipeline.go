@@ -161,6 +161,18 @@ func (t *Trainer) pipeSendBackward(d, s, mi int, g, fwdAct *tensor.Matrix) {
 	// CompressWithFeedback on a disabled ErrorFeedback (the non-LEP
 	// ablation) degenerates to plain compress+reconstruct, so one call
 	// covers both the LEP and non-LEP configurations bit for bit.
+	//
+	// Sparse families (TopK/RandomK) ship their payloads sparse-native:
+	// no dense reconstruction on the send side, Recv densifies — the
+	// residual stream and the received tensors are bit-identical to
+	// SendCompressed, so the serial oracle needs no matching change. The
+	// Fig. 11 statistics boundary needs the dense reconstruction, so it
+	// keeps the dense path.
+	if t.stats == nil || d != 0 || s != 1 {
+		if _, ok := rt.SendCompressedSparse(collective.ClassPP, from, to, g, t.cb[d][s]); ok {
+			return
+		}
+	}
 	_, recon := rt.SendCompressed(collective.ClassPP, from, to, g, t.cb[d][s])
 	if t.stats != nil && d == 0 && s == 1 {
 		t.stats.Record(g, recon, fwdAct)

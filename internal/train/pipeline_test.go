@@ -43,11 +43,19 @@ func executorOpts() map[string]core.Config {
 	full := core.CBFESC()
 	full.CBRank = 2
 	full.DPRank = 2
+	// Sparse-native CB: every compressed backward send on the executor
+	// ships a TopK payload through SendCompressedSparse, so the three
+	// executor pins (bit-identity vs the serial densified oracle, traffic
+	// prediction, serial accounting) all cover the sparse p2p path.
+	cbTopK := scaledCB()
+	cbTopK.CBAlg = core.CBTopK
+	cbTopK.EpilogueOnly = false
 	return map[string]core.Config{
-		"baseline":    core.Baseline(),
-		"cb-full":     cbFull,
-		"cb-epilogue": scaledCB(),
-		"cbfesc":      full,
+		"baseline":       core.Baseline(),
+		"cb-full":        cbFull,
+		"cb-epilogue":    scaledCB(),
+		"cbfesc":         full,
+		"cb-topk-sparse": cbTopK,
 	}
 }
 
