@@ -3,10 +3,11 @@
 // content of EXPERIMENTS.md's measured sections). -collective-bench
 // instead micro-benchmarks the collective runtime, -pipeline-bench the
 // 1F1B pipeline executor, -plan-bench the compiled-plan API, and
-// -overlap-bench blocking vs overlapped bucketed DP synchronization;
-// all write the machine-readable perf trails (BENCH_collective.json /
-// BENCH_pipeline.json / BENCH_plan.json / BENCH_overlap.json) that CI
-// archives.
+// -overlap-bench blocking vs overlapped bucketed DP synchronization, and
+// -obs-bench the span-recorder/metrics overhead; all write the
+// machine-readable perf trails (BENCH_collective.json /
+// BENCH_pipeline.json / BENCH_plan.json / BENCH_overlap.json /
+// BENCH_obs.json) that CI archives.
 //
 // Examples:
 //
@@ -39,6 +40,7 @@ func main() {
 	planBench := flag.Bool("plan-bench", false, "run plan-compile benchmarks (compile ns/op + allocs/op, steady-state exec allocs) and write machine-readable results")
 	overlapBench := flag.Bool("overlap-bench", false, "run blocking-vs-overlapped DP-sync benchmarks (full iterations, exposed comm time, async-handle allocs) and write machine-readable results")
 	sparseBench := flag.Bool("sparse-bench", false, "run sparse-native vs densified payload-pipeline benchmarks and write machine-readable results")
+	obsBench := flag.Bool("obs-bench", false, "run span-recorder/metrics overhead benchmarks and write machine-readable results")
 	benchOut := flag.String("bench-out", "", "output path for benchmark JSON (default BENCH_collective.json / BENCH_pipeline.json / BENCH_plan.json / BENCH_overlap.json / BENCH_sparse.json)")
 	benchtime := flag.String("benchtime", "1s", "per-benchmark measurement budget for the bench modes (e.g. 1s, 100x, 1x)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (feeds the -pgo=auto lane)")
@@ -50,7 +52,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "optcc-bench:", err)
 		os.Exit(1)
 	}
-	defer stopProfiles()
+	// Check the flush: a truncated profile must not exit 0 (it would
+	// silently poison the PGO feed).
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "optcc-bench:", err)
+			os.Exit(1)
+		}
+	}()
 
 	runBench := func(run func(io.Writer, string, string) error, defaultOut string) {
 		out := *benchOut
@@ -80,6 +89,10 @@ func main() {
 	}
 	if *sparseBench {
 		runBench(runSparseBenchmarks, "BENCH_sparse.json")
+		return
+	}
+	if *obsBench {
+		runBench(runObsBenchmarks, "BENCH_obs.json")
 		return
 	}
 

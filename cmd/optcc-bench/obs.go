@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// obsBenchResult is one row of BENCH_obs.json — the observability
+// overhead trail CI gates on. The contract the rows pin: a disabled
+// (nil) recorder costs a branch and zero allocations, and an enabled
+// recorder stays allocation-free per span (one atomic fetch-add plus a
+// by-value store), so tracing can be left on in perf-sensitive runs.
+type obsBenchResult struct {
+	Op          string  `json:"op"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  int64   `json:"bytes_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+}
+
+// runObsBenchmarks measures the span recorder's record path disabled
+// and enabled, plus the metrics-registry counter increment, and writes
+// the results as JSON to outPath, echoing a table to w.
+func runObsBenchmarks(w io.Writer, outPath, benchtime string) error {
+	testing.Init()
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		return fmt.Errorf("benchtime %q: %w", benchtime, err)
+	}
+
+	var results []obsBenchResult
+	measure := func(op string, f func(b *testing.B)) {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			f(b)
+		})
+		results = append(results, obsBenchResult{
+			Op:          op,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+
+	measure("record/disabled", func(b *testing.B) {
+		var rec *obs.Recorder
+		for i := 0; i < b.N; i++ {
+			start := rec.Now()
+			rec.Record(0, obs.PhaseFwd, obs.LinkNone, start, 0, 1, 0, i)
+		}
+	})
+	measure("record/enabled", func(b *testing.B) {
+		// Capacity b.N: the drop-newest overflow path is cheaper than a
+		// store, so the honest steady-state number writes every span.
+		rec := obs.NewRecorder([]string{"bench"}, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			start := rec.Now()
+			rec.Record(0, obs.PhaseFwd, obs.LinkNone, start, 0, 1, 0, i)
+		}
+	})
+	measure("counter/add", func(b *testing.B) {
+		c := obs.NewRegistry().Counter("bench.counter")
+		for i := 0; i < b.N; i++ {
+			c.Add(1)
+		}
+	})
+
+	fmt.Fprintf(w, "### obs-bench (%d ops → %s)\n\n", len(results), outPath)
+	fmt.Fprintf(w, "%-32s %14s %12s %10s\n", "op", "ns/op", "B/op", "allocs/op")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-32s %14.0f %12d %10d\n", r.Op, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	blob, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(blob, '\n'), 0o644)
+}

@@ -3,7 +3,7 @@
 // trails and fails the build when they drift from the committed
 // baselines under bench/.
 //
-// Three modes:
+// Four modes:
 //
 //	optcc-gate -check -baseline bench -fresh . [-tolerance 1.0] [-allocs-slack 1]
 //	    Compare every bench/BENCH_*.json against its freshly generated
@@ -20,6 +20,11 @@
 //	optcc-gate -pgo-summary merged.json
 //	    Render the default-vs-PGO comparison as a Markdown table
 //	    (append to $GITHUB_STEP_SUMMARY in CI).
+//
+//	optcc-gate -validate-trace trace.json
+//	    Check a Chrome trace-event JSON file (optcc-train -trace /
+//	    optcc-sim -trace output, or the two merged) against the
+//	    exporters' invariants and print its event summary.
 //
 // Tolerance semantics: ns/op comparisons are wall-time on shared
 // runners, so the gate is a coarse guardrail, not a precision
@@ -40,6 +45,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
+
+	"repro/internal/obs"
 )
 
 // benchRow is the subset of fields the gate inspects. Files are also
@@ -216,6 +224,28 @@ func sign(v float64) float64 {
 	return 1
 }
 
+// runValidateTrace checks that a Chrome trace-event JSON file (from
+// optcc-train -trace or optcc-sim -trace, or the two merged) satisfies
+// the exporters' invariants, and prints its summary — CI's guard that
+// the archived trace artifact actually loads in Perfetto.
+func runValidateTrace(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	check, err := obs.ValidateTrace(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if check.Events == 0 {
+		return fmt.Errorf("%s: trace holds no events", path)
+	}
+	fmt.Fprintf(w, "trace %s OK: %d events, %d metadata records, categories: %s\n",
+		filepath.Base(path), check.Events, check.Metas, strings.Join(check.Categories, ", "))
+	return nil
+}
+
 // runPGOSummary renders a merged trail as a Markdown table for the CI
 // job summary.
 func runPGOSummary(w io.Writer, path string) error {
@@ -250,6 +280,7 @@ func main() {
 	pgoPath := flag.String("pgo", "", "PGO-build trail (with -merge-pgo)")
 	outPath := flag.String("out", "", "output path for the merged trail (with -merge-pgo)")
 	pgoSummary := flag.String("pgo-summary", "", "merged trail to render as a Markdown summary table")
+	validateTrace := flag.String("validate-trace", "", "Chrome trace-event JSON file to validate (optcc-train/optcc-sim -trace output)")
 	flag.Parse()
 
 	var err error
@@ -264,8 +295,10 @@ func main() {
 		}
 	case *pgoSummary != "":
 		err = runPGOSummary(os.Stdout, *pgoSummary)
+	case *validateTrace != "":
+		err = runValidateTrace(os.Stdout, *validateTrace)
 	default:
-		err = fmt.Errorf("pick a mode: -check, -merge-pgo, or -pgo-summary (see -h)")
+		err = fmt.Errorf("pick a mode: -check, -merge-pgo, -pgo-summary, or -validate-trace (see -h)")
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "optcc-gate:", err)

@@ -50,6 +50,7 @@ func main() {
 	iters := flag.Int("iters", 230000, "training iterations for the day projection")
 	timeline := flag.Bool("timeline", false, "print the Fig. 4 style ASCII timing diagram")
 	width := flag.Int("width", 120, "timeline width in columns")
+	trace := flag.String("trace", "", "write the predicted iteration as Chrome trace-event JSON (pid 1; merge with an executed optcc-train -trace file to compare in Perfetto)")
 	flag.Parse()
 
 	spec, ok := specs[strings.ToLower(*model)]
@@ -85,6 +86,26 @@ func main() {
 		fmt.Println()
 		fmt.Print(tl)
 	}
+	if *trace != "" {
+		if err := writeTrace(sc, *trace); err != nil {
+			fatalf("trace: %v", err)
+		}
+		fmt.Printf("predicted trace written to %s\n", *trace)
+	}
+}
+
+// writeTrace saves the predicted-iteration trace to path, propagating
+// the Close error (an unflushed trace must not report success).
+func writeTrace(sc sim.Scenario, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sim.WriteTrace(sc, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func keys[V any](m map[string]V) []string {

@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/train"
 )
@@ -51,6 +52,9 @@ func main() {
 	resume := flag.String("resume", "", "restore training state from this checkpoint before training (v2 resumes bit-identically)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (usable as a -pgo=auto feed)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	trace := flag.String("trace", "", "record per-rank spans and write the executed run as Chrome trace-event JSON (pid 2; merge with optcc-sim -trace output to compare in Perfetto). Capacity is sized for -iters; keep traced runs to modest iteration counts")
+	metricsOut := flag.String("metrics-out", "", "write the metrics-registry snapshot (counters) as JSON to this file")
+	reconcile := flag.Bool("reconcile", false, "after training, reconcile the executed trace against the transport counters (tolerance 0) and the simulator's predictions; requires -trace")
 	flag.Parse()
 
 	stopProfiles, err := prof.Start(*cpuprofile, *memprofile)
@@ -58,7 +62,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "optcc-train:", err)
 		os.Exit(1)
 	}
-	defer stopProfiles()
+	// Check the flush: a truncated profile must not exit 0 (it would
+	// silently poison the PGO feed).
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "optcc-train:", err)
+			os.Exit(1)
+		}
+	}()
 
 	mk, ok := configs[strings.ToLower(*config)]
 	if !ok {
@@ -96,6 +107,13 @@ func main() {
 	cfg.ParallelGroups = *parallel
 	cfg.Engine = eng
 	cfg.BucketBytes = *bucketBytes
+	if *reconcile && *trace == "" {
+		fmt.Fprintln(os.Stderr, "optcc-train: -reconcile requires -trace (no spans to reconcile otherwise)")
+		os.Exit(1)
+	}
+	if *trace != "" {
+		cfg.TraceCapacity = train.TraceCapacityFor(cfg, *iters)
+	}
 	switch *dpSync {
 	case "auto":
 		cfg.DPSync = train.DPSyncAuto
@@ -156,7 +174,7 @@ func main() {
 	if *stats {
 		eps, diff, cos := tr.Stats().Summary()
 		fmt.Printf("Fig. 11 conditions: |Avg ε|=%.5f  |Avg ΔY|=%.5f  |cos|=%.5f over %d sends\n",
-			eps, diff, cos, len(tr.Stats().EpsMean))
+			eps, diff, cos, tr.Stats().Count())
 	}
 	if st, ok := tr.CollectiveStats(); ok {
 		fmt.Println("executed collective traffic:")
@@ -165,6 +183,30 @@ func main() {
 			fmt.Printf("  %-4s %12d bytes  %9d messages  %7d steps\n", c, cs.Bytes, cs.Messages, cs.Steps)
 		}
 	}
+	if *reconcile {
+		rep, err := tr.ReconcileTrace()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "optcc-train:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep)
+	}
+	if *trace != "" {
+		name := fmt.Sprintf("optcc-train %s dp%d×pp%d", cfg.Opt.Name(), cfg.DPGroups, cfg.Stages)
+		if err := writeTrace(tr, *trace, name); err != nil {
+			fmt.Fprintln(os.Stderr, "optcc-train:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("executed trace written to %s (%d spans, %d dropped)\n",
+			*trace, tr.Recorder().Count(), tr.Recorder().Dropped())
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(tr, *metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "optcc-train:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsOut)
+	}
 	if *checkpoint != "" {
 		if err := writeCheckpoint(tr, *checkpoint); err != nil {
 			fmt.Fprintln(os.Stderr, "optcc-train:", err)
@@ -172,6 +214,33 @@ func main() {
 		}
 		fmt.Printf("checkpoint written to %s\n", *checkpoint)
 	}
+}
+
+// writeTrace exports the executed-run trace to path, propagating the
+// Close error (an unflushed trace must not report success).
+func writeTrace(tr *train.Trainer, path, processName string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteRecorderTrace(f, tr.Recorder(), processName); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeMetrics snapshots the trainer's counter registry to path as JSON.
+func writeMetrics(tr *train.Trainer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.Metrics().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeCheckpoint saves the training state to path, propagating the

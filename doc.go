@@ -46,6 +46,18 @@
 // the -pgo=auto build (cmd/optcc-bench/default.pgo), and cmd/optcc-gate
 // gates CI on the committed bench/BENCH_*.json baselines.
 //
+// The executed run is observable end to end via internal/obs: a
+// per-rank fixed-capacity span recorder (lock-free, 0 allocs/op, nil =
+// disabled) instruments the 1F1B executor, the collective runtime, and
+// the compression codecs; an atomic counter registry snapshots named
+// metrics; and one Chrome trace-event encoder serves both the
+// simulator's predicted traces (pid 1) and the trainer's executed
+// traces (pid 2) so merged files compare side by side in Perfetto.
+// train.ReconcileTrace cross-checks the trace against the transport's
+// counters at tolerance zero and against the simulator's plan-derived
+// volume predictions byte-for-byte (optcc-train -trace/-reconcile,
+// optcc-sim -trace, optcc-gate -validate-trace).
+//
 // See README.md for a guided tour (quickstart, package map, and the
 // pooled zero-allocation compression API) and CHANGES.md for the per-PR
 // change log. The root-level benchmarks (bench_test.go) regenerate each

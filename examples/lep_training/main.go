@@ -41,7 +41,7 @@ func main() {
 	run("CB naive (no LEP/epi)", core.NaiveCB(), false)
 
 	eps, diff, cos := cb.Stats().Summary()
-	fmt.Printf("\nFig. 11 conditions on the compressed boundary (%d sends):\n", len(cb.Stats().EpsMean))
+	fmt.Printf("\nFig. 11 conditions on the compressed boundary (%d sends):\n", cb.Stats().Count())
 	fmt.Printf("  mean |Avg(ε)|          = %.5f\n", eps)
 	fmt.Printf("  mean |Avg(Y⁽ⁱ⁾−Y⁽ⁱ⁺ⁿ⁾)| = %.5f\n", diff)
 	fmt.Printf("  mean |cos(ε, ΔY)|      = %.5f  (≈0 ⇒ Eq. 14 holds ⇒ G* ≈ G)\n", cos)

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/compress"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -28,6 +29,10 @@ type Group struct {
 	class Class
 	ranks []int
 
+	// tag labels this group's trace spans (the trainer tags each DP group
+	// with its stage index); −1 means untagged.
+	tag int
+
 	// denseReduce forces AllReduceCompressed to densify sparse payloads
 	// and reduce through the dense reconstruction path even for
 	// sparse-native families — the oracle knob the equivalence tests and
@@ -45,6 +50,10 @@ type Group struct {
 // all-reduces (off by default: sparse-native families reduce sparsely).
 // Must not be called while operations are in flight.
 func (g *Group) SetDensifiedReduce(on bool) { g.denseReduce = on }
+
+// SetTag labels the group's trace spans with a stage index (−1 clears).
+// Must not be called while operations are in flight.
+func (g *Group) SetTag(tag int) { g.tag = tag }
 
 type opKind int
 
@@ -82,6 +91,11 @@ type Pending struct {
 	viewA  []tensor.Matrix // per-member destination view headers
 	viewB  []tensor.Matrix // per-member source view headers
 	wg     sync.WaitGroup
+
+	// issueNs is the dispatch timestamp on the recorder's clock (only
+	// stamped when a recorder is attached): the op's trace span runs
+	// issue→last-member-finish, so queueing shows up as span length.
+	issueNs int64
 
 	// remaining counts member ranks still executing (Done polls it).
 	remaining atomic.Int32
@@ -277,6 +291,7 @@ func (p *Pending) chunkOffsets(n int) {
 // that keeps the flat-rank-order reduction deterministic with overlap.
 func (p *Pending) dispatch() {
 	g := p.g
+	p.issueNs = g.rt.rec.Now()
 	p.wg.Add(len(g.ranks))
 	p.remaining.Store(int32(len(g.ranks)))
 	for m, r := range g.ranks {
@@ -321,20 +336,39 @@ func (p *Pending) exec(m int) {
 	case opBroadcast:
 		p.runBroadcast(m)
 	}
-	if p.remaining.Add(-1) == 0 && p.kind == opAllReduceCompressed {
-		// Last member out returns the op's reconstruction (or sparse
-		// payload) copies to the pool — only now is every member done
-		// reading them.
-		for i, r := range p.recons {
-			if r != nil {
-				p.g.rt.pool.Put(r)
-				p.recons[i] = nil
+	if p.remaining.Add(-1) == 0 {
+		// Last member out: record the operation's issue→finish span — its
+		// Bytes field carries the op's full executed wire volume, so the
+		// per-link-class span sums reconcile exactly against the transport
+		// counters — and, for compressed ops, return the reconstruction
+		// (or sparse payload) copies to the pool; only now is every member
+		// done reading them.
+		g := p.g
+		if rec := g.rt.rec; rec != nil {
+			var ph obs.Phase
+			switch p.kind {
+			case opAllReduce:
+				ph = obs.PhaseAllReduce
+			case opAllReduceCompressed:
+				ph = obs.PhaseAllReduceCompressed
+			case opBroadcast:
+				ph = obs.PhaseBroadcast
 			}
+			rec.RecordSpan(g.rt.recOpsBase+int(g.class), ph, linkOf(g.class),
+				p.issueNs, rec.Now(), p.wire.Load(), g.tag, -1, -1)
 		}
-		for i, s := range p.spl {
-			if s != nil {
-				p.g.rt.pool.PutSparse(s)
-				p.spl[i] = nil
+		if p.kind == opAllReduceCompressed {
+			for i, r := range p.recons {
+				if r != nil {
+					g.rt.pool.Put(r)
+					p.recons[i] = nil
+				}
+			}
+			for i, s := range p.spl {
+				if s != nil {
+					g.rt.pool.PutSparse(s)
+					p.spl[i] = nil
+				}
 			}
 		}
 	}

@@ -1,0 +1,26 @@
+package collective
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// The linkOf conversion relies on Class and obs.Link sharing ordinals;
+// pin the correspondence so reordering either enum fails loudly instead
+// of mislabeling trace spans.
+func TestLinkOfMatchesClassOrdinals(t *testing.T) {
+	cases := []struct {
+		c Class
+		l obs.Link
+	}{
+		{ClassDP, obs.LinkDP},
+		{ClassPP, obs.LinkPP},
+		{ClassEmb, obs.LinkEmb},
+	}
+	for _, cs := range cases {
+		if got := linkOf(cs.c); got != cs.l {
+			t.Fatalf("linkOf(%v) = %v, want %v", cs.c, got, cs.l)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -26,7 +27,30 @@ type Runtime struct {
 	// payload union crossed the density cap (see SparseReduceCapFraction).
 	spOps       atomic.Int64
 	spFallbacks atomic.Int64
+
+	// Executed-run tracing (nil when disabled — every record call is then
+	// an inlined nil-receiver no-op, pinned at 0 allocs). Worker rank r
+	// records its exec spans on track recWorkerBase+r; finished ops record
+	// one issue→finish span per operation on track recOpsBase+class.
+	rec           *obs.Recorder
+	recWorkerBase int
+	recOpsBase    int
 }
+
+// SetRecorder attaches an executed-run span recorder. Worker exec spans
+// land on tracks [workerBase, workerBase+World); per-operation spans on
+// tracks opsBase+Class. Must be called before any collective is issued;
+// pass nil to disable (the default).
+func (r *Runtime) SetRecorder(rec *obs.Recorder, workerBase, opsBase int) {
+	r.rec = rec
+	r.recWorkerBase = workerBase
+	r.recOpsBase = opsBase
+}
+
+// linkOf maps a link class to its trace-span link ordinal. The two enums
+// deliberately share values; this is the single conversion point (with a
+// compile-time guard in obs_guard_test.go).
+func linkOf(c Class) obs.Link { return obs.Link(c) }
 
 // SparseReduceStats counts how AllReduceCompressed operations reduced
 // sparse-native payloads: SparseOps ran the merge-union path,
@@ -80,7 +104,15 @@ func NewRuntime(topo Topology, tr Transport, pool *tensor.Pool) *Runtime {
 
 func (r *Runtime) worker(rank int) {
 	for tk := range r.work[rank] {
-		tk.p.exec(tk.member)
+		if rec := r.rec; rec != nil {
+			g := tk.p.g
+			start := rec.Now()
+			tk.p.exec(tk.member)
+			rec.Record(r.recWorkerBase+rank, obs.PhaseCollExec, linkOf(g.class),
+				start, 0, g.tag, -1, -1)
+		} else {
+			tk.p.exec(tk.member)
+		}
 		tk.p.wg.Done()
 	}
 }
@@ -135,5 +167,6 @@ func (r *Runtime) NewGroup(class Class, ranks []int) *Group {
 		rt:    r,
 		class: class,
 		ranks: append([]int(nil), ranks...),
+		tag:   -1,
 	}
 }

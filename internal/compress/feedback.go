@@ -1,6 +1,7 @@
 package compress
 
 import (
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -24,6 +25,20 @@ type ErrorFeedback struct {
 	pool    *tensor.Pool
 	states  shapeStates[*efState]
 	enabled bool
+
+	// rec, when non-nil, records compress/decompress spans on recTrack —
+	// the codec slices of the executed-run trace. The span's Bytes field
+	// carries the payload wire size, informational only (not wire-bearing:
+	// transport bytes are accounted where the payload is actually sent).
+	rec      *obs.Recorder
+	recTrack int
+}
+
+// SetRecorder attaches an executed-run span recorder; codec spans land
+// on the given track. Nil disables (the default).
+func (ef *ErrorFeedback) SetRecorder(rec *obs.Recorder, track int) {
+	ef.rec = rec
+	ef.recTrack = track
 }
 
 // efState is the per-shape scratch of an ErrorFeedback instance.
@@ -180,8 +195,11 @@ func (ef *ErrorFeedback) CompressWithFeedbackSparse(m *tensor.Matrix) (pl *Spars
 	if _, native := ef.inner.(sparseMarker); !native {
 		return nil, false
 	}
+	start := ef.rec.Now()
 	if !ef.enabled {
-		return ef.inner.Compress(m).(*SparsePayload), true
+		pl = ef.inner.Compress(m).(*SparsePayload)
+		ef.rec.Record(ef.recTrack, obs.PhaseCompress, obs.LinkNone, start, pl.WireBytes(), -1, -1, -1)
+		return pl, true
 	}
 	st := ef.state(m.Rows, m.Cols)
 	switch {
@@ -198,6 +216,7 @@ func (ef *ErrorFeedback) CompressWithFeedbackSparse(m *tensor.Matrix) (pl *Spars
 		}
 	}
 	tensor.SpAxpyInto(st.residual, -1, &pl.Sparse)
+	ef.rec.Record(ef.recTrack, obs.PhaseCompress, obs.LinkNone, start, pl.WireBytes(), -1, -1, -1)
 	return pl, true
 }
 
@@ -209,6 +228,7 @@ func (ef *ErrorFeedback) CompressWithFeedbackSparse(m *tensor.Matrix) (pl *Spars
 func (ef *ErrorFeedback) CompressWithFeedback(m *tensor.Matrix) (Payload, *tensor.Matrix) {
 	st := ef.state(m.Rows, m.Cols)
 	input := m
+	start := ef.rec.Now()
 	if ef.enabled && st.residual != nil {
 		if st.input == nil {
 			st.input = poolOrShared(ef.pool).GetUninit(m.Rows, m.Cols)
@@ -218,7 +238,10 @@ func (ef *ErrorFeedback) CompressWithFeedback(m *tensor.Matrix) (Payload, *tenso
 		input = st.input
 	}
 	pl := ef.inner.Compress(input)
+	ef.rec.Record(ef.recTrack, obs.PhaseCompress, obs.LinkNone, start, pl.WireBytes(), -1, -1, -1)
+	start = ef.rec.Now()
 	ef.inner.DecompressInto(st.recon, pl)
+	ef.rec.Record(ef.recTrack, obs.PhaseDecompress, obs.LinkNone, start, pl.WireBytes(), -1, -1, -1)
 	if ef.enabled {
 		if st.residual == nil {
 			st.residual = poolOrShared(ef.pool).GetUninit(m.Rows, m.Cols)

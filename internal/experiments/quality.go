@@ -206,7 +206,7 @@ func Fig11Conditions(o Options) (*Fig11Result, error) {
 		}
 	}
 	return &Fig11Result{
-		Sends:          len(st.EpsMean),
+		Sends:          int(st.Count()),
 		EpsMeanAbs:     eps,
 		ActDiffMeanAbs: diff,
 		CosineAbs:      cosAbs,

@@ -1,0 +1,36 @@
+package obs
+
+import "io"
+
+// ExecutedTracePID is the pid executed-run traces carry; the simulator's
+// predicted trace uses pid 1, so a merged file (concatenate the two JSON
+// arrays, e.g. `jq -s add`) shows "predicted" and "executed" as separate
+// process groups in Perfetto.
+const ExecutedTracePID = 2
+
+// WriteRecorderTrace renders every retained span of r as a Chrome trace:
+// one Perfetto track per recorder track (in recorder order), events
+// named and categorized by the simulator's conventions (Span.Name /
+// Span.Category). Zero-duration spans — instantaneous wire-accounting
+// marks — are clamped to 1ns so no recorded byte disappears from the
+// rendered trace. Call after recording has quiesced.
+func WriteRecorderTrace(w io.Writer, r *Recorder, processName string) error {
+	enc := NewTraceEncoder(ExecutedTracePID)
+	if processName != "" {
+		enc.ProcessName(processName)
+	}
+	for t := 0; t < r.Tracks(); t++ {
+		if r.Len(t) == 0 {
+			continue
+		}
+		tid := enc.Track(r.TrackName(t))
+		r.Spans(t, func(s Span) {
+			durUs := float64(s.DurNs()) / 1e3
+			if durUs <= 0 {
+				durUs = 1e-3
+			}
+			enc.Event(s.Name(), s.Category(), float64(s.StartNs)/1e3, durUs, tid)
+		})
+	}
+	return enc.Flush(w)
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a named set of atomic int64 counters/gauges — the home for
+// run statistics that previously lived as ad-hoc struct fields. Hot
+// paths hold the *Counter and Add on it (one atomic op); reporting paths
+// snapshot the whole registry and render it as text, JSON, or an expvar.
+type Registry struct {
+	mu       sync.Mutex
+	order    []string
+	counters map[string]*Counter
+}
+
+// Counter is one atomic metric. The zero value is ready to use.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Set overwrites the counter (gauge semantics).
+func (c *Counter) Set(v int64) { c.v.Store(v) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter)}
+}
+
+// Counter returns the named counter, creating it (at zero) on first use.
+// Names keep registration order in every dump.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+		r.order = append(r.order, name)
+	}
+	return c
+}
+
+// Set is shorthand for Counter(name).Set(v) — the gauge-style fill the
+// trainer uses when folding snapshot-time statistics in.
+func (r *Registry) Set(name string, v int64) { r.Counter(name).Set(v) }
+
+// Metric is one snapshotted (name, value) pair.
+type Metric struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Snapshot returns every metric in registration order.
+func (r *Registry) Snapshot() []Metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Metric, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, Metric{Name: name, Value: r.counters[name].Load()})
+	}
+	return out
+}
+
+// WriteText renders the snapshot as aligned "name value" lines.
+func (r *Registry) WriteText(w io.Writer) error {
+	snap := r.Snapshot()
+	width := 0
+	for _, m := range snap {
+		if len(m.Name) > width {
+			width = len(m.Name)
+		}
+	}
+	for _, m := range snap {
+		if _, err := fmt.Fprintf(w, "%-*s %d\n", width, m.Name, m.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as an indented JSON array.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// ExpvarFunc returns the registry as an expvar.Func (a name→value map),
+// for PublishExpvar and for tests.
+func (r *Registry) ExpvarFunc() expvar.Func {
+	return func() any {
+		snap := r.Snapshot()
+		m := make(map[string]int64, len(snap))
+		for _, s := range snap {
+			m[s.Name] = s.Value
+		}
+		return m
+	}
+}
+
+// PublishExpvar publishes the registry under the given expvar name.
+// Call at most once per name per process (expvar panics on duplicates).
+func (r *Registry) PublishExpvar(name string) {
+	expvar.Publish(name, r.ExpvarFunc())
+}

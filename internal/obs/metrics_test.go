@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRegistrySnapshotOrderAndValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("train.iterations").Add(3)
+	r.Counter("collective.dp.bytes").Add(100)
+	r.Counter("collective.dp.bytes").Add(28)
+	r.Set("train.dp_exposed_ns", 42)
+	r.Set("train.dp_exposed_ns", 17) // gauge semantics: overwrite
+	snap := r.Snapshot()
+	want := []Metric{
+		{"train.iterations", 3},
+		{"collective.dp.bytes", 128},
+		{"train.dp_exposed_ns", 17},
+	}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot %v", snap)
+	}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Fatalf("snapshot[%d] = %v, want %v", i, snap[i], want[i])
+		}
+	}
+}
+
+func TestRegistryWriters(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.long.name").Set(1)
+	r.Counter("b").Set(-2)
+
+	var text bytes.Buffer
+	if err := r.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(text.String()), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "a.long.name 1") || !strings.HasPrefix(lines[1], "b") {
+		t.Fatalf("text dump:\n%s", text.String())
+	}
+
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var got []Metric
+	if err := json.Unmarshal(js.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "a.long.name" || got[1].Value != -2 {
+		t.Fatalf("json dump: %v", got)
+	}
+
+	m, ok := r.ExpvarFunc()().(map[string]int64)
+	if !ok || m["a.long.name"] != 1 || m["b"] != -2 {
+		t.Fatalf("expvar value: %v", m)
+	}
+}
+
+func TestCounterAddZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot")
+	if n := testing.AllocsPerRun(1000, func() { c.Add(1) }); n != 0 {
+		t.Fatalf("Counter.Add allocates %.1f/op", n)
+	}
+}

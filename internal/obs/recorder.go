@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Recorder is the per-rank span recorder: a set of named tracks, each a
+// fixed-capacity buffer of Spans. Recording reserves a slot with one
+// atomic fetch-add and stores the span by value — 0 allocs/op, safe from
+// any goroutine. A full track drops new spans rather than overwriting
+// old ones: every reserved sequence number below capacity maps to a
+// distinct slot written exactly once, which is what keeps concurrent
+// recording race-free without locks (a wrapping ring would let two
+// writers collide on a reused slot). Dropped counts the discards, and
+// consumers that need a complete record — the reconciliation report —
+// refuse to run on a recorder that dropped.
+//
+// A nil *Recorder is the disabled state: every method, including Now,
+// is a cheap no-op, so instrumentation sites call unconditionally.
+type Recorder struct {
+	epoch time.Time
+	cap   int
+	names []string
+	// tracks[i].next is the number of spans ever offered to track i; the
+	// first cap of them own slots 0..cap-1, the rest are dropped. Each
+	// track's cursor sits in its own struct (with the spans header) so
+	// concurrent tracks do not false-share one counter array.
+	tracks []trackBuf
+}
+
+type trackBuf struct {
+	next  atomic.Int64
+	_     [56]byte // keep neighbouring cursors off this cache line
+	spans []Span
+}
+
+// NewRecorder builds a recorder with one ring of `capacity` spans per
+// named track. The epoch is the construction instant: Now and every
+// recorded timestamp count nanoseconds from it.
+func NewRecorder(trackNames []string, capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	r := &Recorder{
+		epoch:  time.Now(),
+		cap:    capacity,
+		names:  append([]string(nil), trackNames...),
+		tracks: make([]trackBuf, len(trackNames)),
+	}
+	for i := range r.tracks {
+		r.tracks[i].spans = make([]Span, capacity)
+	}
+	return r
+}
+
+// Now returns nanoseconds since the recorder's epoch (monotonic), or 0
+// on a nil recorder — so `start := r.Now()` costs one branch when
+// tracing is disabled.
+func (r *Recorder) Now() int64 {
+	if r == nil {
+		return 0
+	}
+	return int64(time.Since(r.epoch))
+}
+
+// Record records a span ending now. No-op on a nil recorder.
+func (r *Recorder) Record(track int, ph Phase, link Link, startNs, bytes int64, stage, dp, micro int) {
+	if r == nil {
+		return
+	}
+	r.RecordSpan(track, ph, link, startNs, r.Now(), bytes, stage, dp, micro)
+}
+
+// RecordSpan records a span with an explicit end timestamp (callers that
+// must tie a span's duration exactly to an independently accumulated
+// clock — the DP-drain spans — compute end−elapsed themselves). No-op on
+// a nil recorder.
+func (r *Recorder) RecordSpan(track int, ph Phase, link Link, startNs, endNs, bytes int64, stage, dp, micro int) {
+	if r == nil {
+		return
+	}
+	tr := &r.tracks[track]
+	slot := tr.next.Add(1) - 1
+	if slot >= int64(r.cap) {
+		return // full: drop, counted by Dropped
+	}
+	tr.spans[slot] = Span{
+		StartNs: startNs,
+		EndNs:   endNs,
+		Bytes:   bytes,
+		Phase:   ph,
+		Link:    link,
+		Stage:   int16(stage),
+		DP:      int16(dp),
+		Micro:   int16(micro),
+	}
+}
+
+// Tracks returns the track count (0 on nil).
+func (r *Recorder) Tracks() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.tracks)
+}
+
+// TrackName returns track i's name.
+func (r *Recorder) TrackName(i int) string { return r.names[i] }
+
+// Capacity returns the per-track ring capacity (0 on nil).
+func (r *Recorder) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return r.cap
+}
+
+// Len returns the number of spans currently retained on a track.
+func (r *Recorder) Len(track int) int {
+	if r == nil {
+		return 0
+	}
+	n := r.tracks[track].next.Load()
+	if n > int64(r.cap) {
+		return r.cap
+	}
+	return int(n)
+}
+
+// Count returns the total number of spans ever offered, all tracks
+// (retained + dropped).
+func (r *Recorder) Count() int64 {
+	if r == nil {
+		return 0
+	}
+	var n int64
+	for i := range r.tracks {
+		n += r.tracks[i].next.Load()
+	}
+	return n
+}
+
+// Dropped returns how many spans were discarded because their track was
+// full, all tracks. A complete record has Dropped() == 0.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	var n int64
+	for i := range r.tracks {
+		if over := r.tracks[i].next.Load() - int64(r.cap); over > 0 {
+			n += over
+		}
+	}
+	return n
+}
+
+// Spans visits a track's retained spans in recording order. Call only
+// after recording has quiesced (no concurrent Record on the track).
+func (r *Recorder) Spans(track int, f func(Span)) {
+	if r == nil {
+		return
+	}
+	tr := &r.tracks[track]
+	n := tr.next.Load()
+	if n > int64(r.cap) {
+		n = int64(r.cap)
+	}
+	for i := int64(0); i < n; i++ {
+		f(tr.spans[i])
+	}
+}
+
+// EachSpan visits every track's retained spans (recording order per
+// track), passing the track index. Same quiescence requirement as Spans.
+func (r *Recorder) EachSpan(f func(track int, s Span)) {
+	if r == nil {
+		return
+	}
+	for t := range r.tracks {
+		r.Spans(t, func(s Span) { f(t, s) })
+	}
+}

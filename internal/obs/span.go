@@ -1,0 +1,193 @@
+// Package obs is the runtime telemetry layer: a per-rank fixed-capacity
+// span recorder for executed-run tracing, an atomic counters/gauges
+// registry for end-of-run metrics, and the Chrome trace-event encoder
+// both the executed trace and the simulator's predicted trace
+// (internal/sim) share — so the two load side-by-side in Perfetto on
+// identical event-name and category conventions.
+//
+// The recorder is built for hot paths: recording a span is one atomic
+// slot reservation plus a struct store (0 allocs/op, pinned by
+// benchmarks), and every method is a no-op on a nil *Recorder, so
+// instrumented code calls unconditionally and disabled tracing costs a
+// single nil-check branch.
+package obs
+
+import "fmt"
+
+// Phase tags what a span measured. Phases map onto the trace categories
+// the simulator's breakdown uses (fwd, bwd, interstage, dp, emb) plus
+// the executed-only ones (codec, opt, pipe, sync).
+type Phase uint8
+
+const (
+	PhaseNone Phase = iota
+	// Compute phases, recorded on engine rank tracks.
+	PhaseFwd // one micro-batch forward on one stage
+	PhaseBwd // one micro-batch backward on one stage
+	PhaseOpt // one stage's optimizer step
+	// Inter-stage transfer phases (wire-bearing: Bytes is pp-class wire
+	// volume), recorded at the trainer's send/account call sites.
+	PhaseSendFwd // forward activation send, stage s−1 → s
+	PhaseSendBwd // backward activation-gradient send, stage s → s−1
+	// Collective operation phases (wire-bearing: Bytes is the op's
+	// aggregate executed wire volume), recorded issue→finish by the op's
+	// last member.
+	PhaseAllReduce
+	PhaseAllReduceCompressed
+	PhaseBroadcast
+	// PhaseCollExec is one member rank's share of a collective op,
+	// recorded on its worker track (Bytes = 0; the op span owns them).
+	PhaseCollExec
+	// Codec phases, recorded inside compress.ErrorFeedback (Bytes is the
+	// payload size, informational — not wire-bearing).
+	PhaseCompress
+	PhaseDecompress
+	// Driver phases.
+	PhasePipeline // the micro-batch phase: engine start → engines joined
+	PhaseDPDrain  // wall time blocked on DP-sync handles (= exposed comm)
+	PhaseEmbSync  // the §6 embedding-synchronization phase
+
+	phaseCount
+)
+
+// Link classifies a span's traffic, mirroring the collective transport's
+// link classes by ordinal (dp=0, pp=1, emb=2); LinkNone marks spans that
+// carry no traffic class.
+type Link int8
+
+const (
+	LinkNone Link = iota - 1
+	LinkDP
+	LinkPP
+	LinkEmb
+)
+
+// String returns the transport's class name ("dp", "pp", "emb").
+func (l Link) String() string {
+	switch l {
+	case LinkDP:
+		return "dp"
+	case LinkPP:
+		return "pp"
+	case LinkEmb:
+		return "emb"
+	}
+	return "none"
+}
+
+// Trace categories. CatFwd…CatEmb equal the simulator's breakdown labels
+// (sim.LabelFwd etc.), so predicted and executed events land in the same
+// Perfetto categories.
+const (
+	CatFwd        = "fwd"
+	CatBwd        = "bwd"
+	CatInterStage = "interstage"
+	CatDP         = "dp"
+	CatEmb        = "emb"
+	CatCodec      = "codec"
+	CatOpt        = "opt"
+	CatPipe       = "pipe"
+)
+
+// WireBearing reports whether a span's Bytes count toward the per-class
+// executed wire volume — exactly one wire-bearing span is recorded per
+// transport byte increment, so summing them per Link reconciles with the
+// transport's class counters to the byte.
+func (p Phase) WireBearing() bool {
+	switch p {
+	case PhaseSendFwd, PhaseSendBwd, PhaseAllReduce, PhaseAllReduceCompressed, PhaseBroadcast:
+		return true
+	}
+	return false
+}
+
+// Span is one recorded interval. Stage/DP/Micro are −1 when the
+// dimension does not apply. The struct is flat and pointer-free so a
+// ring of them is one allocation for the recorder's lifetime.
+type Span struct {
+	StartNs int64 // recorder-clock nanos (see Recorder.Now)
+	EndNs   int64
+	Bytes   int64 // wire or payload volume (see Phase.WireBearing)
+	Phase   Phase
+	Link    Link
+	Stage   int16
+	DP      int16
+	Micro   int16
+}
+
+// DurNs returns the span's duration in nanoseconds.
+func (s Span) DurNs() int64 { return s.EndNs - s.StartNs }
+
+// Category returns the span's trace category.
+func (s Span) Category() string {
+	switch s.Phase {
+	case PhaseFwd:
+		return CatFwd
+	case PhaseBwd:
+		return CatBwd
+	case PhaseSendFwd, PhaseSendBwd:
+		return CatInterStage
+	case PhaseOpt:
+		return CatOpt
+	case PhaseCompress, PhaseDecompress:
+		return CatCodec
+	case PhasePipeline:
+		return CatPipe
+	case PhaseDPDrain:
+		return CatDP
+	case PhaseEmbSync:
+		return CatEmb
+	case PhaseAllReduce, PhaseAllReduceCompressed, PhaseBroadcast, PhaseCollExec:
+		return s.Link.String()
+	}
+	return "none"
+}
+
+// Name returns the span's trace-event name, following the simulator's
+// task-ID conventions (F/<stage>/<micro>, B/<stage>/<micro>,
+// SF/…, SB/…, DP/<stage>, EMB) so executed and predicted events line up
+// by name in Perfetto. Allocates; export-path only.
+func (s Span) Name() string {
+	switch s.Phase {
+	case PhaseFwd:
+		return fmt.Sprintf("F/%d/%d", s.Stage, s.Micro)
+	case PhaseBwd:
+		return fmt.Sprintf("B/%d/%d", s.Stage, s.Micro)
+	case PhaseSendFwd:
+		return fmt.Sprintf("SF/%d/%d", s.Stage, s.Micro)
+	case PhaseSendBwd:
+		return fmt.Sprintf("SB/%d/%d", s.Stage, s.Micro)
+	case PhaseOpt:
+		return fmt.Sprintf("opt/%d", s.Stage)
+	case PhaseCompress:
+		return "compress"
+	case PhaseDecompress:
+		return "decompress"
+	case PhasePipeline:
+		return "pipe"
+	case PhaseDPDrain:
+		return "DPdrain"
+	case PhaseEmbSync:
+		return "EMBsync"
+	case PhaseAllReduce, PhaseAllReduceCompressed, PhaseBroadcast, PhaseCollExec:
+		return opName(s.Phase, s.Link, int(s.Stage))
+	}
+	return "span"
+}
+
+// opName names a collective operation: DP/<stage> for tagged dp-class
+// ops (the simulator's DP task IDs), EMB for embedding ops, the op kind
+// otherwise.
+func opName(p Phase, l Link, stage int) string {
+	switch {
+	case l == LinkDP && stage >= 0:
+		return fmt.Sprintf("DP/%d", stage)
+	case l == LinkEmb:
+		return "EMB"
+	case p == PhaseBroadcast:
+		return "BC"
+	case p == PhaseAllReduceCompressed:
+		return "ARC"
+	}
+	return "AR"
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event encoding, shared by the simulator's predicted trace
+// (internal/sim) and the executed-run trace (WriteRecorderTrace). One
+// encoder, one record layout, one track-naming scheme — so the two
+// traces load side-by-side in chrome://tracing or Perfetto and line up
+// event-for-event.
+
+// TraceEvent is the Trace Event Format "complete" (ph=X) record.
+type TraceEvent struct {
+	Name     string  `json:"name"`
+	Category string  `json:"cat"`
+	Phase    string  `json:"ph"`
+	TsMicros float64 `json:"ts"`
+	DurUs    float64 `json:"dur"`
+	PID      int     `json:"pid"`
+	TID      int     `json:"tid"`
+}
+
+// TraceMeta is a metadata (ph=M) record: it names a track or a process.
+type TraceMeta struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args"`
+}
+
+// TraceEncoder accumulates events and track metadata and writes them as
+// one JSON array. Tracks are registered on first use, in order, with a
+// thread_name metadata record interleaved at the registration point —
+// the exact layout the simulator's trace always had (pinned by a golden
+// test there).
+type TraceEncoder struct {
+	pid     int
+	records []any
+	tids    map[string]int
+}
+
+// NewTraceEncoder returns an encoder whose records carry the given pid.
+// Give executed and predicted traces distinct pids so a merged file
+// shows them as separate process groups.
+func NewTraceEncoder(pid int) *TraceEncoder {
+	return &TraceEncoder{pid: pid, tids: map[string]int{}}
+}
+
+// ProcessName emits a process_name metadata record.
+func (e *TraceEncoder) ProcessName(name string) {
+	e.records = append(e.records, TraceMeta{
+		Name:  "process_name",
+		Phase: "M",
+		PID:   e.pid,
+		Args:  map[string]any{"name": name},
+	})
+}
+
+// Track returns the tid for a named track, registering it (and emitting
+// its thread_name record) on first use. Tids start at 1 in registration
+// order.
+func (e *TraceEncoder) Track(name string) int {
+	if id, ok := e.tids[name]; ok {
+		return id
+	}
+	id := len(e.tids) + 1
+	e.tids[name] = id
+	e.records = append(e.records, TraceMeta{
+		Name:  "thread_name",
+		Phase: "M",
+		PID:   e.pid,
+		TID:   id,
+		Args:  map[string]any{"name": name},
+	})
+	return id
+}
+
+// Event appends one complete event on track tid.
+func (e *TraceEncoder) Event(name, category string, tsMicros, durUs float64, tid int) {
+	e.records = append(e.records, TraceEvent{
+		Name:     name,
+		Category: category,
+		Phase:    "X",
+		TsMicros: tsMicros,
+		DurUs:    durUs,
+		PID:      e.pid,
+		TID:      tid,
+	})
+}
+
+// Flush writes the accumulated records as a single JSON array.
+func (e *TraceEncoder) Flush(w io.Writer) error {
+	return json.NewEncoder(w).Encode(e.records)
+}
+
+// TraceCheck summarizes a validated trace file.
+type TraceCheck struct {
+	Events     int
+	Metas      int
+	Categories []string // sorted, distinct event categories
+}
+
+// ValidateTrace parses a Chrome trace-event JSON array and checks the
+// invariants both exporters guarantee: every X event names a category,
+// carries non-negative ts and positive dur, and lands on a track that
+// has a thread_name record for its (pid, tid). Returns a summary for
+// reporting (the optcc-gate trace checker prints it).
+func ValidateTrace(r io.Reader) (TraceCheck, error) {
+	var records []map[string]any
+	if err := json.NewDecoder(r).Decode(&records); err != nil {
+		return TraceCheck{}, fmt.Errorf("trace is not a JSON array of records: %w", err)
+	}
+	var chk TraceCheck
+	named := map[[2]int]bool{} // (pid, tid) with a thread_name record
+	cats := map[string]bool{}
+	key := func(rec map[string]any) [2]int {
+		pid, _ := rec["pid"].(float64)
+		tid, _ := rec["tid"].(float64)
+		return [2]int{int(pid), int(tid)}
+	}
+	for i, rec := range records {
+		switch rec["ph"] {
+		case "M":
+			chk.Metas++
+			if rec["name"] == "thread_name" {
+				named[key(rec)] = true
+			}
+		case "X":
+			chk.Events++
+			name, _ := rec["name"].(string)
+			cat, _ := rec["cat"].(string)
+			ts, tsOK := rec["ts"].(float64)
+			dur, durOK := rec["dur"].(float64)
+			switch {
+			case name == "":
+				return chk, fmt.Errorf("record %d: event without a name", i)
+			case cat == "":
+				return chk, fmt.Errorf("record %d (%s): event without a category", i, name)
+			case !tsOK || ts < 0:
+				return chk, fmt.Errorf("record %d (%s): bad ts %v", i, name, rec["ts"])
+			case !durOK || dur <= 0:
+				return chk, fmt.Errorf("record %d (%s): bad dur %v", i, name, rec["dur"])
+			}
+			cats[cat] = true
+			if !named[key(rec)] {
+				return chk, fmt.Errorf("record %d (%s): track pid=%v tid=%v has no thread_name", i, name, rec["pid"], rec["tid"])
+			}
+		default:
+			return chk, fmt.Errorf("record %d: unknown ph %v", i, rec["ph"])
+		}
+	}
+	if chk.Events == 0 {
+		return chk, fmt.Errorf("trace holds no events")
+	}
+	for c := range cats {
+		chk.Categories = append(chk.Categories, c)
+	}
+	sort.Strings(chk.Categories)
+	return chk, nil
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTraceEncoderLayout(t *testing.T) {
+	enc := NewTraceEncoder(1)
+	if tid := enc.Track("dev0"); tid != 1 {
+		t.Fatalf("first tid %d, want 1", tid)
+	}
+	if tid := enc.Track("dev0"); tid != 1 {
+		t.Fatalf("re-registration changed tid to %d", tid)
+	}
+	enc.Event("F/0/0", CatFwd, 0, 10, enc.Track("dev0"))
+	enc.Event("DP/1", CatDP, 5, 3, enc.Track("nic0"))
+	var buf bytes.Buffer
+	if err := enc.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var records []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &records); err != nil {
+		t.Fatal(err)
+	}
+	// Layout: dev0 meta, F event, nic0 meta (registered at first use,
+	// interleaved), DP event.
+	if len(records) != 4 {
+		t.Fatalf("%d records, want 4", len(records))
+	}
+	if records[0]["ph"] != "M" || records[1]["name"] != "F/0/0" ||
+		records[2]["ph"] != "M" || records[2]["args"].(map[string]any)["name"] != "nic0" ||
+		records[3]["tid"].(float64) != 2 {
+		t.Fatalf("unexpected layout: %v", records)
+	}
+}
+
+func TestValidateTraceAcceptsEncoderOutput(t *testing.T) {
+	enc := NewTraceEncoder(2)
+	enc.ProcessName("executed")
+	enc.Event("B/1/0", CatBwd, 1, 2, enc.Track("rank0"))
+	enc.Event("SB/1/0", CatInterStage, 3, 1, enc.Track("rank0"))
+	var buf bytes.Buffer
+	if err := enc.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	chk, err := ValidateTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chk.Events != 2 || chk.Metas != 2 {
+		t.Fatalf("events=%d metas=%d", chk.Events, chk.Metas)
+	}
+	if got := strings.Join(chk.Categories, ","); got != "bwd,interstage" {
+		t.Fatalf("categories %q", got)
+	}
+}
+
+func TestValidateTraceRejectsBadRecords(t *testing.T) {
+	cases := map[string]string{
+		"not array":     `{"name":"x"}`,
+		"no events":     `[{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"t"}}]`,
+		"zero dur":      `[{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"t"}},{"name":"e","cat":"fwd","ph":"X","ts":0,"dur":0,"pid":1,"tid":1}]`,
+		"no category":   `[{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"t"}},{"name":"e","ph":"X","ts":0,"dur":1,"pid":1,"tid":1}]`,
+		"unnamed track": `[{"name":"e","cat":"fwd","ph":"X","ts":0,"dur":1,"pid":1,"tid":9}]`,
+		"unknown ph":    `[{"name":"e","ph":"Q"}]`,
+	}
+	for name, in := range cases {
+		if _, err := ValidateTrace(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: validated", name)
+		}
+	}
+}
+
+func TestWriteRecorderTrace(t *testing.T) {
+	r := NewRecorder([]string{"rank0", "empty", "driver"}, 16)
+	start := r.Now()
+	r.Record(0, PhaseFwd, LinkNone, start, 0, 0, 0, 0)
+	r.RecordSpan(0, PhaseSendBwd, LinkPP, 5, 5, 128, 1, 0, 0) // zero-duration wire mark
+	r.RecordSpan(2, PhaseDPDrain, LinkDP, 10, 30, 0, -1, -1, -1)
+	var buf bytes.Buffer
+	if err := WriteRecorderTrace(&buf, r, "executed"); err != nil {
+		t.Fatal(err)
+	}
+	chk, err := ValidateTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("executed trace fails validation: %v\n%s", err, buf.String())
+	}
+	// 3 events survive (the zero-duration one clamped, not dropped);
+	// metas: process_name + 2 used tracks (the empty track is skipped).
+	if chk.Events != 3 || chk.Metas != 3 {
+		t.Fatalf("events=%d metas=%d", chk.Events, chk.Metas)
+	}
+	if got := strings.Join(chk.Categories, ","); got != "dp,fwd,interstage" {
+		t.Fatalf("categories %q", got)
+	}
+	if !strings.Contains(buf.String(), `"SB/1/0"`) || !strings.Contains(buf.String(), `"DPdrain"`) {
+		t.Fatalf("expected span names missing:\n%s", buf.String())
+	}
+}
+
+func TestSpanNamesAndCategories(t *testing.T) {
+	cases := []struct {
+		s         Span
+		name, cat string
+	}{
+		{Span{Phase: PhaseFwd, Stage: 2, Micro: 3}, "F/2/3", CatFwd},
+		{Span{Phase: PhaseBwd, Stage: 1, Micro: 0}, "B/1/0", CatBwd},
+		{Span{Phase: PhaseSendFwd, Stage: 1, Micro: 2}, "SF/1/2", CatInterStage},
+		{Span{Phase: PhaseOpt, Stage: 3}, "opt/3", CatOpt},
+		{Span{Phase: PhaseAllReduce, Link: LinkDP, Stage: 2}, "DP/2", CatDP},
+		{Span{Phase: PhaseAllReduceCompressed, Link: LinkDP, Stage: 0}, "DP/0", CatDP},
+		{Span{Phase: PhaseAllReduce, Link: LinkEmb, Stage: -1}, "EMB", CatEmb},
+		{Span{Phase: PhaseBroadcast, Link: LinkDP, Stage: -1}, "BC", CatDP},
+		{Span{Phase: PhaseCollExec, Link: LinkDP, Stage: 1}, "DP/1", CatDP},
+		{Span{Phase: PhaseCompress, Link: LinkPP}, "compress", CatCodec},
+		{Span{Phase: PhasePipeline}, "pipe", CatPipe},
+		{Span{Phase: PhaseEmbSync, Link: LinkEmb}, "EMBsync", CatEmb},
+	}
+	for _, c := range cases {
+		if got := c.s.Name(); got != c.name {
+			t.Errorf("Name(%+v) = %q, want %q", c.s, got, c.name)
+		}
+		if got := c.s.Category(); got != c.cat {
+			t.Errorf("Category(%+v) = %q, want %q", c.s, got, c.cat)
+		}
+	}
+}

@@ -15,9 +15,12 @@ import (
 
 // Start begins CPU profiling to cpuPath (if non-empty) and arranges a
 // heap profile at memPath (if non-empty). The returned stop function
-// flushes both; call it before exiting on the success path (os.Exit
-// skips defers, so error paths intentionally drop partial profiles).
-func Start(cpuPath, memPath string) (stop func(), err error) {
+// flushes both and reports the first failure — a profile whose final
+// write or close failed is truncated and would poison a PGO feed, so
+// callers must surface the error, not swallow it. Call stop before
+// exiting on the success path (os.Exit skips defers, so error paths
+// intentionally drop partial profiles).
+func Start(cpuPath, memPath string) (stop func() error, err error) {
 	var cpuFile *os.File
 	if cpuPath != "" {
 		cpuFile, err = os.Create(cpuPath)
@@ -29,22 +32,34 @@ func Start(cpuPath, memPath string) (stop func(), err error) {
 			return nil, fmt.Errorf("cpuprofile: %w", err)
 		}
 	}
-	return func() {
+	return func() error {
+		var first error
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
-			cpuFile.Close()
+			if err := cpuFile.Close(); err != nil {
+				first = fmt.Errorf("cpuprofile: %w", err)
+			}
 		}
 		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "memprofile:", err)
-				return
+			if err := writeHeapProfile(memPath); err != nil && first == nil {
+				first = fmt.Errorf("memprofile: %w", err)
 			}
-			runtime.GC() // materialize up-to-date allocation statistics
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "memprofile:", err)
-			}
-			f.Close()
 		}
+		return first
 	}, nil
+}
+
+// writeHeapProfile snapshots the heap to path, propagating create,
+// write, and close errors alike.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // materialize up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,35 +1,24 @@
 package sim
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
+
+	"repro/internal/obs"
 )
 
 // Chrome trace-event export: one simulated iteration rendered as a JSON
 // trace loadable in chrome://tracing or Perfetto, with one track per
 // device, link, and NIC. This is the production-tooling counterpart of
-// the Fig. 4 ASCII diagram.
+// the Fig. 4 ASCII diagram. The record layout lives in internal/obs so
+// the executed-run trace (obs.WriteRecorderTrace) shares the exact same
+// encoder and track conventions; this file only maps the solved task
+// graph onto it.
 
-// traceEvent is the Trace Event Format "complete" (ph=X) record.
-type traceEvent struct {
-	Name     string  `json:"name"`
-	Category string  `json:"cat"`
-	Phase    string  `json:"ph"`
-	TsMicros float64 `json:"ts"`
-	DurUs    float64 `json:"dur"`
-	PID      int     `json:"pid"`
-	TID      int     `json:"tid"`
-}
-
-// traceMeta names a track.
-type traceMeta struct {
-	Name  string         `json:"name"`
-	Phase string         `json:"ph"`
-	PID   int            `json:"pid"`
-	TID   int            `json:"tid"`
-	Args  map[string]any `json:"args"`
-}
+// PredictedTracePID is the pid the simulator's trace carries. Executed
+// traces use obs.ExecutedTracePID, so a merged file shows the two as
+// separate process groups.
+const PredictedTracePID = 1
 
 // WriteTrace simulates the scenario and writes the task timeline as a
 // Chrome trace (JSON array) to w.
@@ -41,27 +30,11 @@ func WriteTrace(s Scenario, w io.Writer) error {
 	if _, err := g.Solve(); err != nil {
 		return err
 	}
-	var records []any
-	tids := map[string]int{}
-	tid := func(resource string) int {
-		if id, ok := tids[resource]; ok {
-			return id
-		}
-		id := len(tids) + 1
-		tids[resource] = id
-		records = append(records, traceMeta{
-			Name:  "thread_name",
-			Phase: "M",
-			PID:   1,
-			TID:   id,
-			Args:  map[string]any{"name": resource},
-		})
-		return id
-	}
+	enc := obs.NewTraceEncoder(PredictedTracePID)
 	// Deterministic track order: devices first, then links/NICs as they
 	// appear in task insertion order.
 	for st := 0; st < s.Map.PP; st++ {
-		tid(fmt.Sprintf("dev%d", st))
+		enc.Track(fmt.Sprintf("dev%d", st))
 	}
 	for _, t := range g.Tasks() {
 		res := t.Resource
@@ -71,18 +44,9 @@ func WriteTrace(s Scenario, w io.Writer) error {
 		if t.Duration <= 0 {
 			continue
 		}
-		records = append(records, traceEvent{
-			Name:     t.ID,
-			Category: t.Label,
-			Phase:    "X",
-			TsMicros: t.Start() * 1e6,
-			DurUs:    t.Duration * 1e6,
-			PID:      1,
-			TID:      tid(res),
-		})
+		enc.Event(t.ID, t.Label, t.Start()*1e6, t.Duration*1e6, enc.Track(res))
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(records)
+	return enc.Flush(w)
 }
 
 // TraceSummary returns per-resource busy/idle statistics for one

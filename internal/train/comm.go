@@ -62,7 +62,7 @@ func (t *Trainer) syncDataParallel() {
 		}
 		wg.Wait()
 	}
-	t.dpWaitNs += time.Since(start).Nanoseconds()
+	t.recordDPDrain(time.Since(start).Nanoseconds())
 }
 
 // syncWorkers resolves the worker-pool bound for DP-group×stage sync.
@@ -126,6 +126,9 @@ func (t *Trainer) dpEF(s, dd, gi int) *compress.ErrorFeedback {
 		// fails on a programming error.
 		ef = compress.NewErrorFeedback(compress.MustBuild(t.plan.DPSpec(s, dd, gi)))
 		ef.SetPool(t.pool)
+		// DP codec spans run inside rank (dd, s)'s collective worker
+		// during the compressed ring, so they land on its worker track.
+		ef.SetRecorder(t.rec, t.traceWorkerBase()+t.traceTrack(dd, s))
 		t.dpc[key] = ef
 	}
 	t.dpcMu.Unlock()

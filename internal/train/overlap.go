@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/collective"
+	"repro/internal/obs"
 )
 
 // Overlapped bucketed DP synchronization: the paper's headline property
@@ -110,5 +111,18 @@ func (t *Trainer) waitDPSync() {
 			t.exec.dpBuckets[s][bi] = wire
 		}
 	}
-	t.dpWaitNs += time.Since(start).Nanoseconds()
+	t.recordDPDrain(time.Since(start).Nanoseconds())
+}
+
+// recordDPDrain charges blocked DP-sync wall time to the exposed-
+// communication counter and records the matching drain span. One elapsed
+// value feeds both — span end is recomputed as now and the start derived
+// from it — so the trace's summed drain durations equal DPSyncExposedNs
+// exactly, never merely approximately (the reconciliation's tol-0 pin).
+func (t *Trainer) recordDPDrain(elapsedNs int64) {
+	t.dpWait.Add(elapsedNs)
+	if rec := t.rec; rec != nil {
+		end := rec.Now()
+		rec.RecordSpan(t.traceDriver(), obs.PhaseDPDrain, obs.LinkDP, end-elapsedNs, end, 0, -1, -1, -1)
+	}
 }

@@ -4,7 +4,9 @@ import (
 	"sync"
 
 	"repro/internal/collective"
+	"repro/internal/compress"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/tensor"
 )
@@ -80,43 +82,58 @@ func (t *Trainer) runStageRank(d, s int, mbs []microBatch, loss *float64) {
 	// Fig. 11 statistics observe, for Stats.Record at backward time.
 	var dLogitsQ, fwdInQ []*tensor.Matrix
 	trackFwd := t.stats != nil && d == 0 && s == 1
+	rec, track := t.rec, t.traceTrack(d, s)
 
 	for _, op := range t.sched.PerStage[s] {
 		mi := op.Micro
 		if op.Kind == pipeline.Forward {
+			// The compute span starts after the upstream Recv, so waiting
+			// on a neighbour shows up as track idle time, not as compute.
 			var h *tensor.Matrix
+			var fStart int64
 			if s == 0 {
+				fStart = rec.Now()
 				h = st.ForwardTokens(mbs[mi].contexts)
 			} else {
 				in, _ := rt.Recv(collective.ClassPP, self, up)
 				if trackFwd {
 					fwdInQ = append(fwdInQ, in)
 				}
+				fStart = rec.Now()
 				h = st.ForwardHidden(in)
 			}
 			if s < last {
+				rec.Record(track, obs.PhaseFwd, obs.LinkNone, fStart, 0, s, d, mi)
+				wire := h.SizeBytes(compress.ElemBytes)
+				sStart := rec.Now()
 				rt.Send(collective.ClassPP, self, down, h)
+				rec.Record(track, obs.PhaseSendFwd, obs.LinkPP, sStart, wire, s, d, mi)
 			} else {
 				logits := st.Logits(h)
 				l, dLogits := model.CrossEntropy(logits, mbs[mi].targets)
 				*loss += l
 				dLogitsQ = append(dLogitsQ, dLogits)
+				rec.Record(track, obs.PhaseFwd, obs.LinkNone, fStart, 0, s, d, mi)
 			}
 			continue
 		}
 
 		// Backward op.
 		var g *tensor.Matrix
+		var bStart int64
 		if s == last {
+			bStart = rec.Now()
 			g = st.BackwardLogits(dLogitsQ[0])
 			dLogitsQ = dLogitsQ[1:]
 		} else {
 			in, pooled := rt.Recv(collective.ClassPP, self, down)
+			bStart = rec.Now()
 			g = st.BackwardHidden(in)
 			if pooled {
 				t.pool.Put(in)
 			}
 		}
+		rec.Record(track, obs.PhaseBwd, obs.LinkNone, bStart, 0, s, d, mi)
 		if s == 0 {
 			continue // stage 0's BackwardHidden returned nil; nothing to ship
 		}
@@ -147,6 +164,7 @@ func (t *Trainer) runStageRank(d, s int, mbs []microBatch, loss *float64) {
 func (t *Trainer) pipeSendBackward(d, s, mi int, g, fwdAct *tensor.Matrix) {
 	rt := t.coll.rt
 	topo := t.coll.topo
+	rec, track := t.rec, t.traceTrack(d, s)
 	from, to := topo.Rank(d, s), topo.Rank(d, s-1)
 	compressed := t.plan.CompressBackward(s, mi)
 	if d == 0 {
@@ -155,7 +173,10 @@ func (t *Trainer) pipeSendBackward(d, s, mi int, g, fwdAct *tensor.Matrix) {
 		t.exec.bwd[s][mi] = compressed
 	}
 	if !compressed {
+		wire := g.SizeBytes(compress.ElemBytes)
+		sStart := rec.Now()
 		rt.Send(collective.ClassPP, from, to, g)
+		rec.Record(track, obs.PhaseSendBwd, obs.LinkPP, sStart, wire, s, d, mi)
 		return
 	}
 	// CompressWithFeedback on a disabled ErrorFeedback (the non-LEP
@@ -169,11 +190,15 @@ func (t *Trainer) pipeSendBackward(d, s, mi int, g, fwdAct *tensor.Matrix) {
 	// Fig. 11 statistics boundary needs the dense reconstruction, so it
 	// keeps the dense path.
 	if t.stats == nil || d != 0 || s != 1 {
-		if _, ok := rt.SendCompressedSparse(collective.ClassPP, from, to, g, t.cb[d][s]); ok {
+		sStart := rec.Now()
+		if wire, ok := rt.SendCompressedSparse(collective.ClassPP, from, to, g, t.cb[d][s]); ok {
+			rec.Record(track, obs.PhaseSendBwd, obs.LinkPP, sStart, wire, s, d, mi)
 			return
 		}
 	}
-	_, recon := rt.SendCompressed(collective.ClassPP, from, to, g, t.cb[d][s])
+	sStart := rec.Now()
+	wire, recon := rt.SendCompressed(collective.ClassPP, from, to, g, t.cb[d][s])
+	rec.Record(track, obs.PhaseSendBwd, obs.LinkPP, sStart, wire, s, d, mi)
 	if t.stats != nil && d == 0 && s == 1 {
 		t.stats.Record(g, recon, fwdAct)
 	}

@@ -1,0 +1,231 @@
+package train
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// traceConfig is gridConfig with tracing enabled at a capacity sized
+// for the run — the TraceCapacityFor contract is itself under test: a
+// capacity it returns must never drop spans.
+func traceConfig(opt core.Config, dp, pp, micros, iters int) Config {
+	cfg := gridConfig(opt, dp, pp, micros)
+	cfg.TraceCapacity = TraceCapacityFor(cfg, iters)
+	return cfg
+}
+
+// TestReconcileTraceExact pins the tentpole acceptance criterion: on
+// the 2×4 grid with compressed backprop and compressed DP sync, the
+// executed trace's wire-bearing spans reconcile against the transport's
+// counters at tolerance zero (per link class), the summed DP-drain
+// spans equal DPSyncExposedNs at tolerance zero, and the simulator's
+// plan-derived predictions price the executed traffic exactly — all
+// under both DP sync modes. Run with -race this also proves the
+// recorder's hot paths are race-clean.
+func TestReconcileTraceExact(t *testing.T) {
+	c := testCorpus(t)
+	const iters = 3
+	for name, opt := range overlapOpts() {
+		for _, mode := range []DPSyncMode{DPSyncOverlapped, DPSyncBlocking} {
+			cfg := traceConfig(opt, 2, 4, 4, iters)
+			cfg.DPSync = mode
+			tr, err := New(cfg, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(tr.Close)
+			for i := 0; i < iters; i++ {
+				tr.TrainIteration()
+			}
+			rep, err := tr.ReconcileTrace()
+			if err != nil {
+				t.Fatalf("%s %v: %v", name, mode, err)
+			}
+			if rep.Iterations != iters {
+				t.Fatalf("%s %v: report covers %d iterations, want %d", name, mode, rep.Iterations, iters)
+			}
+			st, ok := tr.CollectiveStats()
+			if !ok {
+				t.Fatalf("%s %v: no collective stats", name, mode)
+			}
+			if got, want := rep.Links[obs.LinkDP].TracedBytes+rep.Links[obs.LinkPP].TracedBytes+rep.Links[obs.LinkEmb].TracedBytes, st.Total().Bytes; got != want {
+				t.Fatalf("%s %v: traced total %d != transport total %d", name, mode, got, want)
+			}
+			for _, l := range rep.Links {
+				if l.TracedBytes != l.PredictedBytes {
+					t.Errorf("%s %v %s: traced %d bytes, predicted %d (Δ %d)",
+						name, mode, l.Link, l.TracedBytes, l.PredictedBytes, l.TracedBytes-l.PredictedBytes)
+				}
+				if l.TracedBytes > 0 && l.WireSpans == 0 {
+					t.Errorf("%s %v %s: %d traced bytes but no wire spans", name, mode, l.Link, l.TracedBytes)
+				}
+			}
+			if rep.DrainNs != rep.ExposedNs {
+				t.Fatalf("%s %v: drain %d ns != exposed %d ns", name, mode, rep.DrainNs, rep.ExposedNs)
+			}
+			if rep.WindowNs <= 0 || rep.BusyNs <= 0 {
+				t.Fatalf("%s %v: degenerate pipeline accounting (window %d, busy %d)", name, mode, rep.WindowNs, rep.BusyNs)
+			}
+			if rep.BubbleFrac < 0 || rep.BubbleFrac >= 1 {
+				t.Fatalf("%s %v: bubble fraction %v out of range", name, mode, rep.BubbleFrac)
+			}
+			for _, cat := range []string{obs.CatFwd, obs.CatBwd, obs.CatInterStage, obs.CatDP, obs.CatPipe} {
+				if rep.CategoryNs[cat] <= 0 {
+					t.Errorf("%s %v: no executed time in category %q", name, mode, cat)
+				}
+			}
+			if out := rep.String(); !strings.Contains(out, "tol 0") {
+				t.Errorf("%s %v: report rendering missing reconciliation line:\n%s", name, mode, out)
+			}
+		}
+	}
+}
+
+// TestExecutedTraceRoundTrip pins the export format: a 2×4 executed
+// trace serializes to Chrome trace-event JSON that round-trips through
+// the validator, carries the executed-run pid, and names every span
+// category the instrumentation emits.
+func TestExecutedTraceRoundTrip(t *testing.T) {
+	c := testCorpus(t)
+	full := core.CBFESC()
+	full.CBRank = 2
+	full.DPRank = 2
+	cfg := traceConfig(full, 2, 4, 4, 2)
+	tr, err := New(cfg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tr.Close)
+	tr.TrainIteration()
+	tr.TrainIteration()
+
+	var buf bytes.Buffer
+	if err := obs.WriteRecorderTrace(&buf, tr.Recorder(), "executed 2×4"); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("exported trace is not valid JSON:\n%.200s", buf.String())
+	}
+	check, err := obs.ValidateTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check.Events == 0 || check.Metas == 0 {
+		t.Fatalf("empty trace: %+v", check)
+	}
+	if int64(check.Events) != tr.Recorder().Count() {
+		t.Fatalf("exported %d events, recorder holds %d spans", check.Events, tr.Recorder().Count())
+	}
+	cats := "," + strings.Join(check.Categories, ",") + ","
+	for _, cat := range []string{obs.CatFwd, obs.CatBwd, obs.CatInterStage, obs.CatDP, obs.CatEmb, obs.CatCodec, obs.CatOpt, obs.CatPipe} {
+		if !strings.Contains(cats, ","+cat+",") {
+			t.Errorf("trace missing category %q (have %q)", cat, check.Categories)
+		}
+	}
+
+	// The executed pid must not collide with the simulator's, so merged
+	// files render as two process lanes in Perfetto.
+	if !bytes.Contains(buf.Bytes(), []byte(`"pid":2`)) {
+		t.Error("trace events missing executed-run pid 2")
+	}
+}
+
+// TestReconcileTraceRejects pins the failure modes: reconciliation must
+// refuse untraced runs, un-run trainers, and — the one that would
+// silently corrupt the byte totals — a ring that dropped spans.
+func TestReconcileTraceRejects(t *testing.T) {
+	c := testCorpus(t)
+
+	t.Run("disabled", func(t *testing.T) {
+		tr, err := New(gridConfig(scaledCB(), 2, 4, 4), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(tr.Close)
+		tr.TrainIteration()
+		if _, err := tr.ReconcileTrace(); err == nil || !strings.Contains(err.Error(), "disabled") {
+			t.Fatalf("want tracing-disabled error, got %v", err)
+		}
+	})
+
+	t.Run("no-iterations", func(t *testing.T) {
+		tr, err := New(traceConfig(scaledCB(), 2, 4, 4, 1), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(tr.Close)
+		if _, err := tr.ReconcileTrace(); err == nil || !strings.Contains(err.Error(), "no completed iterations") {
+			t.Fatalf("want no-iterations error, got %v", err)
+		}
+	})
+
+	t.Run("dropped", func(t *testing.T) {
+		cfg := gridConfig(scaledCB(), 2, 4, 4)
+		cfg.TraceCapacity = 2 // far below one iteration's span count
+		tr, err := New(cfg, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(tr.Close)
+		tr.TrainIteration()
+		if _, err := tr.ReconcileTrace(); err == nil || !strings.Contains(err.Error(), "dropped") {
+			t.Fatalf("want dropped-spans error, got %v", err)
+		}
+	})
+}
+
+// TestStatsWindowCap pins the bounded-memory satellite: the Fig. 11
+// series retain at most the configured window while Count and Summary
+// stay exact over the full history.
+func TestStatsWindowCap(t *testing.T) {
+	st := NewStats()
+	st.SetWindow(8)
+	var sum float64
+	const n = 100
+	for i := 0; i < n; i++ {
+		v := float64(i%5) - 2 // mixed signs
+		st.appendBounded(&st.EpsMean, v, &st.epsN, &st.epsSumAbs)
+		if v < 0 {
+			sum -= v
+		} else {
+			sum += v
+		}
+	}
+	if len(st.EpsMean) != 8 {
+		t.Fatalf("series holds %d samples, window is 8", len(st.EpsMean))
+	}
+	if cap(st.EpsMean) > 16 {
+		t.Fatalf("series capacity %d grew past the window", cap(st.EpsMean))
+	}
+	// Window keeps the newest samples, oldest first.
+	for j, want := range []float64{float64((n-8+0)%5) - 2, float64((n-8+1)%5) - 2} {
+		if st.EpsMean[j] != want {
+			t.Fatalf("window[%d] = %v, want %v", j, st.EpsMean[j], want)
+		}
+	}
+	if st.Count() != n {
+		t.Fatalf("Count %d, want %d", st.Count(), n)
+	}
+	eps, _, _ := st.Summary()
+	if want := sum / n; eps != want {
+		t.Fatalf("Summary over full history %v, want %v", eps, want)
+	}
+}
+
+// TestTraceCapacityFor sanity-checks the sizing helper: positive,
+// monotone in iterations, and capped.
+func TestTraceCapacityFor(t *testing.T) {
+	cfg := gridConfig(scaledCB(), 2, 4, 4)
+	c1, c2 := TraceCapacityFor(cfg, 1), TraceCapacityFor(cfg, 10)
+	if c1 <= 0 || c2 < c1 {
+		t.Fatalf("capacities %d, %d not positive-monotone", c1, c2)
+	}
+	if got := TraceCapacityFor(cfg, 1<<30); got != 1<<17 {
+		t.Fatalf("unbounded iteration count not capped: %d", got)
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/plan"
 	"repro/internal/tensor"
@@ -90,7 +91,15 @@ type Config struct {
 	// BucketBytes caps one DP-sync bucket's dense payload
 	// (0 = plan.DefaultBucketBytes).
 	BucketBytes int64
-	Seed        int64
+	// TraceCapacity, when positive, enables executed-run span recording:
+	// every rank, collective worker, and the sync driver get a
+	// fixed-capacity ring of this many spans (oldest dropped beyond it —
+	// ReconcileTrace refuses traces with drops; see TraceCapacityFor for
+	// a bound that never drops). Zero disables tracing entirely: the
+	// instrumented hot paths take the nil-recorder branch, pinned at
+	// 0 allocs/op and within bench noise of the untraced build.
+	TraceCapacity int
+	Seed          int64
 }
 
 // DefaultConfig returns the configuration used by the quality experiments:
@@ -135,6 +144,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("train: unknown DP-sync mode %v", c.DPSync)
 	case c.BucketBytes < 0:
 		return fmt.Errorf("train: negative BucketBytes %d", c.BucketBytes)
+	case c.TraceCapacity < 0:
+		return fmt.Errorf("train: negative TraceCapacity %d", c.TraceCapacity)
 	}
 	return nil
 }
@@ -191,12 +202,32 @@ type Trainer struct {
 
 	stats *Stats
 	iter  int
-	// dpWaitNs accumulates the wall time TrainIteration spent blocked on
-	// DP synchronization after the backward pass — the executed
-	// "exposed communication" the overlap bench reports. Written only by
-	// the iteration goroutine.
-	dpWaitNs int64
+
+	// rec is the executed-run span recorder (nil unless
+	// Config.TraceCapacity > 0). Track layout, with W = DPGroups×Stages:
+	// [0, W) engine rank tracks (compute, p2p sends, backprop codec),
+	// [W, 2W) collective worker tracks (per-member op execution, DP-sync
+	// codec), 2W the driver track (pipeline window, DP drain, embedding
+	// sync), 2W+1..2W+3 the per-class op tracks (issue→finish spans).
+	rec *obs.Recorder
+	// metrics is the trainer's counter registry (always present).
+	// dpWait is its "train.dp_sync_exposed_ns" counter: the wall time
+	// TrainIteration spent blocked on DP synchronization after the
+	// backward pass — the executed "exposed communication" the overlap
+	// bench reports. Written only by the iteration goroutine.
+	metrics *obs.Registry
+	dpWait  *obs.Counter
+	iters   *obs.Counter
 }
+
+// traceTrack returns rank (d, s)'s engine span track (== the collective
+// topology's Rank(d, s) — both are DP-major).
+func (t *Trainer) traceTrack(d, s int) int { return d*t.cfg.Stages + s }
+
+// traceWorkerBase/traceDriver/traceOpsBase locate the non-rank tracks.
+func (t *Trainer) traceWorkerBase() int { return t.cfg.DPGroups * t.cfg.Stages }
+func (t *Trainer) traceDriver() int     { return 2 * t.cfg.DPGroups * t.cfg.Stages }
+func (t *Trainer) traceOpsBase() int    { return 2*t.cfg.DPGroups*t.cfg.Stages + 1 }
 
 // execLog captures executed communication decisions: group 0's backward
 // edge actions (identical across groups), the DP-sync stage selection,
@@ -243,6 +274,23 @@ func New(cfg Config, corpus *data.Corpus) (*Trainer, error) {
 		pool:    tensor.NewPool(),
 		dpc:     make(map[[3]int]*compress.ErrorFeedback),
 		embSkip: make(map[*tensor.Matrix]bool),
+		metrics: obs.NewRegistry(),
+	}
+	t.dpWait = t.metrics.Counter("train.dp_sync_exposed_ns")
+	t.iters = t.metrics.Counter("train.iterations")
+	if cfg.TraceCapacity > 0 {
+		// Built before the collective state and the compressors so both
+		// can be wired to it at construction time.
+		w := cfg.DPGroups * cfg.Stages
+		names := make([]string, 0, 2*w+4)
+		for r := 0; r < w; r++ {
+			names = append(names, fmt.Sprintf("rank%d", r))
+		}
+		for r := 0; r < w; r++ {
+			names = append(names, fmt.Sprintf("coll%d", r))
+		}
+		names = append(names, "driver", "ops/dp", "ops/pp", "ops/emb")
+		t.rec = obs.NewRecorder(names, cfg.TraceCapacity)
 	}
 	for d := 0; d < cfg.DPGroups; d++ {
 		stages, err := model.NewStages(cfg.Model, cfg.Stages)
@@ -314,6 +362,9 @@ func New(cfg Config, corpus *data.Corpus) (*Trainer, error) {
 				ef := compress.NewErrorFeedback(inner)
 				ef.SetEnabled(pl.LazyErrorPropagation())
 				ef.SetPool(t.pool)
+				// Backprop codec spans land on the sending rank's track —
+				// boundary (d, s) compresses on rank (d, s)'s goroutine.
+				ef.SetRecorder(t.rec, t.traceTrack(d, s))
 				row[s] = ef
 			}
 			t.cb = append(t.cb, row)
@@ -330,6 +381,14 @@ func New(cfg Config, corpus *data.Corpus) (*Trainer, error) {
 		// runtime never references the trainer, so the cleanup can fire;
 		// Close stays the deterministic path and is idempotent.
 		runtime.AddCleanup(t, func(rt *collective.Runtime) { rt.Close() }, t.coll.rt)
+		if t.rec != nil {
+			t.coll.rt.SetRecorder(t.rec, t.traceWorkerBase(), t.traceOpsBase())
+			// Tag each stage's DP group so its op spans carry the stage
+			// index (DP/<stage> in the trace, matching the simulator).
+			for s, g := range t.coll.dp {
+				g.SetTag(s)
+			}
+		}
 		if cfg.DPGroups > 1 && cfg.ResolvedDPSync() == DPSyncOverlapped {
 			t.ov = newDPOverlap(t)
 		}
@@ -407,7 +466,35 @@ func (t *Trainer) ExecutedDPBuckets() ([][]int64, bool) {
 // executed exposed communication. Under overlapped sync this is only the
 // tail the backward compute could not hide; under blocking sync it is
 // the whole synchronization.
-func (t *Trainer) DPSyncExposedNs() int64 { return t.dpWaitNs }
+func (t *Trainer) DPSyncExposedNs() int64 { return t.dpWait.Load() }
+
+// Recorder returns the executed-run span recorder (nil unless tracing
+// is enabled via Config.TraceCapacity).
+func (t *Trainer) Recorder() *obs.Recorder { return t.rec }
+
+// Metrics snapshots the trainer's counter registry, folding in the
+// collective runtime's per-class traffic, the sparse-reduction
+// accounting, and the recorder's span counts at call time.
+func (t *Trainer) Metrics() *obs.Registry {
+	m := t.metrics
+	if t.coll != nil {
+		st := t.coll.rt.Stats()
+		for _, c := range collective.Classes() {
+			cs := st.For(c)
+			m.Set("collective."+c.String()+".bytes", cs.Bytes)
+			m.Set("collective."+c.String()+".messages", cs.Messages)
+			m.Set("collective."+c.String()+".steps", cs.Steps)
+		}
+		sp := t.coll.rt.SparseReduceStats()
+		m.Set("collective.sparse_reduce.ops", sp.SparseOps)
+		m.Set("collective.sparse_reduce.dense_fallbacks", sp.DenseFallbacks)
+	}
+	if t.rec != nil {
+		m.Set("trace.spans", t.rec.Count())
+		m.Set("trace.dropped", t.rec.Dropped())
+	}
+	return m
+}
 
 // DPSyncMode returns the resolved synchronization mode the trainer runs.
 func (t *Trainer) DPSyncMode() DPSyncMode { return t.cfg.ResolvedDPSync() }
@@ -444,26 +531,33 @@ func (t *Trainer) TrainIteration() float64 {
 	if t.ov != nil {
 		t.ov.reset(cfg.DPGroups)
 	}
+	pipeStart := t.rec.Now()
 	if t.pipelineActive() {
 		t.runPipelined(batches, losses)
 	} else {
 		t.runSerial(batches, losses)
 	}
+	t.rec.Record(t.traceDriver(), obs.PhasePipeline, obs.LinkNone, pipeStart, 0, -1, -1, -1)
 	var lossSum float64
 	for _, l := range losses {
 		lossSum += l
 	}
 	t.syncDataParallel()
+	embStart := t.rec.Now()
 	t.syncEmbedding()
+	t.rec.Record(t.traceDriver(), obs.PhaseEmbSync, obs.LinkEmb, embStart, 0, -1, -1, -1)
 	if cfg.Schedule != nil {
 		t.opt.LR = cfg.Schedule.LR(t.iter)
 	}
 	for d := 0; d < cfg.DPGroups; d++ {
 		for s := range t.replicas[d] {
+			optStart := t.rec.Now()
 			t.opt.Step(t.params[d][s], t.grads[d][s])
+			t.rec.Record(t.traceTrack(d, s), obs.PhaseOpt, obs.LinkNone, optStart, 0, s, d, -1)
 		}
 	}
 	t.iter++
+	t.iters.Add(1)
 	return lossSum / float64(cfg.DPGroups*cfg.MicroBatches)
 }
 
@@ -538,11 +632,15 @@ func (t *Trainer) runMicroBatch(d, mi int, mb microBatch) float64 {
 	// backward sends — the fwd+bwd sum is what the simnet prediction and
 	// the executable 1F1B executor both count.
 	acts := make([]*tensor.Matrix, cfg.Stages)
+	fStart := t.rec.Now()
 	h := stages[0].ForwardTokens(contexts)
+	t.rec.Record(t.traceTrack(d, 0), obs.PhaseFwd, obs.LinkNone, fStart, 0, 0, d, mi)
 	acts[0] = h
 	for s := 1; s < cfg.Stages; s++ {
-		t.accountForward(d, s, h.SizeBytes(compress.ElemBytes))
+		t.accountForward(d, s, mi, h.SizeBytes(compress.ElemBytes))
+		fStart = t.rec.Now()
 		h = stages[s].ForwardHidden(h)
+		t.rec.Record(t.traceTrack(d, s), obs.PhaseFwd, obs.LinkNone, fStart, 0, s, d, mi)
 		acts[s] = h
 	}
 	last := stages[cfg.Stages-1]
@@ -551,18 +649,23 @@ func (t *Trainer) runMicroBatch(d, mi int, mb microBatch) float64 {
 
 	// Backward wave with compressed backpropagation on each boundary.
 	var g *tensor.Matrix
+	bStart := t.rec.Now()
 	if cfg.Stages == 1 {
 		last.BackwardLogits(dLogits)
+		t.rec.Record(t.traceTrack(d, 0), obs.PhaseBwd, obs.LinkNone, bStart, 0, 0, d, mi)
 		return loss
 	}
 	g = last.BackwardLogits(dLogits)
+	t.rec.Record(t.traceTrack(d, cfg.Stages-1), obs.PhaseBwd, obs.LinkNone, bStart, 0, cfg.Stages-1, d, mi)
 	for s := cfg.Stages - 1; s >= 1; s-- {
 		sent, pooled := t.transferBackward(d, s, mi, g, acts[s-1])
+		bStart = t.rec.Now()
 		if s-1 == 0 {
 			stages[0].BackwardHidden(sent)
 		} else {
 			g = stages[s-1].BackwardHidden(sent)
 		}
+		t.rec.Record(t.traceTrack(d, s-1), obs.PhaseBwd, obs.LinkNone, bStart, 0, s-1, d, mi)
 		if pooled {
 			t.pool.Put(sent)
 		}
@@ -583,7 +686,7 @@ func (t *Trainer) transferBackward(d, s, mi int, g, fwdAct *tensor.Matrix) (sent
 		t.exec.bwd[s][mi] = compressed
 	}
 	if !compressed {
-		t.accountBackward(d, s, g.SizeBytes(compress.ElemBytes))
+		t.accountBackward(d, s, mi, g.SizeBytes(compress.ElemBytes))
 		return g, false
 	}
 	ef := t.cb[d][s]
@@ -591,10 +694,10 @@ func (t *Trainer) transferBackward(d, s, mi int, g, fwdAct *tensor.Matrix) (sent
 	if t.plan.LazyErrorPropagation() {
 		var pl compress.Payload
 		pl, recon = ef.CompressWithFeedback(g)
-		t.accountBackward(d, s, pl.WireBytes())
+		t.accountBackward(d, s, mi, pl.WireBytes())
 	} else {
 		pl := ef.Inner().Compress(g)
-		t.accountBackward(d, s, pl.WireBytes())
+		t.accountBackward(d, s, mi, pl.WireBytes())
 		recon = t.pool.GetUninit(g.Rows, g.Cols) // DecompressInto writes every element
 		pooled = true
 		ef.Inner().DecompressInto(recon, pl)
@@ -606,19 +709,28 @@ func (t *Trainer) transferBackward(d, s, mi int, g, fwdAct *tensor.Matrix) (sent
 }
 
 // accountBackward books one inter-stage backward transfer on the
-// collective transport's pipeline class (no-op on the serial path).
-func (t *Trainer) accountBackward(d, s int, bytes int64) {
+// collective transport's pipeline class (no-op on the serial path) and
+// records its wire mark: a zero-duration SendBwd span carrying the
+// exact accounted bytes, so the trace's PP span sum reconciles with the
+// transport counters byte-for-byte. Recorded only when a transport
+// exists — the reference engine accounts nothing, so it records no
+// wire-bearing spans either.
+func (t *Trainer) accountBackward(d, s, mi int, bytes int64) {
 	if t.coll != nil {
 		t.coll.accountBackward(d, s, bytes)
+		now := t.rec.Now()
+		t.rec.RecordSpan(t.traceTrack(d, s), obs.PhaseSendBwd, obs.LinkPP, now, now, bytes, s, d, mi)
 	}
 }
 
 // accountForward books one inter-stage forward activation transfer —
 // stage s−1 to stage s — on the pipeline class (no-op on the serial
-// path). Forward traffic is never compressed (§5), so bytes is always
-// the dense activation size.
-func (t *Trainer) accountForward(d, s int, bytes int64) {
+// path), recording the matching SendFwd wire mark. Forward traffic is
+// never compressed (§5), so bytes is always the dense activation size.
+func (t *Trainer) accountForward(d, s, mi int, bytes int64) {
 	if t.coll != nil {
 		t.coll.accountForward(d, s, bytes)
+		now := t.rec.Now()
+		t.rec.RecordSpan(t.traceTrack(d, s-1), obs.PhaseSendFwd, obs.LinkPP, now, now, bytes, s-1, d, mi)
 	}
 }
