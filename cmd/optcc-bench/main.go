@@ -40,6 +40,7 @@ func main() {
 	planBench := flag.Bool("plan-bench", false, "run plan-compile benchmarks (compile ns/op + allocs/op, steady-state exec allocs) and write machine-readable results")
 	overlapBench := flag.Bool("overlap-bench", false, "run blocking-vs-overlapped DP-sync benchmarks (full iterations, exposed comm time, async-handle allocs) and write machine-readable results")
 	sparseBench := flag.Bool("sparse-bench", false, "run sparse-native vs densified payload-pipeline benchmarks and write machine-readable results")
+	transportBench := flag.Bool("transport-bench", false, "run wire-transport benchmarks (8-rank all-reduce over MemTransport vs unix sockets) and write machine-readable results")
 	obsBench := flag.Bool("obs-bench", false, "run span-recorder/metrics overhead benchmarks and write machine-readable results")
 	benchOut := flag.String("bench-out", "", "output path for benchmark JSON (default BENCH_collective.json / BENCH_pipeline.json / BENCH_plan.json / BENCH_overlap.json / BENCH_sparse.json)")
 	benchtime := flag.String("benchtime", "1s", "per-benchmark measurement budget for the bench modes (e.g. 1s, 100x, 1x)")
@@ -89,6 +90,10 @@ func main() {
 	}
 	if *sparseBench {
 		runBench(runSparseBenchmarks, "BENCH_sparse.json")
+		return
+	}
+	if *transportBench {
+		runBench(runTransportBenchmarks, "BENCH_transport.json")
 		return
 	}
 	if *obsBench {

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/collective"
+	"repro/internal/tensor"
+)
+
+// transportBenchResult is one row of BENCH_transport.json: the same
+// 8-rank ring all-reduce over the in-memory transport (the tight lane —
+// ns/op and allocs/op gate against the committed baseline) and over unix
+// sockets (the wall-clock-noisy lane — scheduling and kernel copies put
+// raw ns/op at the mercy of the runner, so only the socket/mem ratio and
+// the exact wire accounting gate; see optcc-gate).
+type transportBenchResult struct {
+	Op          string  `json:"op"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  int64   `json:"bytes_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+	WireBytesOp int64   `json:"wire_bytes_op"`
+	// FrameBytesOp is the actual framed wire volume per op (socket lane
+	// only): payload images + frame headers, as opposed to the modelled
+	// fp16 accounting in WireBytesOp.
+	FrameBytesOp int64 `json:"frame_bytes_op,omitempty"`
+	// WallclockNoisy marks rows whose ns/op must not gate (socket lane).
+	WallclockNoisy bool `json:"wallclock_noisy,omitempty"`
+	// RatioVsMem is ns/op divided by the mem lane's ns/op for the same
+	// op — two same-machine timings, so it ports across runners.
+	RatioVsMem float64 `json:"ratio_vs_mem,omitempty"`
+}
+
+// runTransportBenchmarks measures the wire-transport cost of the 8-rank
+// ring all-reduce: MemTransport (zero-copy handoff) vs SocketTransport
+// over unix sockets (full serialize → kernel → deserialize round trip),
+// writing BENCH_transport.json.
+func runTransportBenchmarks(w io.Writer, outPath, benchtime string) error {
+	testing.Init()
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		return fmt.Errorf("benchtime %q: %w", benchtime, err)
+	}
+	const d = 8
+	const rows, cols = 48, 48
+	var results []transportBenchResult
+
+	topo, err := collective.NewTopology(d, 1)
+	if err != nil {
+		return err
+	}
+	newBufs := func() []*tensor.Matrix {
+		bufs := make([]*tensor.Matrix, d)
+		for i := range bufs {
+			bufs[i] = tensor.New(rows, cols)
+			for j := range bufs[i].Data {
+				bufs[i].Data[j] = float64((i*131+j)%23) / 23
+			}
+		}
+		return bufs
+	}
+	measure := func(op string, f func(), wire func() (bytes, frames int64), noisy bool) {
+		f() // warm workspaces and (socket lane) frame buffers
+		f()
+		wBefore, fBefore := wire()
+		var ops int64
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f()
+			}
+			ops += int64(b.N)
+		})
+		wAfter, fAfter := wire()
+		results = append(results, transportBenchResult{
+			Op:             op,
+			Iterations:     r.N,
+			NsPerOp:        float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:     r.AllocedBytesPerOp(),
+			AllocsPerOp:    r.AllocsPerOp(),
+			WireBytesOp:    (wAfter - wBefore) / ops,
+			FrameBytesOp:   (fAfter - fBefore) / ops,
+			WallclockNoisy: noisy,
+		})
+	}
+
+	// Mem lane: the tight baseline — steady state is allocation-free and
+	// the ns/op gate catches hot-path regressions from the wire refactor.
+	memRT := collective.NewRuntime(topo, collective.NewMemTransport(d), nil)
+	memGrp := memRT.NewGroup(collective.ClassDP, topo.DPGroup(0))
+	memBufs := newBufs()
+	measure("allreduce/d8/mem",
+		func() { memGrp.AllReduce(memBufs, 1/float64(d)) },
+		func() (int64, int64) { return memRT.Stats().For(collective.ClassDP).Bytes, 0 },
+		false)
+	memRT.Close()
+
+	// Socket lane: one transport + runtime per rank, full wire round trip
+	// per hop. The per-rank ops run concurrently, exactly as the
+	// process-per-rank grid does.
+	dir, err := os.MkdirTemp("", "occ-bench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	addrs := make([]string, d)
+	for r := range addrs {
+		addrs[r] = filepath.Join(dir, fmt.Sprintf("r%d.sock", r))
+	}
+	trs := make([]*collective.SocketTransport, d)
+	errs := make([]error, d)
+	var wg sync.WaitGroup
+	for r := 0; r < d; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			trs[r], errs[r] = collective.NewSocketTransport(collective.SocketConfig{
+				Network:     "unix",
+				Rank:        r,
+				World:       d,
+				Addrs:       addrs,
+				DialTimeout: 30 * time.Second,
+			})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return fmt.Errorf("rank %d transport: %w", r, err)
+		}
+	}
+	rts := make([]*collective.Runtime, d)
+	grps := make([]*collective.Group, d)
+	sockBufs := make([][]*tensor.Matrix, d)
+	for r := 0; r < d; r++ {
+		rts[r] = collective.NewRuntime(topo, trs[r], nil)
+		grps[r] = rts[r].NewGroup(collective.ClassDP, topo.DPGroup(0))
+		sockBufs[r] = newBufs()
+	}
+	sockWire := func() (int64, int64) {
+		var bytes, frames int64
+		for r := 0; r < d; r++ {
+			bytes += trs[r].Stats().For(collective.ClassDP).Bytes
+			frames += trs[r].FrameBytes()
+		}
+		return bytes, frames
+	}
+	measure("allreduce/d8/unix",
+		func() {
+			var owg sync.WaitGroup
+			for r := 0; r < d; r++ {
+				owg.Add(1)
+				go func(r int) {
+					defer owg.Done()
+					grps[r].AllReduce(sockBufs[r], 1/float64(d))
+				}(r)
+			}
+			owg.Wait()
+		},
+		sockWire, true)
+	for r := 0; r < d; r++ {
+		rts[r].Close()
+		trs[r].Close()
+	}
+
+	// The ratio is the portable signal: two timings from the same run on
+	// the same machine.
+	memNs := results[0].NsPerOp
+	for i := range results {
+		if results[i].WallclockNoisy && memNs > 0 {
+			results[i].RatioVsMem = results[i].NsPerOp / memNs
+		}
+	}
+
+	fmt.Fprintf(w, "### transport-bench (%d ops → %s)\n\n", len(results), outPath)
+	fmt.Fprintf(w, "%-20s %14s %12s %10s %14s %14s %10s\n",
+		"op", "ns/op", "B/op", "allocs/op", "wire B/op", "frame B/op", "vs mem")
+	for _, r := range results {
+		ratio := "—"
+		if r.RatioVsMem > 0 {
+			ratio = fmt.Sprintf("%.1f×", r.RatioVsMem)
+		}
+		fmt.Fprintf(w, "%-20s %14.0f %12d %10d %14d %14d %10s\n",
+			r.Op, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.WireBytesOp, r.FrameBytesOp, ratio)
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+}

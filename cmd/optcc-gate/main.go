@@ -61,6 +61,14 @@ type benchRow struct {
 	Speedup     float64 `json:"speedup_vs_densified"`
 	PGONsPerOp  float64 `json:"pgo_ns_op"`
 	PGODeltaPct float64 `json:"pgo_delta_pct"`
+	// WallclockNoisy marks rows (the transport trail's socket lane) whose
+	// raw ns/op and allocs/op must not gate: kernel socket I/O on a shared
+	// runner swings far beyond the tolerance. For those rows only the
+	// machine-portable signals gate — the socket/mem timing ratio and the
+	// exact wire accounting.
+	WallclockNoisy bool    `json:"wallclock_noisy"`
+	RatioVsMem     float64 `json:"ratio_vs_mem"`
+	WireBytesOp    int64   `json:"wire_bytes_op"`
 }
 
 // key identifies a row within one trail file: the op name plus the
@@ -118,6 +126,20 @@ func checkFile(name string, baseline, fresh []benchRow, tolerance float64, alloc
 		f, ok := freshBy[b.key()]
 		if !ok {
 			out = append(out, violation{name, b.key(), "row missing from fresh results (baseline coverage must not shrink)"})
+			continue
+		}
+		if b.WallclockNoisy {
+			// Ratios of two same-run timings port across machines; wire
+			// accounting is deterministic. Both gate; raw wall clock and
+			// allocs do not.
+			if b.RatioVsMem > 0 && f.RatioVsMem > b.RatioVsMem*4 {
+				out = append(out, violation{name, b.key(),
+					fmt.Sprintf("ratio_vs_mem %.1fx exceeds baseline %.1fx × 4", f.RatioVsMem, b.RatioVsMem)})
+			}
+			if b.WireBytesOp > 0 && f.WireBytesOp != b.WireBytesOp {
+				out = append(out, violation{name, b.key(),
+					fmt.Sprintf("wire_bytes_op %d != baseline %d (wire accounting must be exact)", f.WireBytesOp, b.WireBytesOp)})
+			}
 			continue
 		}
 		if limit := b.NsPerOp * (1 + tolerance); f.NsPerOp > limit {

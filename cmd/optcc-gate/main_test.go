@@ -54,6 +54,33 @@ func TestCheckFileFlagsMissingRowAndSpeedupCollapse(t *testing.T) {
 	}
 }
 
+func TestCheckFileNoisyRowsGateRatiosOnly(t *testing.T) {
+	noisy := func(ns float64, allocs int64, ratio float64, wire int64) benchRow {
+		return benchRow{Op: "sock", NsPerOp: ns, AllocsPerOp: allocs,
+			WallclockNoisy: true, RatioVsMem: ratio, WireBytesOp: wire}
+	}
+	base := []benchRow{noisy(1000, 5, 10, 64512)}
+
+	// Wild wall-clock and alloc swings pass as long as the portable
+	// signals hold.
+	fresh := []benchRow{noisy(50000, 900, 39, 64512)} // < 10×4
+	if vs := checkFile("f", base, fresh, 1.0, 1); len(vs) != 0 {
+		t.Fatalf("expected pass, got %v", vs)
+	}
+
+	fresh = []benchRow{noisy(1000, 5, 41, 64512)} // ratio > 10×4
+	vs := checkFile("f", base, fresh, 1.0, 1)
+	if len(vs) != 1 || !strings.Contains(vs[0].Reason, "ratio_vs_mem") {
+		t.Fatalf("expected one ratio violation, got %v", vs)
+	}
+
+	fresh = []benchRow{noisy(1000, 5, 10, 64513)} // wire accounting drift
+	vs = checkFile("f", base, fresh, 1.0, 1)
+	if len(vs) != 1 || !strings.Contains(vs[0].Reason, "wire_bytes_op") {
+		t.Fatalf("expected one wire-bytes violation, got %v", vs)
+	}
+}
+
 func TestCheckFileModeDisambiguatesRows(t *testing.T) {
 	base := []benchRow{
 		{Op: "iter", Mode: "blocking", NsPerOp: 1000},

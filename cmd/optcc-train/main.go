@@ -8,14 +8,23 @@
 //	optcc-train -config baseline -iters 600
 //	optcc-train -config cb -iters 600
 //	optcc-train -config naivecb -iters 600   # Fig. 3's quality collapse
+//
+// With -rank the command becomes one rank of a process-per-rank run
+// (normally spawned by optcc-launch): it joins the coordinator, builds a
+// socket transport to its peers, trains only its own (dp, stage) rank,
+// and reports its loss sum and transport stats back — bit-identical, in
+// aggregate, to the single-process run of the same flags.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/collective"
 	"repro/internal/core"
@@ -55,6 +64,12 @@ func main() {
 	trace := flag.String("trace", "", "record per-rank spans and write the executed run as Chrome trace-event JSON (pid 2; merge with optcc-sim -trace output to compare in Perfetto). Capacity is sized for -iters; keep traced runs to modest iteration counts")
 	metricsOut := flag.String("metrics-out", "", "write the metrics-registry snapshot (counters) as JSON to this file")
 	reconcile := flag.Bool("reconcile", false, "after training, reconcile the executed trace against the transport counters (tolerance 0) and the simulator's predictions; requires -trace")
+	pp := flag.Int("pp", 0, "pipeline-parallel stages (0 = config default)")
+	dp := flag.Int("dp", 0, "data-parallel groups (0 = config default)")
+	rank := flag.Int("rank", -1, "run as this rank of a process-per-rank grid (requires -coord; normally set by optcc-launch)")
+	transport := flag.String("transport", "unix", "process-per-rank wire transport: unix or tcp")
+	coord := flag.String("coord", "", "coordinator address (host:port) for process-per-rank runs")
+	sockDir := flag.String("sock-dir", "", "directory for unix data sockets in process-per-rank runs")
 	flag.Parse()
 
 	stopProfiles, err := prof.Start(*cpuprofile, *memprofile)
@@ -107,6 +122,12 @@ func main() {
 	cfg.ParallelGroups = *parallel
 	cfg.Engine = eng
 	cfg.BucketBytes = *bucketBytes
+	if *pp > 0 {
+		cfg.Stages = *pp
+	}
+	if *dp > 0 {
+		cfg.DPGroups = *dp
+	}
 	if *reconcile && *trace == "" {
 		fmt.Fprintln(os.Stderr, "optcc-train: -reconcile requires -trace (no spans to reconcile otherwise)")
 		os.Exit(1)
@@ -124,6 +145,18 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "optcc-train: unknown -dp-sync %q (want auto, overlapped, or blocking)\n", *dpSync)
 		os.Exit(1)
+	}
+
+	if *rank >= 0 {
+		if *trace != "" || *checkpoint != "" || *resume != "" || *stats {
+			fmt.Fprintln(os.Stderr, "optcc-train: -rank mode does not support -trace, -checkpoint, -resume, or -stats")
+			os.Exit(1)
+		}
+		if err := runRank(cfg, corpus, *rank, *transport, *coord, *sockDir, *iters); err != nil {
+			fmt.Fprintln(os.Stderr, "optcc-train:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	tr, err := train.New(cfg, corpus)
@@ -154,11 +187,14 @@ func main() {
 		cfg.Opt.Name(), cfg.Model.Vocab, cfg.Model.Hidden, cfg.Model.Blocks,
 		cfg.Stages, cfg.DPGroups, cfg.MicroBatch, cfg.MicroBatches)
 
-	tr.Train(*iters, func(it int, loss float64) {
+	finalLoss := tr.Train(*iters, func(it int, loss float64) {
 		if it%*evalEvery == 0 || it == *iters {
 			fmt.Printf("iter %5d  loss %7.4f  val PPL %7.3f\n", it, loss, tr.ValidationPerplexity(500))
 		}
 	})
+	// Full precision, one line: the multi-process smoke compares this
+	// against optcc-launch's aggregate bit for bit.
+	fmt.Printf("final training loss %.17g\n", finalLoss)
 
 	tasks := data.TaskSuite(corpus, cfg.Model.Context, 200, *seed+1000)
 	accs := tr.TaskAccuracies(tasks)
@@ -214,6 +250,74 @@ func main() {
 		}
 		fmt.Printf("checkpoint written to %s\n", *checkpoint)
 	}
+}
+
+// runRank executes one rank of a process-per-rank run: rendezvous with
+// the coordinator, socket transport to the peers, training gated to this
+// rank's (dp, stage) share, and the end-of-run report. The configuration
+// must be flag-identical across ranks (optcc-launch guarantees this):
+// every process seeds the same model and data RNG, so the grid's
+// aggregate is bit-identical to the single-process run of the same flags.
+func runRank(cfg train.Config, corpus *data.Corpus, rank int, network, coordAddr, sockDir string, iters int) error {
+	world := cfg.Stages * cfg.DPGroups
+	if rank >= world {
+		return fmt.Errorf("-rank %d outside world %d", rank, world)
+	}
+	if coordAddr == "" {
+		return fmt.Errorf("-rank requires -coord")
+	}
+	var ln net.Listener
+	var err error
+	switch network {
+	case "unix":
+		if sockDir == "" {
+			return fmt.Errorf("-transport unix requires -sock-dir")
+		}
+		ln, err = net.Listen("unix", filepath.Join(sockDir, fmt.Sprintf("rank-%d.sock", rank)))
+	case "tcp":
+		ln, err = net.Listen("tcp", "127.0.0.1:0")
+	default:
+		err = fmt.Errorf("unknown -transport %q (want unix or tcp)", network)
+	}
+	if err != nil {
+		return err
+	}
+	peer, peers, err := collective.JoinCoordinator("tcp", coordAddr, rank, world, ln.Addr().String(), time.Minute)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	st, err := collective.NewSocketTransportListener(collective.SocketConfig{
+		Network: network,
+		Rank:    rank,
+		World:   world,
+		Addrs:   peers,
+	}, ln)
+	if err != nil {
+		return err
+	}
+	cfg.Dist = &train.DistConfig{Transport: st}
+	tr, err := train.New(cfg, corpus)
+	if err != nil {
+		st.Close()
+		return err
+	}
+	defer tr.Close()
+	for i := 0; i < iters; i++ {
+		tr.TrainIteration()
+	}
+	rep := collective.RankReport{
+		LossSum:    tr.LastIterationLossSum(),
+		Stats:      st.Stats(),
+		FrameBytes: st.FrameBytes(),
+	}
+	// The report ack is the completion barrier: every rank has reached it
+	// before any data socket closes, so no send can hit a dead peer.
+	if err := peer.Report(rank, rep, 2*time.Minute); err != nil {
+		st.Close()
+		return err
+	}
+	return st.Close()
 }
 
 // writeTrace exports the executed-run trace to path, propagating the

@@ -58,6 +58,21 @@
 // volume predictions byte-for-byte (optcc-train -trace/-reconcile,
 // optcc-sim -trace, optcc-gate -validate-trace).
 //
+// The transport under the collective runtime is pluggable: the default
+// in-process MemTransport hands tensors over channels zero-copy, while
+// collective.SocketTransport ships every message as a length-prefixed
+// binary frame (internal/collective/wire.go, payloads serialized by
+// internal/tensor's codec) over TCP or unix sockets with identical
+// per-class accounting — a remote run's Stats are bit-equal to the
+// in-memory oracle's, with the actual framed volume tallied separately.
+// train.Config.Dist switches the trainer into SPMD mode (every process
+// builds the full model for RNG lockstep but executes only its local
+// rank), collective.Coordinator/JoinCoordinator provide the rendezvous,
+// and cmd/optcc-launch spawns one optcc-train -rank process per
+// (dp, stage) rank — final weights and losses bit-identical to the
+// single-process run, pinned by the cross-transport oracle
+// (internal/train/dist_test.go) and CI's multiproc job.
+//
 // See README.md for a guided tour (quickstart, package map, and the
 // pooled zero-allocation compression API) and CHANGES.md for the per-PR
 // change log. The root-level benchmarks (bench_test.go) regenerate each

@@ -1,0 +1,291 @@
+package collective
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Coordinator is the rendezvous and results service of a process-per-
+// rank run. Every rank dials it over one control connection (JSON
+// messages, std-lib only) and the run proceeds in two barriers:
+//
+//  1. join: each rank announces {rank, world, data address}; once all
+//     world ranks are present the coordinator broadcasts the rank-ordered
+//     peer address table, which is what lets TCP ranks listen on :0 and
+//     still find each other (unix ranks could agree on paths, but flow
+//     through the same barrier so a dead rank is caught before training).
+//  2. report: after training, each rank submits its final-iteration loss
+//     sum and transport stats; once all have reported the coordinator
+//     acks every rank — the completion barrier that makes closing the
+//     data sockets safe — and Wait returns the aggregate.
+//
+// Any protocol violation (duplicate rank, world mismatch) fails the run:
+// every control connection closes, pending ranks error out, and Wait
+// surfaces the cause.
+type Coordinator struct {
+	world int
+	ln    net.Listener
+
+	mu       sync.Mutex
+	addrs    []string
+	conns    []net.Conn
+	joined   int
+	reports  []RankReport
+	reported int
+
+	done chan struct{}
+	fail chan struct{}
+	err  error
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+// RankReport is one rank's end-of-run submission.
+type RankReport struct {
+	// LossSum is the rank's final-iteration micro-batch loss sum (nonzero
+	// only on last-stage ranks); Σ over ranks / (DPGroups·MicroBatches)
+	// is the run's final mean loss, bit-identical to the in-process
+	// trainer's because ranks are summed in rank order.
+	LossSum float64
+	// Stats is the rank's transport snapshot; the per-class sum over
+	// ranks equals the MemTransport totals of the same run.
+	Stats Stats
+	// FrameBytes is the rank's actual framed wire volume.
+	FrameBytes int64
+}
+
+// Control messages.
+type coordJoin struct {
+	Rank  int    `json:"rank"`
+	World int    `json:"world"`
+	Addr  string `json:"addr"`
+}
+
+type coordPeers struct {
+	Peers []string `json:"peers,omitempty"`
+	Err   string   `json:"err,omitempty"`
+}
+
+type coordReport struct {
+	Rank       int     `json:"rank"`
+	LossSum    float64 `json:"loss_sum"`
+	Stats      Stats   `json:"stats"`
+	FrameBytes int64   `json:"frame_bytes"`
+}
+
+type coordAck struct {
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+}
+
+// NewCoordinator serves a world-rank run on ln (owned by the coordinator
+// from here on).
+func NewCoordinator(world int, ln net.Listener) *Coordinator {
+	c := &Coordinator{
+		world:   world,
+		ln:      ln,
+		addrs:   make([]string, world),
+		conns:   make([]net.Conn, world),
+		reports: make([]RankReport, world),
+		done:    make(chan struct{}),
+		fail:    make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c
+}
+
+// Addr returns the coordinator's listen address.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+func (c *Coordinator) acceptLoop() {
+	defer c.wg.Done()
+	for i := 0; i < c.world; i++ {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			c.failWith(fmt.Errorf("collective: coordinator accept: %w", err))
+			return
+		}
+		c.wg.Add(1)
+		go c.serveRank(conn)
+	}
+}
+
+// serveRank drives one rank's control connection through both barriers.
+func (c *Coordinator) serveRank(conn net.Conn) {
+	defer c.wg.Done()
+	dec := json.NewDecoder(conn)
+
+	var join coordJoin
+	if err := dec.Decode(&join); err != nil {
+		c.failWith(fmt.Errorf("collective: coordinator: bad join: %w", err))
+		return
+	}
+	if join.World != c.world {
+		c.failWith(fmt.Errorf("collective: coordinator: rank %d joined with world %d, want %d", join.Rank, join.World, c.world))
+		return
+	}
+	if join.Rank < 0 || join.Rank >= c.world {
+		c.failWith(fmt.Errorf("collective: coordinator: join from rank %d outside world %d", join.Rank, c.world))
+		return
+	}
+	c.mu.Lock()
+	if c.conns[join.Rank] != nil {
+		c.mu.Unlock()
+		c.failWith(fmt.Errorf("collective: coordinator: duplicate join from rank %d", join.Rank))
+		return
+	}
+	c.conns[join.Rank] = conn
+	c.addrs[join.Rank] = join.Addr
+	c.joined++
+	if c.joined == c.world {
+		// Everyone is here: release the join barrier.
+		peers := coordPeers{Peers: append([]string(nil), c.addrs...)}
+		for _, cc := range c.conns {
+			if err := json.NewEncoder(cc).Encode(peers); err != nil {
+				c.mu.Unlock()
+				c.failWith(fmt.Errorf("collective: coordinator: peer broadcast: %w", err))
+				return
+			}
+		}
+	}
+	c.mu.Unlock()
+
+	var rep coordReport
+	if err := dec.Decode(&rep); err != nil {
+		c.failWith(fmt.Errorf("collective: coordinator: rank %d report: %w", join.Rank, err))
+		return
+	}
+	if rep.Rank != join.Rank {
+		c.failWith(fmt.Errorf("collective: coordinator: rank %d reported as rank %d", join.Rank, rep.Rank))
+		return
+	}
+	c.mu.Lock()
+	c.reports[join.Rank] = RankReport{LossSum: rep.LossSum, Stats: rep.Stats, FrameBytes: rep.FrameBytes}
+	c.reported++
+	if c.reported == c.world {
+		// Completion barrier: ack every rank, then signal Wait.
+		for _, cc := range c.conns {
+			if err := json.NewEncoder(cc).Encode(coordAck{OK: true}); err != nil {
+				c.mu.Unlock()
+				c.failWith(fmt.Errorf("collective: coordinator: ack broadcast: %w", err))
+				return
+			}
+		}
+		close(c.done)
+	}
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) failWith(err error) {
+	c.once.Do(func() {
+		c.err = err
+		close(c.fail)
+		c.ln.Close()
+		c.mu.Lock()
+		for _, cc := range c.conns {
+			if cc != nil {
+				cc.Close()
+			}
+		}
+		c.mu.Unlock()
+	})
+}
+
+// Wait blocks until every rank has reported (returning the per-rank
+// reports in rank order) or the run failed.
+func (c *Coordinator) Wait() ([]RankReport, error) {
+	select {
+	case <-c.done:
+		return append([]RankReport(nil), c.reports...), nil
+	case <-c.fail:
+		return nil, c.err
+	}
+}
+
+// Close tears the coordinator down (normally after Wait).
+func (c *Coordinator) Close() {
+	c.failWith(fmt.Errorf("collective: coordinator closed"))
+	c.wg.Wait()
+}
+
+// CoordPeer is a rank's client side of the coordinator protocol.
+type CoordPeer struct {
+	conn net.Conn
+	dec  *json.Decoder
+}
+
+// JoinCoordinator dials the coordinator (retrying until timeout — the
+// coordinator may not be listening yet when a rank process starts),
+// announces this rank's data address, and blocks until the join barrier
+// releases, returning the rank-ordered peer address table.
+func JoinCoordinator(network, addr string, rank, world int, dataAddr string, timeout time.Duration) (*CoordPeer, []string, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	var conn net.Conn
+	backoff := 2 * time.Millisecond
+	for {
+		d := net.Dialer{Deadline: deadline}
+		var err error
+		conn, err = d.Dial(network, addr)
+		if err == nil {
+			break
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return nil, nil, fmt.Errorf("collective: rank %d: dial coordinator (%s %s): %w", rank, network, addr, err)
+		}
+		time.Sleep(backoff)
+		if backoff < 100*time.Millisecond {
+			backoff *= 2
+		}
+	}
+	conn.SetDeadline(deadline)
+	if err := json.NewEncoder(conn).Encode(coordJoin{Rank: rank, World: world, Addr: dataAddr}); err != nil {
+		conn.Close()
+		return nil, nil, fmt.Errorf("collective: rank %d: coordinator join: %w", rank, err)
+	}
+	p := &CoordPeer{conn: conn, dec: json.NewDecoder(conn)}
+	var peers coordPeers
+	if err := p.dec.Decode(&peers); err != nil {
+		conn.Close()
+		return nil, nil, fmt.Errorf("collective: rank %d: coordinator peers: %w", rank, err)
+	}
+	if peers.Err != "" {
+		conn.Close()
+		return nil, nil, fmt.Errorf("collective: rank %d: coordinator: %s", rank, peers.Err)
+	}
+	if len(peers.Peers) != world {
+		conn.Close()
+		return nil, nil, fmt.Errorf("collective: rank %d: coordinator sent %d peers for world %d", rank, len(peers.Peers), world)
+	}
+	conn.SetDeadline(time.Time{})
+	return p, peers.Peers, nil
+}
+
+// Report submits this rank's results and blocks until every rank has
+// reported (the completion barrier) or timeout passes. The control
+// connection closes either way.
+func (p *CoordPeer) Report(rank int, rep RankReport, timeout time.Duration) error {
+	defer p.conn.Close()
+	if timeout <= 0 {
+		timeout = 2 * time.Minute
+	}
+	p.conn.SetDeadline(time.Now().Add(timeout))
+	msg := coordReport{Rank: rank, LossSum: rep.LossSum, Stats: rep.Stats, FrameBytes: rep.FrameBytes}
+	if err := json.NewEncoder(p.conn).Encode(msg); err != nil {
+		return fmt.Errorf("collective: rank %d: coordinator report: %w", rank, err)
+	}
+	var ack coordAck
+	if err := p.dec.Decode(&ack); err != nil {
+		return fmt.Errorf("collective: rank %d: coordinator ack: %w", rank, err)
+	}
+	if !ack.OK {
+		return fmt.Errorf("collective: rank %d: coordinator: %s", rank, ack.Err)
+	}
+	return nil
+}

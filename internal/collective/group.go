@@ -130,12 +130,14 @@ func (g *Group) AllReduce(bufs []*tensor.Matrix, scale float64) {
 func (g *Group) AllReduceAsync(bufs []*tensor.Matrix, scale float64) *Pending {
 	p := g.prep(opAllReduce, bufs, scale)
 	if len(g.ranks) == 1 {
-		if scale != 1 {
-			bufs[0].Scale(scale)
+		if g.rt.local[g.ranks[0]] {
+			if scale != 1 {
+				bufs[0].Scale(scale)
+			}
 		}
 		return p
 	}
-	g.rt.tr.AddSteps(g.class, 2*(len(g.ranks)-1))
+	g.accountSteps(2 * (len(g.ranks) - 1))
 	p.dispatch()
 	return p
 }
@@ -173,6 +175,9 @@ func (g *Group) AllReduceCompressedAsync(bufs []*tensor.Matrix, efs []*compress.
 	if len(g.ranks) == 1 {
 		// Degenerate ring: compress/reconstruct locally so the error-
 		// feedback residual sequence matches the serial semantics.
+		if !g.rt.local[g.ranks[0]] {
+			return p
+		}
 		if p.sparse {
 			pl, _ := efs[0].CompressWithFeedbackSparse(bufs[0])
 			bufs[0].Zero()
@@ -187,7 +192,7 @@ func (g *Group) AllReduceCompressedAsync(bufs []*tensor.Matrix, efs []*compress.
 		}
 		return p
 	}
-	g.rt.tr.AddSteps(g.class, len(g.ranks)-1)
+	g.accountSteps(len(g.ranks) - 1)
 	p.dispatch()
 	return p
 }
@@ -211,9 +216,20 @@ func (g *Group) BroadcastAsync(bufs []*tensor.Matrix, root int) *Pending {
 	if len(g.ranks) == 1 {
 		return p
 	}
-	g.rt.tr.AddSteps(g.class, len(g.ranks)-1)
+	g.accountSteps(len(g.ranks) - 1)
 	p.dispatch()
 	return p
+}
+
+// accountSteps accounts an operation's synchronized steps exactly once
+// per operation across the whole grid: steps are a per-op (not per-send)
+// quantity, so in a process-per-rank run only the process owning the
+// group's first member books them — the aggregate over processes then
+// equals the in-process count.
+func (g *Group) accountSteps(n int) {
+	if g.rt.local[g.ranks[0]] {
+		g.rt.tr.AddSteps(g.class, n)
+	}
 }
 
 // getOp pops a recycled descriptor (or builds the group's next one).
@@ -285,17 +301,29 @@ func (p *Pending) chunkOffsets(n int) {
 	p.offs[d] = off
 }
 
-// dispatch hands one task per member to the rank workers. Tasks enter
-// each rank's op queue in issue order, so multiple in-flight operations
-// of one group execute in the same order on every member — the property
-// that keeps the flat-rank-order reduction deterministic with overlap.
+// dispatch hands one task per local member to the rank workers. Tasks
+// enter each rank's op queue in issue order, so multiple in-flight
+// operations of one group execute in the same order on every member —
+// the property that keeps the flat-rank-order reduction deterministic
+// with overlap. In a process-per-rank run the non-local members execute
+// in their own processes (every process issues the same op sequence);
+// here they simply have no worker, so Wait only tracks the local share.
+// An op with no local member completes immediately as a no-op.
 func (p *Pending) dispatch() {
 	g := p.g
 	p.issueNs = g.rt.rec.Now()
-	p.wg.Add(len(g.ranks))
-	p.remaining.Store(int32(len(g.ranks)))
+	local := 0
+	for _, r := range g.ranks {
+		if g.rt.work[r] != nil {
+			local++
+		}
+	}
+	p.wg.Add(local)
+	p.remaining.Store(int32(local))
 	for m, r := range g.ranks {
-		g.rt.work[r] <- task{p: p, member: m}
+		if ch := g.rt.work[r]; ch != nil {
+			ch <- task{p: p, member: m}
+		}
 	}
 }
 
@@ -327,13 +355,24 @@ func (p *Pending) Done() bool { return p.remaining.Load() == 0 }
 func (p *Pending) WireBytes() int64 { return p.wire.Load() }
 
 // exec runs member m's share of the operation (called on rank workers).
+// Remote runtimes execute the wire twins, which ship chunk and payload
+// data inside messages instead of reading peer buffers.
 func (p *Pending) exec(m int) {
-	switch p.kind {
-	case opAllReduce:
+	switch {
+	case p.g.rt.remote:
+		switch p.kind {
+		case opAllReduce:
+			p.runAllReduceWire(m)
+		case opAllReduceCompressed:
+			p.runAllReduceCompressedWire(m)
+		case opBroadcast:
+			p.runBroadcastWire(m)
+		}
+	case p.kind == opAllReduce:
 		p.runAllReduce(m)
-	case opAllReduceCompressed:
+	case p.kind == opAllReduceCompressed:
 		p.runAllReduceCompressed(m)
-	case opBroadcast:
+	case p.kind == opBroadcast:
 		p.runBroadcast(m)
 	}
 	if p.remaining.Add(-1) == 0 {

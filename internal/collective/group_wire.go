@@ -1,0 +1,240 @@
+package collective
+
+import (
+	"repro/internal/tensor"
+)
+
+// Wire twins of the ring schedules. Over a remote transport a member can
+// only read data that arrived in a message, so each collective re-plans
+// its data movement — under three invariants the cross-transport oracle
+// tests pin against the in-memory run:
+//
+//   - bit-identity: every reduction folds contributions in flat member
+//     order 0..D−1, exactly the order of the shared-memory schedules and
+//     the serial reference, so results match at tolerance 0;
+//   - Stats parity: each member sends the same number of messages with
+//     the same modelled byte sizes as its in-memory twin (steps are
+//     booked once per op by accountSteps), so per-class Bytes, Messages
+//     and Steps — summed over the grid's processes — are equal;
+//   - issue-order determinism: every process issues the same ops in the
+//     same order, and per-(class, kind, pair) frame streams are FIFO, so
+//     in-flight ops never interleave across the wire.
+//
+// The dense all-reduce cannot use the in-memory reduce-scatter directly:
+// that schedule folds each segment incrementally in rotated ring order
+// (owner+1, owner+2, …), which is a different floating-point addition
+// order than the flat fold. Instead, phase 1 scatters raw segments to
+// their owners — member m sends its untouched copy of segment seg(o) to
+// each owner o — and the owner folds all D raw copies flat. The sent
+// multiset per member is every chunk except its own segment: exactly the
+// bytes and message count of the in-memory reduce-scatter. Phase 2 is
+// the standard ring all-gather, now shipping the reduced segment data.
+
+// sendData ships a data-carrying ring message: bytes is the modelled
+// (accounted) wire size, data the float64 image. The transport encodes
+// synchronously, so the caller may reuse data (a chunk view header) the
+// moment this returns. Pooled asks the receiving transport to decode
+// into its pool; the receiving member returns the tensor after folding.
+func (p *Pending) sendData(self, to int, bytes int64, data *tensor.Matrix) {
+	p.g.rt.tr.Send(p.g.class, self, to, Msg{Bytes: bytes, Payload: data, Pooled: true})
+	p.wire.Add(bytes)
+}
+
+// sendMsg forwards a received (or locally built) payload message as-is,
+// tallying the op's executed volume.
+func (p *Pending) sendMsg(self, to int, m Msg) {
+	p.g.rt.tr.Send(p.g.class, self, to, m)
+	p.wire.Add(m.Bytes)
+}
+
+// seg returns the segment index member o owns in the reduce-scatter
+// partition (chunk o+1, the segment the in-memory schedule leaves on
+// member o after D−1 rounds).
+func (p *Pending) seg(o int) int { return mod(o+1, len(p.g.ranks)) }
+
+// runAllReduceWire executes member m's wire all-reduce: scatter raw
+// segments to their owners, fold flat, ring all-gather the reduced data.
+func (p *Pending) runAllReduceWire(m int) {
+	g := p.g
+	d := len(g.ranks)
+	tr, cls := g.rt.tr, g.class
+	pool := g.rt.pool
+	self, right, left := g.ranks[m], g.ranks[mod(m+1, d)], g.ranks[mod(m-1, d)]
+	buf := p.bufs[m]
+	va, vb := &p.viewA[m], &p.viewB[m]
+
+	// Phase 1a: send my raw copy of every other owner's segment, in
+	// ascending owner order (a fixed order keeps per-pair streams
+	// deterministic when several ops are in flight).
+	for o := 0; o < d; o++ {
+		if o == m {
+			continue
+		}
+		s := p.seg(o)
+		buf.SliceInto(vb, p.offs[s], p.offs[s+1])
+		p.sendData(self, g.ranks[o], p.chunkBytes(s), vb)
+	}
+
+	// Phase 1b: fold my segment from every member's raw copy, in flat
+	// member order — my own buffer contributes at slot m.
+	s := p.seg(m)
+	lo, hi := p.offs[s], p.offs[s+1]
+	sum := pool.Get(1, hi-lo)
+	for j := 0; j < d; j++ {
+		if j == m {
+			buf.SliceInto(vb, lo, hi)
+			sum.Add(vb)
+			continue
+		}
+		msg := tr.Recv(cls, self, g.ranks[j])
+		sum.Add(msg.Payload)
+		pool.Put(msg.Payload)
+	}
+	if p.scale != 1 {
+		sum.Scale(p.scale)
+	}
+	buf.SliceInto(va, lo, hi)
+	va.CopyFrom(sum)
+	pool.Put(sum)
+
+	// Phase 2: ring all-gather, data in the messages. Chunk (m+1−t)
+	// goes right, chunk (m−t) arrives from the left.
+	for t := 0; t < d-1; t++ {
+		c := mod(m+1-t, d)
+		buf.SliceInto(vb, p.offs[c], p.offs[c+1])
+		p.sendData(self, right, p.chunkBytes(c), vb)
+		msg := tr.Recv(cls, self, left)
+		rc := mod(m-t, d)
+		buf.SliceInto(va, p.offs[rc], p.offs[rc+1])
+		va.CopyFrom(msg.Payload)
+		pool.Put(msg.Payload)
+	}
+}
+
+// runAllReduceCompressedWire executes member m's compressed schedule
+// over the wire: compress locally, ring all-gather the payloads (each
+// step forwards the payload received on the previous one — now the
+// decoded payload itself, re-encoded on send), then fold every member's
+// payload in flat member order.
+func (p *Pending) runAllReduceCompressedWire(m int) {
+	if p.sparse {
+		p.runAllReduceCompressedSparseWire(m)
+		return
+	}
+	g := p.g
+	d := len(g.ranks)
+	tr, cls := g.rt.tr, g.class
+	self, right, left := g.ranks[m], g.ranks[mod(m+1, d)], g.ranks[mod(m-1, d)]
+
+	// The reconstruction is the compressor's scratch, but unlike the
+	// in-memory path no copy is needed: the transport serializes it
+	// synchronously on send, only this member folds from it, and this
+	// worker executes any successor op on the same compressor strictly
+	// after this one. Received payloads land in p.recons[j] (never slot
+	// m, which the op-finish cleanup would return to the pool).
+	pl, recon := p.efs[m].CompressWithFeedback(p.bufs[m])
+	cur := Msg{Bytes: pl.WireBytes(), Payload: recon, Pooled: true}
+	for t := 0; t < d-1; t++ {
+		p.sendMsg(self, right, cur)
+		cur = tr.Recv(cls, self, left)
+		p.recons[mod(m-1-t, d)] = cur.Payload
+	}
+
+	buf := p.bufs[m]
+	buf.Zero()
+	for j := 0; j < d; j++ {
+		if j == m {
+			buf.Add(recon)
+		} else {
+			buf.Add(p.recons[j])
+		}
+	}
+	if p.scale != 1 {
+		buf.Scale(p.scale)
+	}
+}
+
+// runAllReduceCompressedSparseWire is the sparse-native wire schedule:
+// the index/value payloads themselves ride the ring, and the fold is the
+// same capped merge-union as in memory (every member holds all D
+// payloads, so the cap decision is uniform across processes).
+func (p *Pending) runAllReduceCompressedSparseWire(m int) {
+	g := p.g
+	d := len(g.ranks)
+	tr, cls := g.rt.tr, g.class
+	pool := g.rt.pool
+	self, right, left := g.ranks[m], g.ranks[mod(m+1, d)], g.ranks[mod(m-1, d)]
+
+	// Like the dense wire path: the payload aliases the compressor's
+	// scratch but needs no copy (synchronous serialization + per-worker
+	// op serialization). Received payloads land in p.spl[j], j ≠ m.
+	pl, _ := p.efs[m].CompressWithFeedbackSparse(p.bufs[m])
+	own := &pl.Sparse
+	cur := Msg{Bytes: pl.WireBytes(), Sparse: own}
+	for t := 0; t < d-1; t++ {
+		p.sendMsg(self, right, cur)
+		cur = tr.Recv(cls, self, left)
+		p.spl[mod(m-1-t, d)] = cur.Sparse
+	}
+	slot := func(j int) *tensor.Sparse {
+		if j == m {
+			return own
+		}
+		return p.spl[j]
+	}
+
+	buf := p.bufs[m]
+	total := 0
+	for j := 0; j < d; j++ {
+		total += slot(j).NNZ()
+	}
+	if float64(total) > SparseReduceCapFraction*float64(buf.NumElements()) {
+		if m == 0 {
+			g.rt.spFallbacks.Add(1)
+		}
+		buf.Zero()
+		for j := 0; j < d; j++ {
+			tensor.SpAxpyInto(buf, 1, slot(j))
+		}
+		if p.scale != 1 {
+			buf.Scale(p.scale)
+		}
+		return
+	}
+	if m == 0 {
+		g.rt.spOps.Add(1)
+	}
+	sa, sb := pool.GetSparse(buf.Rows, buf.Cols), pool.GetSparse(buf.Rows, buf.Cols)
+	cur2, next := slot(0), sa
+	for j := 1; j < d; j++ {
+		tensor.MergeUnionInto(next, cur2, slot(j))
+		if next == sa {
+			cur2, next = sa, sb
+		} else {
+			cur2, next = sb, sa
+		}
+	}
+	buf.Zero()
+	tensor.SpAxpyInto(buf, p.scale, cur2)
+	pool.PutSparse(sa)
+	pool.PutSparse(sb)
+}
+
+// runBroadcastWire executes member m's share of the ring pipeline with
+// the buffer data in the messages.
+func (p *Pending) runBroadcastWire(m int) {
+	g := p.g
+	d := len(g.ranks)
+	tr, cls := g.rt.tr, g.class
+	pool := g.rt.pool
+	self, right, left := g.ranks[m], g.ranks[mod(m+1, d)], g.ranks[mod(m-1, d)]
+	rel := mod(m-p.root, d)
+	if rel > 0 {
+		msg := tr.Recv(cls, self, left)
+		p.bufs[m].CopyFrom(msg.Payload)
+		pool.Put(msg.Payload)
+	}
+	if rel < d-1 {
+		p.sendData(self, right, p.opBytes, p.bufs[m])
+	}
+}

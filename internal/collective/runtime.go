@@ -19,6 +19,16 @@ type Runtime struct {
 	tr   Transport
 	pool *tensor.Pool
 
+	// remote selects the wire execution paths: group collectives ship
+	// chunk and payload data inside messages instead of reading peer
+	// buffers through shared memory.
+	remote bool
+	// local[r] reports whether rank r executes in this process. All true
+	// over an in-process transport; exactly one true over a remote one
+	// (the transport's LocalRank). Workers exist — and group work is
+	// dispatched — only for local ranks.
+	local []bool
+
 	work      []chan task
 	closeOnce sync.Once
 
@@ -83,8 +93,11 @@ type task struct {
 // blocks on the queue in practice.
 const workQueueDepth = 32
 
-// NewRuntime starts one worker per rank of topo. A nil transport gets an
-// in-process MemTransport sized to the topology; a nil pool gets a fresh
+// NewRuntime starts one worker per local rank of topo: every rank over
+// an in-process transport, exactly one over a remote transport (which
+// must expose its LocalRank; the other ranks live in other processes
+// running the same code). A nil transport gets an in-process
+// MemTransport sized to the topology; a nil pool gets a fresh
 // tensor.Pool (the trainer passes its own so all layers recycle the same
 // buffers). Call Close to release the workers.
 func NewRuntime(topo Topology, tr Transport, pool *tensor.Pool) *Runtime {
@@ -94,13 +107,40 @@ func NewRuntime(topo Topology, tr Transport, pool *tensor.Pool) *Runtime {
 	if pool == nil {
 		pool = tensor.NewPool()
 	}
-	r := &Runtime{topo: topo, tr: tr, pool: pool, work: make([]chan task, topo.World())}
+	world := topo.World()
+	r := &Runtime{topo: topo, tr: tr, pool: pool, work: make([]chan task, world)}
+	r.local = make([]bool, world)
+	if tr.Remote() {
+		r.remote = true
+		lr, ok := tr.(interface{ LocalRank() int })
+		if !ok {
+			panic("collective: remote transport does not expose LocalRank")
+		}
+		rank := lr.LocalRank()
+		if rank < 0 || rank >= world {
+			panic(fmt.Sprintf("collective: transport local rank %d outside world %d", rank, world))
+		}
+		r.local[rank] = true
+		if p, ok := tr.(interface{ SetDecodePool(*tensor.Pool) }); ok {
+			p.SetDecodePool(pool)
+		}
+	} else {
+		for i := range r.local {
+			r.local[i] = true
+		}
+	}
 	for i := range r.work {
+		if !r.local[i] {
+			continue
+		}
 		r.work[i] = make(chan task, workQueueDepth)
 		go r.worker(i)
 	}
 	return r
 }
+
+// LocalRank reports whether rank r executes in this process.
+func (r *Runtime) LocalRank(rank int) bool { return r.local[rank] }
 
 func (r *Runtime) worker(rank int) {
 	for tk := range r.work[rank] {
@@ -122,7 +162,9 @@ func (r *Runtime) worker(rank int) {
 func (r *Runtime) Close() {
 	r.closeOnce.Do(func() {
 		for _, ch := range r.work {
-			close(ch)
+			if ch != nil {
+				close(ch)
+			}
 		}
 	})
 }

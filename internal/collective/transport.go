@@ -90,6 +90,12 @@ type Transport interface {
 	// in-process but the traffic must still be measured (the trainer's
 	// inter-stage backward sends).
 	AccountP2P(c Class, from, to int, bytes int64)
+	// Remote reports whether payload data must travel inside messages
+	// (serialized onto a wire) rather than through shared memory. The
+	// collective runtime selects the wire execution paths — which ship
+	// chunk and payload data in the Msg — when this is true, and keeps
+	// the zero-copy shared-buffer schedules when it is false.
+	Remote() bool
 	// Stats snapshots cumulative per-class traffic.
 	Stats() Stats
 }
@@ -167,6 +173,12 @@ func NewMemTransport(world int) *MemTransport {
 // directed pair. A depth of one message per micro-batch (the per-link
 // message count of one 1F1B iteration) makes sends non-blocking and the
 // executor trivially deadlock-free.
+//
+// p2pDepth values below 2 are silently clamped up to 2: a depth of one
+// cannot absorb even a single send-ahead message per direction, and a
+// depth of zero would turn every SendP2P into a rendezvous — both
+// deadlock-prone regressions of the contract above. The clamp is pinned
+// by TestMemTransportDepthClamp.
 func NewMemTransportDepth(world, p2pDepth int) *MemTransport {
 	if world < 1 {
 		panic(fmt.Sprintf("collective: transport world %d < 1", world))
@@ -232,13 +244,22 @@ func (t *MemTransport) AddSteps(c Class, n int) {
 	t.counters[c].steps.Add(int64(n))
 }
 
-// AccountP2P implements Transport.
+// AccountP2P implements Transport. The payload moved in-process, so only
+// the counters change — but the rank pair is still validated (panicking
+// like every other misaddressed transport call) so a miscomputed route
+// cannot silently account traffic on a link that does not exist.
 func (t *MemTransport) AccountP2P(c Class, from, to int, bytes int64) {
-	t.pair(c, from, to) // bounds check only; the payload moved in-process
+	if c < 0 || c >= numClasses {
+		panic(fmt.Sprintf("collective: class %d outside [0,%d)", int(c), int(numClasses)))
+	}
+	t.pairIdx(from, to)
 	t.counters[c].bytes.Add(bytes)
 	t.counters[c].messages.Add(1)
 	t.counters[c].steps.Add(1)
 }
+
+// Remote implements Transport: payloads move through shared memory.
+func (t *MemTransport) Remote() bool { return false }
 
 // Stats implements Transport.
 func (t *MemTransport) Stats() Stats {

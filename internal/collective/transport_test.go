@@ -1,0 +1,79 @@
+package collective
+
+import (
+	"testing"
+)
+
+func expectPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", name)
+		}
+	}()
+	f()
+}
+
+// TestMemTransportDepthClamp pins the p2pDepth<2 clamp documented on
+// NewMemTransportDepth: degenerate depths are raised to 2, so a single
+// send-ahead message per direction can never deadlock.
+func TestMemTransportDepthClamp(t *testing.T) {
+	for _, depth := range []int{-3, 0, 1, 2} {
+		tr := NewMemTransportDepth(2, depth)
+		for _, c := range Classes() {
+			if got := cap(tr.p2p[c][tr.pairIdx(0, 1)]); got != 2 {
+				t.Fatalf("depth %d class %v: p2p capacity %d, want clamped 2", depth, c, got)
+			}
+		}
+		// The clamped queue must absorb two sends without a receiver.
+		tr.SendP2P(ClassPP, 0, 1, Msg{Bytes: 1})
+		tr.SendP2P(ClassPP, 0, 1, Msg{Bytes: 2})
+		if m := tr.RecvP2P(ClassPP, 1, 0); m.Bytes != 1 {
+			t.Fatalf("depth %d: got bytes %d, want 1", depth, m.Bytes)
+		}
+		tr.RecvP2P(ClassPP, 1, 0)
+	}
+	// Above the clamp the requested depth is honored.
+	tr := NewMemTransportDepth(2, 5)
+	if got := cap(tr.p2p[ClassDP][tr.pairIdx(1, 0)]); got != 5 {
+		t.Fatalf("p2p capacity %d, want 5", got)
+	}
+}
+
+// TestMemTransportAccountP2PBounds pins AccountP2P's validation: a
+// misaddressed accounting call panics instead of silently counting
+// traffic on a link that does not exist.
+func TestMemTransportAccountP2PBounds(t *testing.T) {
+	tr := NewMemTransport(3)
+
+	before := tr.Stats().For(ClassPP)
+	tr.AccountP2P(ClassPP, 0, 2, 128)
+	got := tr.Stats().For(ClassPP).Sub3(before)
+	if got.Bytes != 128 || got.Messages != 1 || got.Steps != 1 {
+		t.Fatalf("valid AccountP2P counted %+v", got)
+	}
+
+	expectPanic(t, "negative class", func() { tr.AccountP2P(Class(-1), 0, 1, 8) })
+	expectPanic(t, "class out of range", func() { tr.AccountP2P(numClasses, 0, 1, 8) })
+	expectPanic(t, "from below range", func() { tr.AccountP2P(ClassPP, -1, 1, 8) })
+	expectPanic(t, "from above range", func() { tr.AccountP2P(ClassPP, 3, 1, 8) })
+	expectPanic(t, "to below range", func() { tr.AccountP2P(ClassPP, 0, -1, 8) })
+	expectPanic(t, "to above range", func() { tr.AccountP2P(ClassPP, 0, 3, 8) })
+
+	// Socket transport validates identically.
+	strs := newSocketGrid(t, "unix", 2)
+	strs[0].AccountP2P(ClassPP, 0, 1, 64)
+	if s := strs[0].Stats().For(ClassPP); s.Bytes != 64 || s.Messages != 1 || s.Steps != 1 {
+		t.Fatalf("socket AccountP2P counted %+v", s)
+	}
+	expectPanic(t, "socket class out of range", func() { strs[0].AccountP2P(numClasses, 0, 1, 8) })
+	expectPanic(t, "socket rank out of range", func() { strs[0].AccountP2P(ClassPP, 0, 2, 8) })
+}
+
+// Sub3 subtracts o field-wise (test helper for windowed class stats).
+func (s ClassStats) Sub3(o ClassStats) ClassStats {
+	s.Bytes -= o.Bytes
+	s.Messages -= o.Messages
+	s.Steps -= o.Steps
+	return s
+}

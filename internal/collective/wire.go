@@ -1,0 +1,163 @@
+package collective
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Wire format. A remote transport ships each Msg as one length-prefixed
+// frame:
+//
+//	uint32 LE  body length
+//	body:
+//	  byte     version (wireVersion)
+//	  byte     link class
+//	  byte     kind (ring step | point-to-point)
+//	  byte     flags (payload presence + pooled marker)
+//	  uint32   from rank
+//	  uint32   to rank
+//	  uint64   accounted bytes (Msg.Bytes — the modelled fp16 wire size)
+//	  payload  dense or sparse tensor image (see tensor codec), if flagged
+//
+// Msg.Bytes rides the frame unchanged so a remote run's per-class Stats
+// stay bit-equal to the in-memory oracle's: the accounting models the
+// paper's fp16 links while the payload carries the reproduction's exact
+// float64 image (frame bytes are tallied separately by SocketTransport).
+//
+// Encoding appends to caller-provided (pooled) buffers and never
+// allocates beyond them. Decoding treats the input as untrusted: every
+// bound is validated and violations return errors, never panics — the
+// fuzz tests pin this.
+
+const (
+	wireVersion = 1
+
+	// frameHeaderLen is the body length before any payload.
+	frameHeaderLen = 20
+
+	// maxFrameBody bounds a frame body so a corrupt length prefix cannot
+	// force a giant read buffer.
+	maxFrameBody = 1 << 30
+)
+
+// frameKind distinguishes the two transport planes within one stream.
+type frameKind byte
+
+const (
+	frameRing frameKind = 0
+	frameP2P  frameKind = 1
+)
+
+// Payload flag bits.
+const (
+	flagDense  = 1 << 0
+	flagSparse = 1 << 1
+	flagPooled = 1 << 2
+)
+
+// frameHeader is the decoded routing half of a frame.
+type frameHeader struct {
+	class Class
+	kind  frameKind
+	from  int
+	to    int
+}
+
+// appendFrame appends the complete frame (length prefix included) for m
+// to buf and returns the extended slice.
+func appendFrame(buf []byte, c Class, kind frameKind, from, to int, m Msg) []byte {
+	if m.Payload != nil && m.Sparse != nil {
+		panic("collective: message carries both dense and sparse payloads")
+	}
+	var flags byte
+	bodyLen := frameHeaderLen
+	if m.Payload != nil {
+		flags |= flagDense
+		if m.Pooled {
+			flags |= flagPooled
+		}
+		bodyLen += tensor.EncodedMatrixLen(m.Payload)
+	}
+	if m.Sparse != nil {
+		flags |= flagSparse
+		bodyLen += tensor.EncodedSparseLen(m.Sparse)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(bodyLen))
+	buf = append(buf, wireVersion, byte(c), byte(kind), flags)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(from))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(to))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.Bytes))
+	if m.Payload != nil {
+		buf = tensor.AppendMatrix(buf, m.Payload)
+	}
+	if m.Sparse != nil {
+		buf = tensor.AppendSparse(buf, m.Sparse)
+	}
+	return buf
+}
+
+// decodeFrameBody decodes one frame body (the bytes after the length
+// prefix). world bounds the rank fields; pool, when non-nil, supplies
+// the decoded payload tensors (pooled dense frames and sparse frames —
+// non-pooled dense frames always decode into fresh allocations, because
+// the receiver may retain them indefinitely, as a pipeline stage does
+// its forward activations).
+func decodeFrameBody(body []byte, world int, pool *tensor.Pool) (frameHeader, Msg, error) {
+	var h frameHeader
+	var m Msg
+	if len(body) < frameHeaderLen {
+		return h, m, fmt.Errorf("collective: frame body truncated: %d bytes", len(body))
+	}
+	if v := body[0]; v != wireVersion {
+		return h, m, fmt.Errorf("collective: frame version %d, want %d", v, wireVersion)
+	}
+	if c := body[1]; c >= byte(numClasses) {
+		return h, m, fmt.Errorf("collective: frame class %d out of range", c)
+	}
+	if k := body[2]; k > byte(frameP2P) {
+		return h, m, fmt.Errorf("collective: frame kind %d out of range", k)
+	}
+	flags := body[3]
+	if flags&^(flagDense|flagSparse|flagPooled) != 0 {
+		return h, m, fmt.Errorf("collective: frame flags %#x out of range", flags)
+	}
+	if flags&flagDense != 0 && flags&flagSparse != 0 {
+		return h, m, fmt.Errorf("collective: frame flags both dense and sparse")
+	}
+	if flags&flagPooled != 0 && flags&flagDense == 0 {
+		return h, m, fmt.Errorf("collective: frame pooled flag without dense payload")
+	}
+	from := int(binary.LittleEndian.Uint32(body[4:]))
+	to := int(binary.LittleEndian.Uint32(body[8:]))
+	if from < 0 || from >= world || to < 0 || to >= world {
+		return h, m, fmt.Errorf("collective: frame rank pair (%d,%d) outside world %d", from, to, world)
+	}
+	h = frameHeader{class: Class(body[1]), kind: frameKind(body[2]), from: from, to: to}
+	m.Bytes = int64(binary.LittleEndian.Uint64(body[12:]))
+	rest := body[frameHeaderLen:]
+	var err error
+	switch {
+	case flags&flagDense != 0:
+		m.Pooled = flags&flagPooled != 0
+		var alloc func(rows, cols int) *tensor.Matrix
+		if pool != nil && m.Pooled {
+			alloc = pool.GetUninit
+		}
+		m.Payload, rest, err = tensor.DecodeMatrix(rest, alloc)
+	case flags&flagSparse != 0:
+		var alloc func(rows, cols int) *tensor.Sparse
+		if pool != nil {
+			alloc = pool.GetSparse
+		}
+		m.Sparse, rest, err = tensor.DecodeSparse(rest, alloc)
+	}
+	if err != nil {
+		return h, Msg{}, err
+	}
+	if len(rest) != 0 {
+		return h, Msg{}, fmt.Errorf("collective: frame has %d trailing bytes", len(rest))
+	}
+	return h, m, nil
+}

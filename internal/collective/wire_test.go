@@ -1,0 +1,167 @@
+package collective
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// reframe re-encodes a decoded frame; a healthy codec reproduces the
+// original frame bytes exactly.
+func reframe(h frameHeader, m Msg) []byte {
+	return appendFrame(nil, h.class, h.kind, h.from, h.to, m)
+}
+
+func testSparse(rows, cols int, indices []int, values []float64) *tensor.Sparse {
+	s := tensor.NewSparse(rows, cols, len(indices))
+	s.Reuse(len(indices), rows, cols)
+	copy(s.Indices, indices)
+	copy(s.Values, values)
+	return s
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	dense := tensor.New(2, 3)
+	for i := range dense.Data {
+		dense.Data[i] = float64(i) - 2.5
+	}
+	dense.Data[0] = math.Inf(-1)
+	sparse := testSparse(2, 3, []int{0, 4}, []float64{1.5, math.Pi})
+
+	cases := []struct {
+		name string
+		c    Class
+		kind frameKind
+		msg  Msg
+	}{
+		{"ring token", ClassDP, frameRing, Msg{Bytes: 4096}},
+		{"dense pooled", ClassDP, frameRing, Msg{Bytes: 12, Payload: dense, Pooled: true}},
+		{"dense retained", ClassPP, frameP2P, Msg{Bytes: 12, Payload: dense}},
+		{"sparse", ClassEmb, frameP2P, Msg{Bytes: 20, Sparse: sparse}},
+		{"zero bytes", ClassPP, frameRing, Msg{}},
+	}
+	for _, tc := range cases {
+		frame := appendFrame(nil, tc.c, tc.kind, 3, 5, tc.msg)
+		bodyLen := binary.LittleEndian.Uint32(frame)
+		if int(bodyLen) != len(frame)-4 {
+			t.Fatalf("%s: length prefix %d for %d body bytes", tc.name, bodyLen, len(frame)-4)
+		}
+		h, m, err := decodeFrameBody(frame[4:], 8, nil)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", tc.name, err)
+		}
+		if h.class != tc.c || h.kind != tc.kind || h.from != 3 || h.to != 5 {
+			t.Fatalf("%s: header %+v", tc.name, h)
+		}
+		if m.Bytes != tc.msg.Bytes || m.Pooled != tc.msg.Pooled {
+			t.Fatalf("%s: msg fields %+v", tc.name, m)
+		}
+		if (m.Payload != nil) != (tc.msg.Payload != nil) || (m.Sparse != nil) != (tc.msg.Sparse != nil) {
+			t.Fatalf("%s: payload presence mismatch", tc.name)
+		}
+		if !bytes.Equal(reframe(h, m), frame) {
+			t.Fatalf("%s: re-encoded frame differs", tc.name)
+		}
+	}
+}
+
+func TestFrameDecodePool(t *testing.T) {
+	pool := tensor.NewPool()
+	dense := tensor.New(2, 2)
+	dense.Fill(3)
+	frame := appendFrame(nil, ClassDP, frameRing, 0, 1, Msg{Bytes: 8, Payload: dense, Pooled: true})
+	_, m, err := decodeFrameBody(frame[4:], 2, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(m.Payload)
+	// The pooled decode path must recycle: a second decode of the same
+	// shape should reuse the matrix just returned.
+	_, m2, err := decodeFrameBody(frame[4:], 2, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Payload != m.Payload {
+		t.Fatal("pooled decode did not recycle the returned matrix")
+	}
+	// Non-pooled dense payloads may be retained by the receiver, so they
+	// must NOT come from the pool even when one is supplied.
+	pool.Put(m2.Payload)
+	frame = appendFrame(nil, ClassDP, frameP2P, 0, 1, Msg{Bytes: 8, Payload: dense})
+	_, m3, err := decodeFrameBody(frame[4:], 2, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.Payload == m.Payload {
+		t.Fatal("non-pooled decode returned a pooled matrix")
+	}
+}
+
+func TestFrameDecodeErrors(t *testing.T) {
+	valid := appendFrame(nil, ClassDP, frameRing, 1, 2, Msg{Bytes: 64})
+	body := valid[4:]
+
+	for cut := 0; cut < len(body); cut++ {
+		if _, _, err := decodeFrameBody(body[:cut], 4, nil); err == nil {
+			t.Fatalf("truncated body (%d of %d) decoded without error", cut, len(body))
+		}
+	}
+
+	corrupt := func(name string, mutate func(b []byte)) {
+		t.Helper()
+		b := append([]byte(nil), body...)
+		mutate(b)
+		if _, _, err := decodeFrameBody(b, 4, nil); err == nil {
+			t.Fatalf("%s decoded without error", name)
+		}
+	}
+	corrupt("bad version", func(b []byte) { b[0] = 9 })
+	corrupt("bad class", func(b []byte) { b[1] = byte(numClasses) })
+	corrupt("bad kind", func(b []byte) { b[2] = 7 })
+	corrupt("unknown flag bits", func(b []byte) { b[3] = 0x80 })
+	corrupt("dense and sparse", func(b []byte) { b[3] = flagDense | flagSparse })
+	corrupt("pooled without dense", func(b []byte) { b[3] = flagPooled })
+	corrupt("payload flag without payload", func(b []byte) { b[3] = flagDense })
+	corrupt("from outside world", func(b []byte) { b[4] = 200 })
+	corrupt("to outside world", func(b []byte) { b[8] = 200 })
+
+	// Trailing bytes after a complete message.
+	if _, _, err := decodeFrameBody(append(append([]byte(nil), body...), 0xEE), 4, nil); err == nil {
+		t.Fatal("trailing bytes decoded without error")
+	}
+
+	// Corrupt embedded payload surfaces the tensor codec's error.
+	sp := testSparse(2, 2, []int{0, 3}, []float64{1, 2})
+	spFrame := appendFrame(nil, ClassEmb, frameP2P, 0, 1, Msg{Bytes: 8, Sparse: sp})
+	b := append([]byte(nil), spFrame[4:]...)
+	b[frameHeaderLen+12] = 3 // first index == second index: breaks strict ascent
+	if _, _, err := decodeFrameBody(b, 4, nil); err == nil {
+		t.Fatal("corrupt sparse payload decoded without error")
+	}
+}
+
+func FuzzDecodeFrameBody(f *testing.F) {
+	dense := tensor.New(2, 3)
+	for i := range dense.Data {
+		dense.Data[i] = float64(i)
+	}
+	f.Add(appendFrame(nil, ClassDP, frameRing, 0, 1, Msg{Bytes: 128})[4:], 4)
+	f.Add(appendFrame(nil, ClassPP, frameP2P, 2, 3, Msg{Bytes: 48, Payload: dense, Pooled: true})[4:], 4)
+	f.Add(appendFrame(nil, ClassEmb, frameP2P, 1, 0, Msg{Bytes: 24, Sparse: testSparse(2, 3, []int{1, 4}, []float64{-1, 2})})[4:], 4)
+	f.Add([]byte{}, 1)
+	f.Fuzz(func(t *testing.T, body []byte, world int) {
+		if world <= 0 || world > 1<<20 {
+			return
+		}
+		h, m, err := decodeFrameBody(body, world, nil) // must never panic
+		if err != nil {
+			return
+		}
+		if got := reframe(h, m); !bytes.Equal(got[4:], body) {
+			t.Fatalf("re-encode mismatch: %d vs %d body bytes", len(got)-4, len(body))
+		}
+	})
+}

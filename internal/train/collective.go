@@ -49,6 +49,25 @@ type collectiveState struct {
 	embPairBufs [][]*tensor.Matrix
 }
 
+// DistConfig attaches a trainer to a process-per-rank run: every rank of
+// the DP×PP grid is its own OS process, and this process executes exactly
+// one of them. Each process constructs the FULL trainer — identical
+// seeds give identical initial weights, and every process pre-samples
+// every group's batches so the shared RNG sequence never diverges — but
+// executes only its local rank's schedule ops, synchronization share,
+// and optimizer step; the rest of its replicas are dead weight whose
+// gradients are never produced, synchronized, or applied. The grid's
+// results are therefore bit-identical, rank for rank, to the in-process
+// run: the oracle tests compare each process's local-stage weights and
+// the aggregated per-class transport Stats at tolerance zero.
+type DistConfig struct {
+	// Transport is the remote transport (Remote() == true) this process
+	// sends as. Its LocalRank selects the (dp, stage) rank through the
+	// DP-major collective topology; its world must equal DPGroups×Stages.
+	// The trainer does not close it — the caller owns its lifecycle.
+	Transport collective.Transport
+}
+
 // newCollectiveState builds the runtime and all groups for a trainer
 // whose replicas and gradient caches are already in place.
 func newCollectiveState(t *Trainer) *collectiveState {
@@ -57,11 +76,18 @@ func newCollectiveState(t *Trainer) *collectiveState {
 	if err != nil {
 		panic(err) // unreachable: Config.Validate bounds both axes ≥ 1
 	}
-	// The point-to-point queues are sized for the 1F1B schedule's
-	// worst-case skew (one message per micro-batch per link direction),
-	// so a pipeline rank running ahead never blocks and the executor is
-	// deadlock-free by construction.
-	tr := collective.NewMemTransportDepth(topo.World(), t.sched.MaxLinkBacklog())
+	var tr collective.Transport
+	if cfg.Dist != nil {
+		// Process-per-rank: the caller's remote transport carries every
+		// message; the runtime spawns a worker only for its local rank.
+		tr = cfg.Dist.Transport
+	} else {
+		// The point-to-point queues are sized for the 1F1B schedule's
+		// worst-case skew (one message per micro-batch per link direction),
+		// so a pipeline rank running ahead never blocks and the executor is
+		// deadlock-free by construction.
+		tr = collective.NewMemTransportDepth(topo.World(), t.sched.MaxLinkBacklog())
+	}
 	cs := &collectiveState{
 		topo: topo,
 		rt:   collective.NewRuntime(topo, tr, t.pool),

@@ -236,7 +236,7 @@ func TestOverlappedSyncSteadyStateZeroAllocs(t *testing.T) {
 	}
 	tr.Train(3, nil) // warm every workspace, residual, and payload buffer
 	pass := func() {
-		tr.ov.reset(cfg.DPGroups)
+		tr.ov.reset()
 		for s := cfg.Stages - 1; s >= 0; s-- {
 			for d := 0; d < cfg.DPGroups; d++ {
 				tr.dpStageReady(s)

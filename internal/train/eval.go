@@ -7,7 +7,9 @@ import (
 )
 
 // ValidationPerplexity evaluates replica 0 on up to limit held-out windows
-// and returns exp(mean NLL) — the metric of Table 2 and Fig. 9.
+// and returns exp(mean NLL) — the metric of Table 2 and Fig. 9. Not
+// meaningful under Config.Dist: a process-per-rank trainer holds current
+// weights only for its local stage.
 func (t *Trainer) ValidationPerplexity(limit int) float64 {
 	contexts, targets := t.corpus.ValWindows(t.cfg.Model.Context, limit)
 	if len(contexts) == 0 {

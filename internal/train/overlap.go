@@ -26,10 +26,17 @@ import (
 
 // dpOverlap is the per-trainer coordination state.
 type dpOverlap struct {
-	// arrivals[s] counts DP groups whose stage-s gradients are not yet
-	// final this iteration; the goroutine that decrements it to zero
-	// issues the stage's buckets. Reset each iteration.
+	// arrivals[s] counts the DP groups executing in this process whose
+	// stage-s gradients are not yet final this iteration; the goroutine
+	// that decrements it to zero issues the stage's buckets. Reset each
+	// iteration from localGroups.
 	arrivals []atomic.Int32
+	// localGroups[s] is the number of stage-s DP ranks this process
+	// executes — DPGroups in a single-process run, exactly one per local
+	// stage under Dist, where the stage's buckets issue the moment its
+	// sole local rank finishes (the remote members' zero-local-rank group
+	// ops complete immediately, so issue order cannot deadlock).
+	localGroups []int32
 	// handles[s] holds stage s's in-flight handles, one per synchronized
 	// gradient channel, in bucket-schedule order. Written by the stage's
 	// issuing goroutine, read by waitDPSync after every engine goroutine
@@ -40,8 +47,9 @@ type dpOverlap struct {
 // newDPOverlap sizes the coordinator from the trainer's compiled plan.
 func newDPOverlap(t *Trainer) *dpOverlap {
 	ov := &dpOverlap{
-		arrivals: make([]atomic.Int32, t.cfg.Stages),
-		handles:  make([][]*collective.Pending, t.cfg.Stages),
+		arrivals:    make([]atomic.Int32, t.cfg.Stages),
+		localGroups: make([]int32, t.cfg.Stages),
+		handles:     make([][]*collective.Pending, t.cfg.Stages),
 	}
 	for s := 0; s < t.cfg.Stages; s++ {
 		var n int
@@ -49,14 +57,19 @@ func newDPOverlap(t *Trainer) *dpOverlap {
 			n += len(b.Channels)
 		}
 		ov.handles[s] = make([]*collective.Pending, n)
+		for d := 0; d < t.cfg.DPGroups; d++ {
+			if t.localRank(d, s) {
+				ov.localGroups[s]++
+			}
+		}
 	}
 	return ov
 }
 
 // reset re-arms the arrival counters for a new iteration.
-func (ov *dpOverlap) reset(groups int) {
+func (ov *dpOverlap) reset() {
 	for s := range ov.arrivals {
-		ov.arrivals[s].Store(int32(groups))
+		ov.arrivals[s].Store(ov.localGroups[s])
 	}
 }
 

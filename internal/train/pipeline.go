@@ -42,6 +42,12 @@ func (t *Trainer) runPipelined(batches [][]microBatch, losses []float64) {
 	var wg sync.WaitGroup
 	for d := 0; d < cfg.DPGroups; d++ {
 		for s := 0; s < cfg.Stages; s++ {
+			// Under Dist only this process's rank runs; its pipeline
+			// neighbours execute in their own processes and the transport
+			// carries the boundary crossings.
+			if !t.localRank(d, s) {
+				continue
+			}
 			wg.Add(1)
 			go func(d, s int) {
 				defer wg.Done()

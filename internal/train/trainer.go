@@ -100,6 +100,13 @@ type Config struct {
 	// 0 allocs/op and within bench noise of the untraced build.
 	TraceCapacity int
 	Seed          int64
+
+	// Dist, when non-nil, runs this trainer as one rank of a
+	// process-per-rank grid over the supplied remote transport (see
+	// DistConfig). Multi-stage grids must run the pipelined engine —
+	// the serial engines execute whole replicas in-process, which a
+	// single-rank process cannot do.
+	Dist *DistConfig
 }
 
 // DefaultConfig returns the configuration used by the quality experiments:
@@ -146,6 +153,23 @@ func (c Config) Validate() error {
 		return fmt.Errorf("train: negative BucketBytes %d", c.BucketBytes)
 	case c.TraceCapacity < 0:
 		return fmt.Errorf("train: negative TraceCapacity %d", c.TraceCapacity)
+	}
+	if c.Dist != nil {
+		tr := c.Dist.Transport
+		switch {
+		case tr == nil:
+			return fmt.Errorf("train: Dist requires a transport")
+		case !tr.Remote():
+			return fmt.Errorf("train: Dist transport must be remote (process-per-rank)")
+		case c.ResolvedEngine() == EngineReference:
+			return fmt.Errorf("train: Dist is incompatible with EngineReference (no collective runtime)")
+		case c.Stages > 1 && c.ResolvedEngine() != EnginePipelined:
+			return fmt.Errorf("train: Dist with Stages > 1 requires the pipelined engine")
+		}
+		if w, ok := tr.(interface{ World() int }); ok && w.World() != c.DPGroups*c.Stages {
+			return fmt.Errorf("train: Dist transport world %d != DPGroups×Stages %d",
+				w.World(), c.DPGroups*c.Stages)
+		}
 	}
 	return nil
 }
@@ -202,6 +226,10 @@ type Trainer struct {
 
 	stats *Stats
 	iter  int
+	// lastLossSum is the last iteration's raw loss sum over the groups
+	// this process executed — under Dist a partial sum the coordinator
+	// aggregates across processes before normalizing.
+	lastLossSum float64
 
 	// rec is the executed-run span recorder (nil unless
 	// Config.TraceCapacity > 0). Track layout, with W = DPGroups×Stages:
@@ -373,7 +401,7 @@ func New(cfg Config, corpus *data.Corpus) (*Trainer, error) {
 	if cfg.CollectStats {
 		t.stats = NewStats()
 	}
-	if t.engine != EngineReference && (cfg.DPGroups > 1 || cfg.Stages > 1) {
+	if t.engine != EngineReference && (cfg.DPGroups > 1 || cfg.Stages > 1 || cfg.Dist != nil) {
 		t.coll = newCollectiveState(t)
 		// A trainer that is dropped without Close (the experiment harness
 		// creates dozens) must not pin its rank workers and pool forever:
@@ -529,7 +557,7 @@ func (t *Trainer) TrainIteration() float64 {
 	}
 	losses := make([]float64, cfg.DPGroups)
 	if t.ov != nil {
-		t.ov.reset(cfg.DPGroups)
+		t.ov.reset()
 	}
 	pipeStart := t.rec.Now()
 	if t.pipelineActive() {
@@ -542,6 +570,7 @@ func (t *Trainer) TrainIteration() float64 {
 	for _, l := range losses {
 		lossSum += l
 	}
+	t.lastLossSum = lossSum
 	t.syncDataParallel()
 	embStart := t.rec.Now()
 	t.syncEmbedding()
@@ -551,6 +580,12 @@ func (t *Trainer) TrainIteration() float64 {
 	}
 	for d := 0; d < cfg.DPGroups; d++ {
 		for s := range t.replicas[d] {
+			// Under Dist only the local rank's gradients were produced and
+			// synchronized; stepping a remote rank's replica would fold in
+			// garbage. Every process steps exactly its own stage.
+			if !t.localRank(d, s) {
+				continue
+			}
 			optStart := t.rec.Now()
 			t.opt.Step(t.params[d][s], t.grads[d][s])
 			t.rec.Record(t.traceTrack(d, s), obs.PhaseOpt, obs.LinkNone, optStart, 0, s, d, -1)
@@ -568,11 +603,37 @@ func (t *Trainer) pipelineActive() bool {
 	return t.coll != nil && t.cfg.Stages > 1 && t.engine == EnginePipelined
 }
 
+// localRank reports whether rank (d, s) executes in this process. Always
+// true on in-process transports and the reference engine; under Dist
+// exactly one (d, s) is local.
+func (t *Trainer) localRank(d, s int) bool {
+	if t.coll == nil {
+		return true
+	}
+	return t.coll.rt.LocalRank(t.coll.topo.Rank(d, s))
+}
+
+// LastIterationLossSum returns the last iteration's raw (unnormalized)
+// loss sum over the DP groups this process executed. In a single-process
+// run this is the mean loss × DPGroups×MicroBatches; under Dist each
+// process contributes its local group's sum and the launcher divides the
+// aggregate by DPGroups×MicroBatches to recover the same mean.
+func (t *Trainer) LastIterationLossSum() float64 { return t.lastLossSum }
+
 // runSerial executes every group's micro-batches with the serial
 // in-loop path — the pre-executor oracle the pipeline executor is pinned
 // against bit for bit.
 func (t *Trainer) runSerial(batches [][]microBatch, losses []float64) {
 	cfg := t.cfg
+	// Under Dist (single-stage grids only — Validate forces the pipelined
+	// executor otherwise) each process runs just its own DP group; remote
+	// groups' micro-batches execute in their own processes.
+	local := make([]int, 0, cfg.DPGroups)
+	for d := 0; d < cfg.DPGroups; d++ {
+		if t.localRank(d, 0) {
+			local = append(local, d)
+		}
+	}
 	runGroup := func(d int) {
 		for _, gs := range t.grads[d] {
 			for _, g := range gs {
@@ -595,9 +656,9 @@ func (t *Trainer) runSerial(batches [][]microBatch, losses []float64) {
 			t.dpStageReady(s)
 		}
 	}
-	if cfg.ParallelGroups && cfg.DPGroups > 1 {
+	if cfg.ParallelGroups && len(local) > 1 {
 		var wg sync.WaitGroup
-		for d := 0; d < cfg.DPGroups; d++ {
+		for _, d := range local {
 			wg.Add(1)
 			go func(d int) {
 				defer wg.Done()
@@ -606,7 +667,7 @@ func (t *Trainer) runSerial(batches [][]microBatch, losses []float64) {
 		}
 		wg.Wait()
 	} else {
-		for d := 0; d < cfg.DPGroups; d++ {
+		for _, d := range local {
 			runGroup(d)
 		}
 	}
