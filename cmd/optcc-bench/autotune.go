@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/autotune"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// autotuneBenchResult is one row of BENCH_autotune.json — the perf
+// trail for the plan-space search engine. The price row is a normal
+// gate row: allocs/candidate is machine-independent and gates tightly,
+// ns/op is the usual coarse guardrail. The search row spans hundreds of
+// pricings of wall time, so it carries wallclock_noisy (candidates/sec
+// is informational, not gated) and gates on its deterministic byproduct
+// instead: wire_bytes_op is the winner's predicted per-iteration wire
+// volume, identical on every machine for the fixed seed.
+type autotuneBenchResult struct {
+	Op               string  `json:"op"`
+	Iterations       int     `json:"iterations"`
+	NsPerOp          float64 `json:"ns_op"`
+	BytesPerOp       int64   `json:"bytes_op"`
+	AllocsPerOp      int64   `json:"allocs_op"`
+	CandidatesPerSec float64 `json:"candidates_per_sec,omitempty"`
+	WallclockNoisy   bool    `json:"wallclock_noisy,omitempty"`
+	WireBytesOp      int64   `json:"wire_bytes_op,omitempty"`
+}
+
+// runAutotuneBenchmarks measures the two costs that make the autotuner
+// usable as an inner loop — pricing one candidate on the frozen
+// sequence (plan compile + duration assignment + three makespan
+// re-solves) and searching the whole default space — and writes
+// BENCH_autotune.json.
+func runAutotuneBenchmarks(w io.Writer, outPath, benchtime string) error {
+	testing.Init()
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		return fmt.Errorf("benchtime %q: %w", benchtime, err)
+	}
+	var results []autotuneBenchResult
+
+	base := sim.PaperScenario(cluster.GPT25B, core.Baseline())
+	ev, err := sim.NewEvaluator(base)
+	if err != nil {
+		return err
+	}
+
+	// Per-candidate pricing. Warm once (validates the config and fills
+	// the evaluator's buffers), then measure the steady state.
+	cfg := core.CBFESC()
+	if _, err := ev.Price(cfg, 0); err != nil {
+		return err
+	}
+	pr := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ev.Price(cfg, 0)
+		}
+	})
+	ns := float64(pr.T.Nanoseconds()) / float64(pr.N)
+	results = append(results, autotuneBenchResult{
+		Op: "price/cbfesc", Iterations: pr.N, NsPerOp: ns,
+		BytesPerOp: pr.AllocedBytesPerOp(), AllocsPerOp: pr.AllocsPerOp(),
+		CandidatesPerSec: 1e9 / ns,
+	})
+
+	// Full default-space search at the paper's PP4 depth.
+	sp := autotune.DefaultSpace(4)
+	qm := autotune.DefaultQualityModel()
+	opts := autotune.Options{Seed: 1, Top: 12}
+	res, err := autotune.Search(ev, sp, qm, opts)
+	if err != nil {
+		return err
+	}
+	sr := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, _ = autotune.Search(ev, sp, qm, opts)
+		}
+	})
+	nsSearch := float64(sr.T.Nanoseconds()) / float64(sr.N)
+	e := res.Winner.Estimate
+	results = append(results, autotuneBenchResult{
+		Op: "search/default-space-pp4", Iterations: sr.N, NsPerOp: nsSearch,
+		BytesPerOp: sr.AllocedBytesPerOp(), AllocsPerOp: sr.AllocsPerOp(),
+		CandidatesPerSec: float64(res.Priced) * 1e9 / nsSearch,
+		WallclockNoisy:   true,
+		WireBytesOp:      e.PPBytesPerReplica + e.DPBytes + e.EmbBytes,
+	})
+
+	fmt.Fprintf(w, "### autotune-bench (%d ops → %s)\n\n", len(results), outPath)
+	fmt.Fprintf(w, "%-28s %14s %12s %10s %16s %16s\n",
+		"op", "ns/op", "B/op", "allocs/op", "candidates/s", "wire B/op")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-28s %14.0f %12d %10d %16.0f %16d\n",
+			r.Op, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.CandidatesPerSec, r.WireBytesOp)
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+}

@@ -4,10 +4,12 @@
 // instead micro-benchmarks the collective runtime, -pipeline-bench the
 // 1F1B pipeline executor, -plan-bench the compiled-plan API, and
 // -overlap-bench blocking vs overlapped bucketed DP synchronization, and
-// -obs-bench the span-recorder/metrics overhead; all write the
-// machine-readable perf trails (BENCH_collective.json /
-// BENCH_pipeline.json / BENCH_plan.json / BENCH_overlap.json /
-// BENCH_obs.json) that CI archives.
+// -obs-bench the span-recorder/metrics overhead, and -autotune-bench
+// the plan-autotuner (per-candidate pricing cost plus the full
+// default-space search); all write the machine-readable perf trails
+// (BENCH_collective.json / BENCH_pipeline.json / BENCH_plan.json /
+// BENCH_overlap.json / BENCH_obs.json / BENCH_autotune.json) that CI
+// archives.
 //
 // Examples:
 //
@@ -42,6 +44,7 @@ func main() {
 	sparseBench := flag.Bool("sparse-bench", false, "run sparse-native vs densified payload-pipeline benchmarks and write machine-readable results")
 	transportBench := flag.Bool("transport-bench", false, "run wire-transport benchmarks (8-rank all-reduce over MemTransport vs unix sockets) and write machine-readable results")
 	obsBench := flag.Bool("obs-bench", false, "run span-recorder/metrics overhead benchmarks and write machine-readable results")
+	autotuneBench := flag.Bool("autotune-bench", false, "run plan-autotuner benchmarks (per-candidate pricing cost, full default-space search) and write machine-readable results")
 	benchOut := flag.String("bench-out", "", "output path for benchmark JSON (default BENCH_collective.json / BENCH_pipeline.json / BENCH_plan.json / BENCH_overlap.json / BENCH_sparse.json)")
 	benchtime := flag.String("benchtime", "1s", "per-benchmark measurement budget for the bench modes (e.g. 1s, 100x, 1x)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (feeds the -pgo=auto lane)")
@@ -98,6 +101,10 @@ func main() {
 	}
 	if *obsBench {
 		runBench(runObsBenchmarks, "BENCH_obs.json")
+		return
+	}
+	if *autotuneBench {
+		runBench(runAutotuneBenchmarks, "BENCH_autotune.json")
 		return
 	}
 

@@ -9,6 +9,7 @@
 //	optcc-sim -model 2.5b -config baseline -timeline
 //	optcc-sim -model 8.3b -config cbfesc
 //	optcc-sim -model 9.2b -config cbfesc -tp 2 -pp 16
+//	optcc-sim -model 2.5b -autotune -autotune-assert
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/autotune"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -51,6 +53,12 @@ func main() {
 	timeline := flag.Bool("timeline", false, "print the Fig. 4 style ASCII timing diagram")
 	width := flag.Int("width", 120, "timeline width in columns")
 	trace := flag.String("trace", "", "write the predicted iteration as Chrome trace-event JSON (pid 1; merge with an executed optcc-train -trace file to compare in Perfetto)")
+	tune := flag.Bool("autotune", false, "search the placement space with the simulator as the oracle and print the ranked candidate table (no simulation run)")
+	tuneBudget := flag.Float64("autotune-budget", 0.10, "quality-loss budget (estimated ΔPPL) candidates must fit")
+	tuneSeed := flag.Int64("autotune-seed", 1, "search seed (same seed, same ranked table)")
+	tuneMax := flag.Int("autotune-max", 4096, "admitted-space size up to which the search is exhaustive; larger spaces anneal")
+	tuneTop := flag.Int("autotune-top", 12, "ranked-table rows to print (0 = all)")
+	tuneAssert := flag.Bool("autotune-assert", false, "exit 1 unless the winner's predicted cost ≤ the hand-picked cbfesc plan's (CI smoke)")
 	flag.Parse()
 
 	spec, ok := specs[strings.ToLower(*model)]
@@ -72,6 +80,11 @@ func main() {
 	sc.Topo.Efficiency = eff
 	sc.Iterations = *iters
 
+	if *tune {
+		runAutotune(sc, *tuneBudget, *tuneSeed, *tuneMax, *tuneTop, *tuneAssert)
+		return
+	}
+
 	r, err := sim.Simulate(sc)
 	if err != nil {
 		fatalf("simulate: %v", err)
@@ -91,6 +104,38 @@ func main() {
 			fatalf("trace: %v", err)
 		}
 		fmt.Printf("predicted trace written to %s\n", *trace)
+	}
+}
+
+// runAutotune searches the placement space on the scenario's grid and
+// prints the ranked candidate table. With assert set it additionally
+// requires the winner's predicted cost to match or beat the hand-picked
+// cbfesc plan — the CI smoke check.
+func runAutotune(sc sim.Scenario, budget float64, seed int64, max, top int, assert bool) {
+	ev, err := sim.NewEvaluator(sc)
+	if err != nil {
+		fatalf("autotune: %v", err)
+	}
+	qm := autotune.DefaultQualityModel()
+	qm.Budget = budget
+	res, err := autotune.Search(ev, autotune.DefaultSpace(sc.Map.PP), qm, autotune.Options{
+		Seed: seed, ExhaustiveLimit: max, Top: top,
+	})
+	if err != nil {
+		fatalf("autotune: %v", err)
+	}
+	fmt.Print(res.Table())
+	if assert {
+		hand, err := ev.Price(core.CBFESC(), 0)
+		if err != nil {
+			fatalf("autotune: pricing hand-picked plan: %v", err)
+		}
+		if res.Winner.Estimate.IterationSec > hand.IterationSec+1e-12 {
+			fatalf("autotune: winner %s predicts %.6fs, hand-picked cbfesc %.6fs — search lost to the hand-picked point",
+				res.Winner.Candidate.Key(), res.Winner.Estimate.IterationSec, hand.IterationSec)
+		}
+		fmt.Printf("assert ok: winner %.4fs ≤ hand-picked cbfesc %.4fs\n",
+			res.Winner.Estimate.IterationSec, hand.IterationSec)
 	}
 }
 

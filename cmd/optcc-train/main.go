@@ -66,6 +66,9 @@ func main() {
 	reconcile := flag.Bool("reconcile", false, "after training, reconcile the executed trace against the transport counters (tolerance 0) and the simulator's predictions; requires -trace")
 	pp := flag.Int("pp", 0, "pipeline-parallel stages (0 = config default)")
 	dp := flag.Int("dp", 0, "data-parallel groups (0 = config default)")
+	tune := flag.Bool("autotune", false, "search the placement space at paper scale (sim as oracle) on this DP×PP grid, print the ranked table, train on the winner, and verify executed wire volumes == the autotuner's prediction (tol 0)")
+	tuneBudget := flag.Float64("autotune-budget", 0.10, "autotune quality-loss budget (estimated ΔPPL)")
+	tuneTop := flag.Int("autotune-top", 12, "autotune ranked-table rows to print (0 = all)")
 	rank := flag.Int("rank", -1, "run as this rank of a process-per-rank grid (requires -coord; normally set by optcc-launch)")
 	transport := flag.String("transport", "unix", "process-per-rank wire transport: unix or tcp")
 	coord := flag.String("coord", "", "coordinator address (host:port) for process-per-rank runs")
@@ -147,6 +150,20 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *tune {
+		if *rank >= 0 || *resume != "" {
+			fmt.Fprintln(os.Stderr, "optcc-train: -autotune does not combine with -rank or -resume")
+			os.Exit(1)
+		}
+		wcfg, res, err := tunePlan(cfg, *seed, *tuneBudget, *tuneTop)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "optcc-train:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Table())
+		cfg.Opt = wcfg
+	}
+
 	if *rank >= 0 {
 		if *trace != "" || *checkpoint != "" || *resume != "" || *stats {
 			fmt.Fprintln(os.Stderr, "optcc-train: -rank mode does not support -trace, -checkpoint, -resume, or -stats")
@@ -217,6 +234,12 @@ func main() {
 		for _, c := range collective.Classes() {
 			cs := st.For(c)
 			fmt.Printf("  %-4s %12d bytes  %9d messages  %7d steps\n", c, cs.Bytes, cs.Messages, cs.Steps)
+		}
+	}
+	if *tune {
+		if err := verifyAutotuned(tr, *iters); err != nil {
+			fmt.Fprintln(os.Stderr, "optcc-train:", err)
+			os.Exit(1)
 		}
 	}
 	if *reconcile {

@@ -73,6 +73,19 @@
 // single-process run, pinned by the cross-transport oracle
 // (internal/train/dist_test.go) and CI's multiproc job.
 //
+// The plan space is searchable: internal/autotune enumerates candidate
+// plans (per-stage compressed backpropagation on/off with family and
+// rank, DP-sync family/rank/prefix depth, §6 embedding strategy, bucket
+// budget), rejects those exceeding a quality-loss budget fitted from
+// the repo's ablation runs, and prices the rest with sim.Evaluator —
+// allocation-light repricing on a frozen event sequence — exhaustively
+// for small spaces and by seeded anneal for large ones, always
+// deterministically (same seed, same ranked table). optcc-sim -autotune
+// prints the ranked table; optcc-train -autotune tunes, trains the
+// winner, and verifies executed wire volumes equal the autotuner's
+// prediction at tolerance 0; optcc-bench -autotune-bench writes the
+// BENCH_autotune.json perf trail.
+//
 // See README.md for a guided tour (quickstart, package map, and the
 // pooled zero-allocation compression API) and CHANGES.md for the per-PR
 // change log. The root-level benchmarks (bench_test.go) regenerate each

@@ -1,0 +1,87 @@
+package autotune
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+	"repro/internal/sim"
+)
+
+// Probes carries the executed-scale payload sizes PredictExecution
+// prices a plan with. The trainer measures them by compressing probe
+// tensors through the plan's own specs (payload sizes are
+// shape-determined, so one probe prices every send of a class).
+type Probes struct {
+	// DenseBoundaryBytes is one dense inter-stage activation/
+	// activation-gradient payload.
+	DenseBoundaryBytes int64
+	// CBWireBytes is one compressed backward payload (0 when CB is off).
+	CBWireBytes int64
+	// DPPayloadBytes reports gradient channel (stage, ch)'s compressed
+	// payload size, or 0 where the channel stays dense (incompressible
+	// shapes remain dense even on compressed stages).
+	DPPayloadBytes func(stage, ch int) int64
+	// EmbTableBytes is one rank's embedding-table gradient payload.
+	EmbTableBytes int64
+}
+
+// ExecutionPrediction is the autotuner's wire-volume prediction for
+// one executed iteration of a plan — the quantities the executor
+// crosschecks pin at tolerance zero.
+type ExecutionPrediction struct {
+	// PPBytes is the inter-stage volume across all replicas.
+	PPBytes int64
+	// DPBuckets is the per-(stage, bucket) aggregate DP-sync ring
+	// volume, aligned with the plan's bucket schedule; DPBytes its sum.
+	DPBuckets [][]int64
+	DPBytes   int64
+	// EmbBytes is the §6 embedding-sync aggregate volume.
+	EmbBytes int64
+}
+
+// PredictExecution prices one iteration's executed wire volumes from a
+// compiled plan at the caller's scale: the same plan-derived closed
+// forms the simulator uses (PredictInterStageFromPlan for the
+// boundary path, PredictDPBucketBytes' Thakur ring forms for DP sync,
+// the Eq. 15/16 phase structure for embedding sync), evaluated over
+// the probe payload sizes. Because the trainer executes the identical
+// plan, executed volume == this prediction exactly — the tol-0
+// invariant the autotune crosscheck tests enforce.
+func PredictExecution(pl *plan.Plan, pr Probes) (ExecutionPrediction, error) {
+	if pl == nil {
+		return ExecutionPrediction{}, fmt.Errorf("autotune: nil plan")
+	}
+	g := pl.Grid()
+	var out ExecutionPrediction
+	out.PPBytes = sim.PredictInterStageFromPlan(pl, pr.DenseBoundaryBytes, pr.CBWireBytes).Bytes * int64(g.DPGroups)
+	if g.DPGroups > 1 && pl.HasBuckets() {
+		payload := pr.DPPayloadBytes
+		if payload == nil {
+			payload = func(int, int) int64 { return 0 }
+		}
+		buckets, err := sim.PredictDPBucketBytes(pl, payload)
+		if err != nil {
+			return ExecutionPrediction{}, err
+		}
+		out.DPBuckets = buckets
+		for _, row := range buckets {
+			for _, b := range row {
+				out.DPBytes += b
+			}
+		}
+	}
+	v := pr.EmbTableBytes
+	d := int64(g.DPGroups)
+	switch pl.Embedding() {
+	case plan.EmbDPOnly:
+		out.EmbBytes = 2 * v * (d - 1)
+	case plan.EmbFused:
+		out.EmbBytes = 2 * v * (2*d - 1)
+	case plan.EmbTwoPhase:
+		if d > 1 {
+			out.EmbBytes += 2 * 2 * v * (d - 1) // phase 1: one D-way average per side
+		}
+		out.EmbBytes += d * 2 * v // phase 2: D pairwise 2-way sums, 2V each
+	}
+	return out, nil
+}

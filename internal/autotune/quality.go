@@ -1,0 +1,179 @@
+package autotune
+
+import "math"
+
+// QualityModel estimates the model-quality cost (ΔPPL versus the
+// uncompressed baseline) of a candidate, so the search can reject
+// quality-hostile placements before pricing them. The form is a
+// deliberately simple separable model of the paper's ablation data:
+//
+//   - CB: a per-family base coefficient at the reference rank, scaled
+//     inversely with rank for rank-responsive families (Fig. 13's
+//     rank-vs-quality tradeoff: halving the rank roughly doubles the
+//     damage on the point-to-point path).
+//   - DP sync: a per-family base at the reference rank, scaled by the
+//     compressed-stage fraction (§7: each additional compressed stage
+//     adds its share of gradient error) and by sqrt(refRank/rank)
+//     (the collective path tolerates rank reduction better than the
+//     boundary path — Fig. 13 vs Fig. 14).
+//
+// Unknown families estimate +Inf, so nothing outside the measured set
+// sneaks under the budget. FitQualityModel re-derives the coefficients
+// from measured (candidate, ΔPPL) pairs.
+type QualityModel struct {
+	// Budget is the maximum admissible estimated ΔPPL.
+	Budget float64
+	// CBBase maps a CB family to its estimated ΔPPL at CBRefRank (for
+	// rank-responsive families) on the paper's GPT-2.5B setup.
+	CBBase    map[string]float64
+	CBRefRank int
+	// DPBase maps a DP family to its estimated ΔPPL at DPRefRank with
+	// every stage compressed.
+	DPBase    map[string]float64
+	DPRefRank int
+}
+
+// DefaultQualityModel returns coefficients shaped by the paper's
+// quality results: PowerSGD at the paper's ranks is near-lossless
+// (Table 3: Optimus-CC matches or beats baseline PPL), sparse families
+// damage the boundary path badly (Fig. 3's "Opt-CC (TopK)" discussion,
+// §2.3), aggressive quantizers (signsgd, terngrad) cost visible PPL,
+// and light quantization (uniform8) sits at the budget's edge. The
+// budget 0.1 admits the paper's hand-picked plan (estimated loss
+// ≈ 0.08) while rejecting the configurations Table 4 shows diverging.
+func DefaultQualityModel() QualityModel {
+	return QualityModel{
+		Budget:    0.10,
+		CBRefRank: 16,
+		DPRefRank: 128,
+		CBBase: map[string]float64{
+			"powersgd": 0.04,
+			"topk":     0.60,
+			"randomk":  0.80,
+			"terngrad": 0.50,
+			"signsgd":  1.50,
+			"uniform8": 0.10,
+			"identity": 0,
+		},
+		DPBase: map[string]float64{
+			"powersgd": 0.05,
+			"terngrad": 0.90,
+			"signsgd":  2.00,
+			"uniform8": 0.15,
+			"identity": 0,
+		},
+	}
+}
+
+// cbLoss estimates the CB contribution of a normalized candidate.
+func (q QualityModel) cbLoss(v Candidate) float64 {
+	if !v.CB {
+		return 0
+	}
+	base, ok := q.CBBase[v.CBFamily]
+	if !ok {
+		return math.Inf(1)
+	}
+	if cbRankResponsive(v.CBFamily) && v.CBRank > 0 && q.CBRefRank > 0 {
+		base *= float64(q.CBRefRank) / float64(v.CBRank)
+	}
+	return base
+}
+
+// dpLoss estimates the DP-sync contribution of a normalized candidate.
+func (q QualityModel) dpLoss(v Candidate, stages int) float64 {
+	if v.DPStages <= 0 {
+		return 0
+	}
+	base, ok := q.DPBase[v.DPFamily]
+	if !ok {
+		return math.Inf(1)
+	}
+	if dpRankResponsive(v.DPFamily) && v.DPRank > 0 && q.DPRefRank > 0 {
+		base *= math.Sqrt(float64(q.DPRefRank) / float64(v.DPRank))
+	}
+	return base * float64(v.DPStages) / float64(stages)
+}
+
+// EstimateLoss returns the candidate's estimated ΔPPL on a stages-deep
+// pipeline (+Inf for families the model has no coefficient for).
+func (q QualityModel) EstimateLoss(c Candidate, stages int) float64 {
+	v := c.Normalize()
+	return q.cbLoss(v) + q.dpLoss(v, stages)
+}
+
+// Admits reports whether the candidate's estimated loss fits the
+// budget — the gate Search applies before pricing.
+func (q QualityModel) Admits(c Candidate, stages int) bool {
+	return q.EstimateLoss(c, stages) <= q.Budget+1e-12
+}
+
+// QualityPoint is one measured quality observation: a candidate that
+// was actually trained and its PPL delta against the same-run baseline.
+type QualityPoint struct {
+	Candidate Candidate
+	DeltaPPL  float64
+}
+
+// FitQualityModel re-derives the per-family coefficients from measured
+// points, keeping DefaultQualityModel's values for families without
+// data. The fit is separable, matching the model form: CB-only points
+// fix the CB bases (implied base = ΔPPL / rank-scale, averaged);
+// DP-bearing points then fix the DP bases after subtracting the fitted
+// CB contribution. Negative implied bases clamp to zero — a compressed
+// run measuring better than baseline is sampling noise, not negative
+// damage.
+func FitQualityModel(points []QualityPoint, stages int) QualityModel {
+	qm := DefaultQualityModel()
+	type acc struct {
+		sum float64
+		n   int
+	}
+	cb := make(map[string]*acc)
+	for _, p := range points {
+		v := p.Candidate.Normalize()
+		if !v.CB || v.DPStages > 0 {
+			continue
+		}
+		scale := 1.0
+		if cbRankResponsive(v.CBFamily) && v.CBRank > 0 {
+			scale = float64(qm.CBRefRank) / float64(v.CBRank)
+		}
+		a := cb[v.CBFamily]
+		if a == nil {
+			a = &acc{}
+			cb[v.CBFamily] = a
+		}
+		a.sum += p.DeltaPPL / scale
+		a.n++
+	}
+	for f, a := range cb {
+		qm.CBBase[f] = math.Max(0, a.sum/float64(a.n))
+	}
+	dp := make(map[string]*acc)
+	for _, p := range points {
+		v := p.Candidate.Normalize()
+		if v.DPStages <= 0 {
+			continue
+		}
+		rem := p.DeltaPPL - qm.cbLoss(v)
+		scale := float64(v.DPStages) / float64(stages)
+		if dpRankResponsive(v.DPFamily) && v.DPRank > 0 {
+			scale *= math.Sqrt(float64(qm.DPRefRank) / float64(v.DPRank))
+		}
+		if scale <= 0 {
+			continue
+		}
+		a := dp[v.DPFamily]
+		if a == nil {
+			a = &acc{}
+			dp[v.DPFamily] = a
+		}
+		a.sum += rem / scale
+		a.n++
+	}
+	for f, a := range dp {
+		qm.DPBase[f] = math.Max(0, a.sum/float64(a.n))
+	}
+	return qm
+}

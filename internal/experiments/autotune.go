@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"strings"
+
+	"repro/internal/autotune"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// AutotuneExperiment closes the paper's open question of whether the
+// hand-picked Table-2 plan is actually the right point of the placement
+// space: it measures quality points by really training a few
+// configurations of the scaled stand-in model, fits the autotuner's
+// quality model from them, searches the full space with the calibrated
+// GPT-2.5B simulator as the oracle, and reports the ranked table plus a
+// scaled-training quality check of the winner against the baseline.
+
+// AutotuneResult carries the search outcome and the quality evidence.
+type AutotuneResult struct {
+	t *table
+	// Search is the full ranked search result on GPT-2.5B.
+	Search *autotune.Result
+	// HandpickedSec is the hand-picked CBFESC plan's predicted iteration
+	// time; WinnerSec the winner's. WinnerSec ≤ HandpickedSec always —
+	// the hand-picked plan is in the space.
+	HandpickedSec, WinnerSec float64
+	// BaselinePPL, HandpickedPPL, WinnerPPL are measured validation
+	// perplexities of the scaled stand-in runs.
+	BaselinePPL, HandpickedPPL, WinnerPPL float64
+	// Fitted is the quality model re-derived from the measured points.
+	Fitted autotune.QualityModel
+}
+
+// Render emits the summary table followed by the ranked candidate table.
+func (r *AutotuneResult) Render() string {
+	var b strings.Builder
+	b.WriteString(r.t.Render())
+	b.WriteByte('\n')
+	b.WriteString(r.Search.Table())
+	return b.String()
+}
+
+// AutotuneSearch runs the experiment.
+func AutotuneSearch(o Options) (*AutotuneResult, error) {
+	const stages = 4 // the paper's GPT-2.5B pipeline depth
+
+	// Quality points: really train the baseline, a CB-only run, and the
+	// full hand-picked plan on the scaled stand-in, and fit the quality
+	// model from the measured PPL deltas.
+	baseTr, basePPL, err := o.trainAndEval(core.Baseline())
+	if err != nil {
+		return nil, err
+	}
+	baseTr.Close()
+	cbCand := autotune.Candidate{CB: true, CBFamily: "powersgd", CBRank: 16}
+	cbTr, cbPPL, err := o.trainAndEval(core.CB())
+	if err != nil {
+		return nil, err
+	}
+	cbTr.Close()
+	fullCand := autotune.Candidate{
+		CB: true, CBFamily: "powersgd", CBRank: 16,
+		DPStages: 3, DPFamily: "powersgd", DPRank: 128,
+		FuseEmbedding: true,
+	}
+	fullTr, fullPPL, err := o.trainAndEval(core.CBFESC())
+	if err != nil {
+		return nil, err
+	}
+	fullTr.Close()
+	fitted := autotune.FitQualityModel([]autotune.QualityPoint{
+		{Candidate: cbCand, DeltaPPL: cbPPL - basePPL},
+		{Candidate: fullCand, DeltaPPL: fullPPL - basePPL},
+	}, stages)
+
+	// Search the space with the calibrated simulator as the oracle.
+	eff, err := o.efficiency()
+	if err != nil {
+		return nil, err
+	}
+	sc := sim.PaperScenario(cluster.GPT25B, core.Baseline())
+	sc.Topo.Efficiency = eff
+	ev, err := sim.NewEvaluator(sc)
+	if err != nil {
+		return nil, err
+	}
+	res, err := autotune.Search(ev, autotune.DefaultSpace(stages), fitted, autotune.Options{Seed: o.Seed, Top: 12})
+	if err != nil {
+		return nil, err
+	}
+	dense, err := ev.Price(core.Baseline(), 0)
+	if err != nil {
+		return nil, err
+	}
+	hand, err := ev.Price(core.CBFESC(), 0)
+	if err != nil {
+		return nil, err
+	}
+
+	// Quality check: really train the winner (rank-rescaled onto the
+	// stand-in shapes like every quality experiment) and compare PPL.
+	winTr, winPPL, err := o.trainAndEval(res.Winner.Config)
+	if err != nil {
+		return nil, err
+	}
+	winTr.Close()
+
+	r := &AutotuneResult{
+		Search:        res,
+		HandpickedSec: hand.IterationSec,
+		WinnerSec:     res.Winner.Estimate.IterationSec,
+		BaselinePPL:   basePPL,
+		HandpickedPPL: fullPPL,
+		WinnerPPL:     winPPL,
+		Fitted:        fitted,
+	}
+	t := &table{
+		title: "Plan autotuning on GPT-2.5B (sim-as-oracle search vs the hand-picked Table-2 plan)",
+		cols:  []string{"plan", "iter(s)", "speedup", "scaled PPL"},
+	}
+	speed := func(sec float64) string { return pct(dense.IterationSec/sec - 1) }
+	t.add("baseline (dense)", f3(dense.IterationSec), pct(0), f3(basePPL))
+	t.add("hand-picked CBFESC", f3(hand.IterationSec), speed(hand.IterationSec), f3(fullPPL))
+	t.add("autotuned "+res.Winner.Candidate.Key(), f3(res.Winner.Estimate.IterationSec), speed(res.Winner.Estimate.IterationSec), f3(winPPL))
+	t.notes = append(t.notes,
+		"quality model fitted from measured scaled-training ΔPPL; search admits only candidates inside the fitted budget")
+	r.t = t
+	return r, nil
+}

@@ -169,6 +169,8 @@ var Registry = map[string]Runner{
 	"collective": func(o Options) (Result, error) { return CollectiveVolumeExperiment(o) },
 	"pipeline":   func(o Options) (Result, error) { return PipelineVolumeExperiment(o) },
 	"overlap":    func(o Options) (Result, error) { return OverlapExperiment(o) },
+	// Sim-as-oracle plan search (ISSUE: autotune subsystem).
+	"autotune": func(o Options) (Result, error) { return AutotuneSearch(o) },
 	// Ablations beyond the paper's own artifacts.
 	"ablate-lep":        AblateLEPGrid,
 	"ablate-warmstart":  AblateWarmStart,

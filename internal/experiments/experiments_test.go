@@ -15,7 +15,7 @@ func tinyOptions() Options {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig3", "table2", "fig9", "fig10", "table3", "table4",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "emb", "epilogue",
-		"collective", "pipeline", "overlap",
+		"collective", "pipeline", "overlap", "autotune",
 		"ablate-lep", "ablate-warmstart", "ablate-compressor", "ablate-schedules"}
 	for _, name := range want {
 		if Registry[name] == nil {
@@ -72,6 +72,23 @@ func TestAblateLEPGridTiny(t *testing.T) {
 	for _, s := range []string{"CB", "CB(non-LEP)", "CB(all)", "CB(naive)"} {
 		if !strings.Contains(out, s) {
 			t.Fatalf("LEP grid missing %s:\n%s", s, out)
+		}
+	}
+}
+
+func TestAutotuneExperimentTiny(t *testing.T) {
+	r, err := AutotuneSearch(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WinnerSec > r.HandpickedSec+1e-12 {
+		t.Fatalf("winner predicts %.6fs, hand-picked plan %.6fs — search lost to the hand-picked point",
+			r.WinnerSec, r.HandpickedSec)
+	}
+	out := r.Render()
+	for _, s := range []string{"hand-picked CBFESC", "autotuned", "winner:", "candidate"} {
+		if !strings.Contains(out, s) {
+			t.Fatalf("autotune report missing %q:\n%s", s, out)
 		}
 	}
 }

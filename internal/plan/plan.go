@@ -215,30 +215,33 @@ func normalizeFamily(name string) string {
 // derived from the tensor shape.
 func sparseFamily(name string) bool { return name == "topk" || name == "randomk" }
 
-// Compile validates cfg against g and produces the plan. Every
-// configuration error is hard: an unknown compressor family, a
-// CompressBackprop rank below 1, or a family whose parameters cannot be
-// derived from the configuration all fail here, before any training or
-// simulation state exists.
-func Compile(cfg core.Config, g Grid) (*Plan, error) {
+// resolved holds the outcome of validating a (config, grid) pair: the
+// normalized family names and the sparse CB kept fraction.
+type resolved struct {
+	cbName, dpName string
+	cbFraction     float64
+}
+
+// resolveSpecs runs every validation Compile performs before any
+// placement or bucket state exists: grid and config validity, registry
+// membership, the sparse byte-matched fraction, and the trial builds
+// that reject unbuildable compressor parameters.
+func resolveSpecs(cfg core.Config, g Grid) (resolved, error) {
+	var r resolved
 	if err := g.Validate(); err != nil {
-		return nil, err
+		return r, err
 	}
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return r, err
 	}
-	p := &Plan{
-		cfg:    cfg,
-		grid:   g,
-		cbName: normalizeFamily(string(cfg.CBAlg)),
-		dpName: normalizeFamily(cfg.DPAlg),
-	}
+	r.cbName = normalizeFamily(string(cfg.CBAlg))
+	r.dpName = normalizeFamily(cfg.DPAlg)
 	if cfg.CompressBackprop {
-		if !compress.Registered(p.cbName) {
-			return nil, fmt.Errorf("plan: CB algorithm %q not in the compressor registry (have %v)",
-				p.cbName, compress.RegisteredNames())
+		if !compress.Registered(r.cbName) {
+			return r, fmt.Errorf("plan: CB algorithm %q not in the compressor registry (have %v)",
+				r.cbName, compress.RegisteredNames())
 		}
-		if sparseFamily(p.cbName) && g.BoundaryRows > 0 {
+		if sparseFamily(r.cbName) && g.BoundaryRows > 0 {
 			// Byte-match the sparse budget to the low-rank payload:
 			// rank·(n+m) of n·m elements — the exact expression the
 			// trainer historically used, preserved for bit-identity.
@@ -247,33 +250,64 @@ func Compile(cfg core.Config, g Grid) (*Plan, error) {
 			if frac > 1 {
 				frac = 1
 			}
-			p.cbFraction = frac
+			r.cbFraction = frac
 		}
 		// Trial-build one boundary's spec so invalid parameters (a rank
 		// the family's factory rejects, say) fail here rather than at
 		// trainer construction. Sparse specs with no boundary shape are
 		// legitimately unresolved (pure placement/pricing plans) and
 		// only fail if someone actually builds them.
-		if !sparseFamily(p.cbName) || p.cbFraction > 0 {
-			if _, err := compress.Build(p.CBSpec(0, 1)); err != nil {
-				return nil, fmt.Errorf("plan: CB spec invalid: %w", err)
+		if !sparseFamily(r.cbName) || r.cbFraction > 0 {
+			spec := compress.Spec{Name: r.cbName, Rank: cfg.CBRank, Fraction: r.cbFraction, Seed: cfg.Seed + 1}
+			if _, err := compress.Build(spec); err != nil {
+				return r, fmt.Errorf("plan: CB spec invalid: %w", err)
 			}
 		}
 	}
 	if cfg.DPCompress() {
-		if !compress.Registered(p.dpName) {
-			return nil, fmt.Errorf("plan: DP algorithm %q not in the compressor registry (have %v)",
-				p.dpName, compress.RegisteredNames())
+		if !compress.Registered(r.dpName) {
+			return r, fmt.Errorf("plan: DP algorithm %q not in the compressor registry (have %v)",
+				r.dpName, compress.RegisteredNames())
 		}
-		if sparseFamily(p.dpName) {
-			return nil, fmt.Errorf("plan: DP algorithm %q needs a per-tensor kept fraction, which the configuration cannot derive; use a rank-based or quantizing family", p.dpName)
+		if sparseFamily(r.dpName) {
+			return r, fmt.Errorf("plan: DP algorithm %q needs a per-tensor kept fraction, which the configuration cannot derive; use a rank-based or quantizing family", r.dpName)
 		}
 		// Trial-build as above: every per-channel spec differs only in
 		// seed, so one build validates the parameters for all of them —
 		// the lazily-created sync compressors can then never panic.
-		if _, err := compress.Build(p.DPSpec(0, 0, 0)); err != nil {
-			return nil, fmt.Errorf("plan: DP spec invalid: %w", err)
+		spec := compress.Spec{Name: r.dpName, Rank: cfg.DPRank, Seed: cfg.Seed + 100000}
+		if _, err := compress.Build(spec); err != nil {
+			return r, fmt.Errorf("plan: DP spec invalid: %w", err)
 		}
+	}
+	return r, nil
+}
+
+// Validate reports whether cfg compiles against g, without building the
+// placement or bucket schedule — the cheap reject-before-price hook for
+// plan-space searches vetting candidate mutations. Validate(cfg, g) ==
+// nil if and only if Compile(cfg, g) succeeds.
+func Validate(cfg core.Config, g Grid) error {
+	_, err := resolveSpecs(cfg, g)
+	return err
+}
+
+// Compile validates cfg against g and produces the plan. Every
+// configuration error is hard: an unknown compressor family, a
+// CompressBackprop rank below 1, or a family whose parameters cannot be
+// derived from the configuration all fail here, before any training or
+// simulation state exists.
+func Compile(cfg core.Config, g Grid) (*Plan, error) {
+	r, err := resolveSpecs(cfg, g)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		cfg:        cfg,
+		grid:       g,
+		cbName:     r.cbName,
+		dpName:     r.dpName,
+		cbFraction: r.cbFraction,
 	}
 
 	// Inter-stage backward placement over the 1F1B schedule (§5.1/§5.2).

@@ -1,0 +1,261 @@
+package sim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/plan"
+	"repro/internal/simnet"
+)
+
+// Evaluator prices many Optimus-CC configurations on one frozen task
+// graph. The graph's structure — which tasks exist, their dependencies,
+// the per-device/per-link resource chains — is fixed by the parallelism
+// grid (stages × micro-batches); only the task durations vary with the
+// configuration. BuildGraph+Solve re-derives that structure for every
+// call, which is fine for a handful of scenarios but not for a
+// plan-space search pricing thousands of candidates. NewEvaluator
+// builds the graph once, freezes its topological order
+// (simnet.Sequence), and records per-task metadata (kind, stage,
+// micro-batch, warmup/epilogue phase); Price then assigns durations
+// from computeDurations — the exact formulas BuildGraph uses — and
+// re-solves in a single allocation-free pass per breakdown component.
+//
+// Structural superset: the skeleton is built under a dense,
+// two-phase-embedding configuration. A fused-§6 candidate prices the
+// second EMB task at zero duration, which leaves the makespan and the
+// breakdown re-solves identical to the graph BuildGraph would have
+// produced for it (the extra zero task finishes exactly when its
+// predecessor does). TestEvaluatorMatchesSimulate pins this equivalence
+// against full Simulate across every compressor family.
+type Evaluator struct {
+	base  Scenario
+	seq   *simnet.Sequence
+	tasks []*simnet.Task
+	meta  []taskMeta
+}
+
+type taskKind int8
+
+const (
+	taskFwd taskKind = iota
+	taskBwd
+	taskSendFwd
+	taskSendBwd
+	taskDP
+	taskEmb
+)
+
+type taskMeta struct {
+	kind     taskKind
+	stage    int // EMB tasks: the phase index
+	micro    int
+	warmup   bool // forward send of the pipeline-fill phase (never hidden)
+	epilogue bool // backward send of the drain phase (never hidden)
+}
+
+// Estimate is one candidate's predicted cost: iteration time, the
+// exposed (CPI-stack) contribution of each communication component, and
+// the per-iteration wire volumes at simulator scale.
+type Estimate struct {
+	IterationSec float64
+	// Exposed contributions: iteration time minus the makespan with that
+	// component's tasks priced at zero (§3's methodology, re-solved on
+	// the frozen sequence).
+	ExposedPPSec  float64
+	ExposedDPSec  float64
+	ExposedEmbSec float64
+	// PPBytesPerReplica is one replica's inter-stage wire volume per
+	// iteration (PredictInterStageFromPlan over the candidate's plan).
+	PPBytesPerReplica int64
+	// DPBytes is the aggregate DP-sync ring volume per iteration across
+	// all stages (Thakur closed forms on the stage shards; the
+	// per-channel bucket-resolved prediction for executed runs is
+	// PredictDPBucketBytes, which the trainer-scale crosschecks pin).
+	DPBytes int64
+	// EmbBytes is the aggregate §6 embedding-sync volume per iteration.
+	EmbBytes int64
+	// Buckets is the compiled plan's per-stage DP-sync bucket count
+	// (nil when the grid carries no gradient sizes). The analytic cost
+	// model prices DP sync from total volume, so the bucket budget is
+	// cost-neutral here — searches must tie-break on it explicitly.
+	Buckets []int
+}
+
+// NewEvaluator validates the scenario, builds the skeleton graph, and
+// freezes it. The scenario's Cfg and BucketBytes are templates only —
+// Price substitutes the candidate's.
+func NewEvaluator(base Scenario) (*Evaluator, error) {
+	skel := base
+	skel.Cfg = core.Config{Seed: 1} // dense two-phase skeleton (structural superset)
+	skel.BucketBytes = 0
+	g, err := BuildGraph(skel, nil)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := pipeline.OneFOneB(skel.Map.PP, skel.MicroBatches())
+	if err != nil {
+		return nil, err
+	}
+	fwdWarmup := make(map[[2]int]bool)
+	for st := 0; st < skel.Map.PP; st++ {
+		for _, op := range sched.PerStage[st] {
+			if op.Kind == pipeline.Forward {
+				fwdWarmup[[2]int{st, op.Micro}] = op.Phase == pipeline.Warmup
+			}
+		}
+	}
+	seq, err := g.Freeze()
+	if err != nil {
+		return nil, err
+	}
+	ev := &Evaluator{base: base, seq: seq, tasks: seq.Tasks()}
+	ev.meta = make([]taskMeta, len(ev.tasks))
+	for i, t := range ev.tasks {
+		m, err := parseTaskID(t.ID)
+		if err != nil {
+			return nil, err
+		}
+		switch m.kind {
+		case taskSendFwd:
+			m.warmup = fwdWarmup[[2]int{m.stage, m.micro}]
+		case taskSendBwd:
+			m.epilogue = sched.IsEpilogueBackward(m.stage, m.micro)
+		}
+		ev.meta[i] = m
+	}
+	return ev, nil
+}
+
+// parseTaskID decodes BuildGraph's task-ID scheme (F/st/mi, B/st/mi,
+// SF/st/mi, SB/st/mi, DP/st, EMB/i).
+func parseTaskID(id string) (taskMeta, error) {
+	parts := strings.Split(id, "/")
+	atoi := func(s string) int {
+		n, _ := strconv.Atoi(s)
+		return n
+	}
+	switch {
+	case len(parts) == 3 && parts[0] == "F":
+		return taskMeta{kind: taskFwd, stage: atoi(parts[1]), micro: atoi(parts[2])}, nil
+	case len(parts) == 3 && parts[0] == "B":
+		return taskMeta{kind: taskBwd, stage: atoi(parts[1]), micro: atoi(parts[2])}, nil
+	case len(parts) == 3 && parts[0] == "SF":
+		return taskMeta{kind: taskSendFwd, stage: atoi(parts[1]), micro: atoi(parts[2])}, nil
+	case len(parts) == 3 && parts[0] == "SB":
+		return taskMeta{kind: taskSendBwd, stage: atoi(parts[1]), micro: atoi(parts[2])}, nil
+	case len(parts) == 2 && parts[0] == "DP":
+		return taskMeta{kind: taskDP, stage: atoi(parts[1])}, nil
+	case len(parts) == 2 && parts[0] == "EMB":
+		return taskMeta{kind: taskEmb, stage: atoi(parts[1])}, nil
+	}
+	return taskMeta{}, fmt.Errorf("sim: unrecognized task id %q", id)
+}
+
+// Scenario returns the evaluator's base scenario (Cfg/BucketBytes are
+// overridden per Price call).
+func (ev *Evaluator) Scenario() Scenario { return ev.base }
+
+// Plan compiles the candidate's plan on the evaluator's grid — the same
+// plan Price prices and the trainer would execute.
+func (ev *Evaluator) Plan(cfg core.Config, bucketBytes int64) (*plan.Plan, error) {
+	s := ev.base
+	s.Cfg = cfg
+	if bucketBytes > 0 {
+		s.BucketBytes = bucketBytes
+	}
+	return s.Plan()
+}
+
+// Price evaluates one candidate configuration: compile its plan, assign
+// the plan-derived durations onto the frozen sequence, and re-solve for
+// the iteration time and the exposed-communication breakdown. An
+// invalid configuration (unknown family, bad rank) errors before any
+// pricing, exactly like plan.Compile.
+func (ev *Evaluator) Price(cfg core.Config, bucketBytes int64) (Estimate, error) {
+	s := ev.base
+	s.Cfg = cfg
+	if bucketBytes > 0 {
+		s.BucketBytes = bucketBytes
+	}
+	if err := s.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	pl, err := s.Plan()
+	if err != nil {
+		return Estimate{}, err
+	}
+	d := computeDurations(s, pl)
+	hide := 1 - s.Comm.SteadyOverlap
+	for i, t := range ev.tasks {
+		m := ev.meta[i]
+		switch m.kind {
+		case taskFwd:
+			t.Duration = d.fwd[m.stage]
+		case taskBwd:
+			t.Duration = d.bwd[m.stage]
+		case taskSendFwd:
+			dur := d.sendFwdXfer
+			if !m.warmup {
+				dur *= hide
+			}
+			t.Duration = dur
+		case taskSendBwd:
+			xfer := d.sendBwdXfer
+			var codec float64
+			if pl.CompressBackward(m.stage, m.micro) {
+				xfer = d.sendBwdCmpXfer
+				codec = d.sendBwdCodec
+			}
+			if !m.epilogue {
+				xfer *= hide
+			}
+			t.Duration = xfer + codec
+		case taskDP:
+			t.Duration = d.dp[m.stage]
+		case taskEmb:
+			if m.stage < len(d.embPhase) {
+				t.Duration = d.embPhase[m.stage]
+			} else {
+				t.Duration = 0 // fused/dp-only candidate on the two-phase skeleton
+			}
+		}
+	}
+	est := Estimate{IterationSec: ev.seq.Makespan(nil)}
+	est.ExposedPPSec = est.IterationSec - ev.seq.MakespanWithout(LabelInterStage)
+	est.ExposedDPSec = est.IterationSec - ev.seq.MakespanWithout(LabelDP)
+	est.ExposedEmbSec = est.IterationSec - ev.seq.MakespanWithout(LabelEmb)
+
+	est.PPBytesPerReplica = PredictInterStageFromPlan(pl, d.boundaryBytes, d.cmpBoundaryBytes).Bytes
+	D := int64(s.Map.DP)
+	if D > 1 {
+		for st := 0; st < s.Map.PP; st++ {
+			if pl.DPCompressed(st) {
+				est.DPBytes += (D - 1) * D * d.dpWireBytes[st]
+			} else {
+				est.DPBytes += 2 * d.dpShardBytes[st] * (D - 1)
+			}
+		}
+	}
+	switch pl.Embedding() {
+	case plan.EmbDPOnly:
+		est.EmbBytes = 2 * d.embBytes * (D - 1)
+	case plan.EmbFused:
+		est.EmbBytes = 2 * d.embBytes * (2*D - 1)
+	case plan.EmbTwoPhase:
+		if D > 1 {
+			est.EmbBytes += 2 * 2 * d.embBytes * (D - 1)
+		}
+		est.EmbBytes += D * 2 * d.embBytes
+	}
+	if pl.HasBuckets() {
+		est.Buckets = make([]int, s.Map.PP)
+		for st := range est.Buckets {
+			est.Buckets[st] = pl.BucketCount(st)
+		}
+	}
+	return est, nil
+}

@@ -23,6 +23,16 @@ type durations struct {
 	sendBwdCodec   float64 // compress+decompress time per backward send
 	dp             []float64
 	embPhase       []float64 // embedding tasks in order (baseline: EMB DP, EMB Sync; fused: one)
+
+	// Wire-volume byproducts of the duration formulas, recorded so the
+	// batch evaluator can report per-candidate volumes without re-deriving
+	// the pricing (the same quantities the transfer times above are
+	// computed from).
+	boundaryBytes    int64   // dense inter-stage payload (activation / activation-gradient)
+	cmpBoundaryBytes int64   // compressed backward payload (== boundaryBytes when CB is off)
+	dpShardBytes     []int64 // per-stage dense DP-sync shard
+	dpWireBytes      []int64 // per-stage per-rank DP payload after §7 compression (== shard when dense)
+	embBytes         int64   // per-rank embedding-table shard
 }
 
 // zeroSet marks labels whose tasks get zero duration (the §3 CPI-stack
@@ -73,6 +83,8 @@ func computeDurations(s Scenario, pl *plan.Plan) durations {
 	d.sendFwdXfer = p2pLink.TransferTime(actBytes)
 	d.sendBwdXfer = p2pLink.TransferTime(actBytes)
 	d.sendBwdCmpXfer = d.sendBwdXfer
+	d.boundaryBytes = actBytes
+	d.cmpBoundaryBytes = actBytes
 	if s.Cfg.CompressBackprop {
 		n := s.MicroBatch * s.Spec.SeqLen
 		m := s.Spec.Hidden
@@ -103,6 +115,7 @@ func computeDurations(s Scenario, pl *plan.Plan) durations {
 			d.sendBwdCodec = 0
 		}
 		d.sendBwdCmpXfer = p2pLink.TransferTime(wire)
+		d.cmpBoundaryBytes = wire
 	}
 
 	// Data-parallel all-reduce per stage. Every GPU in a node runs its own
@@ -113,8 +126,12 @@ func computeDurations(s Scenario, pl *plan.Plan) durations {
 		LatencySec:   s.Topo.Inter.LatencySec,
 	}
 	d.dp = make([]float64, p)
+	d.dpShardBytes = make([]int64, p)
+	d.dpWireBytes = make([]int64, p)
 	for st := 0; st < p; st++ {
 		shardBytes := s.StageParams(st) / int64(s.Map.TP) * 2
+		d.dpShardBytes[st] = shardBytes
+		d.dpWireBytes[st] = shardBytes
 		if s.Map.DP <= 1 {
 			d.dp[st] = 0
 			continue
@@ -135,6 +152,7 @@ func computeDurations(s Scenario, pl *plan.Plan) durations {
 				frac = 1 / compress.MustBuild(pl.DPSpec(st, 0, 0)).Ratio(gr, gc)
 			}
 			wire := int64(float64(shardBytes) * frac)
+			d.dpWireBytes[st] = wire
 			d.dp[st] = s.Comm.CollOverheadSec + dpLink.AllReduceTime(wire, s.Map.DP) + codec
 		} else {
 			d.dp[st] = s.Comm.CollOverheadSec + dpLink.AllReduceTime(shardBytes, s.Map.DP)
@@ -144,6 +162,7 @@ func computeDurations(s Scenario, pl *plan.Plan) durations {
 	// Embedding synchronization per the plan's §6 strategy. The table is
 	// vocab-sharded across TP.
 	embBytes := s.Spec.EmbeddingParams() / int64(s.Map.TP) * 2
+	d.embBytes = embBytes
 	switch pl.Embedding() {
 	case plan.EmbNone:
 		// Single rank: no phase.

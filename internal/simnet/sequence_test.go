@@ -1,0 +1,171 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// pipelineGraph builds a small graph exercising both explicit deps and
+// resource serialization: two devices, a link between them, and a
+// comm task hidden under compute (the 1F1B shape).
+func pipelineGraph() *Graph {
+	g := NewGraph()
+	a := g.Add("a", "fwd", 2, "dev0")
+	c2 := g.Add("c2", "fwd", 4, "dev0")
+	x := g.Add("x", "comm", 3, "link0")
+	b := g.Add("b", "bwd", 2, "dev1")
+	g.Dep(a, x)
+	g.Dep(x, b)
+	_ = c2
+	return g
+}
+
+func TestFreezeMakespanMatchesSolve(t *testing.T) {
+	g := pipelineGraph()
+	want, err := g.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := g.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := seq.Makespan(nil); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("frozen makespan %v want %v", got, want)
+	}
+	// Re-solving is idempotent.
+	if got := seq.Makespan(nil); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("second solve %v want %v", got, want)
+	}
+}
+
+func TestFreezeMakespanAfterDurationMutation(t *testing.T) {
+	g := pipelineGraph()
+	seq, err := g.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq.Makespan(nil)
+	// Stretch the comm task so it no longer hides; compare against a
+	// freshly built + solved graph with the same durations.
+	g.Get("x").Duration = 10
+	got := seq.Makespan(nil)
+
+	g2 := pipelineGraph()
+	g2.Get("x").Duration = 10
+	want, err := g2.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mutated makespan %v want %v", got, want)
+	}
+}
+
+func TestMakespanOverrideFunc(t *testing.T) {
+	g := pipelineGraph()
+	seq, err := g.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Override x to 10 without touching Task.Duration; negative return
+	// keeps the stored duration.
+	got := seq.Makespan(func(tk *Task) float64 {
+		if tk.ID == "x" {
+			return 10
+		}
+		return -1
+	})
+	g2 := pipelineGraph()
+	g2.Get("x").Duration = 10
+	want, err := g2.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("override makespan %v want %v", got, want)
+	}
+	// Task.Duration itself must be untouched.
+	if g.Get("x").Duration != 3 {
+		t.Fatalf("override mutated Task.Duration=%v", g.Get("x").Duration)
+	}
+}
+
+func TestMakespanWithoutMatchesZeroedRebuild(t *testing.T) {
+	g := pipelineGraph()
+	seq, err := g.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{"fwd", "bwd", "comm", "nosuch"} {
+		got := seq.MakespanWithout(label)
+		g2 := NewGraph()
+		for _, tk := range g.Tasks() {
+			d := tk.Duration
+			if tk.Label == label {
+				d = 0
+			}
+			g2.Add(tk.ID, tk.Label, d, tk.Resource)
+		}
+		for _, tk := range g.Tasks() {
+			for _, dep := range tk.deps {
+				g2.Dep(g2.Get(dep.ID), g2.Get(tk.ID))
+			}
+		}
+		want, err := g2.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("MakespanWithout(%q)=%v want %v", label, got, want)
+		}
+	}
+}
+
+func TestFreezeCycleDetected(t *testing.T) {
+	g := NewGraph()
+	a := g.Add("a", "c", 1, "")
+	b := g.Add("b", "c", 1, "")
+	g.Dep(a, b)
+	g.Dep(b, a)
+	if _, err := g.Freeze(); err == nil {
+		t.Fatal("cycle not detected by Freeze")
+	}
+}
+
+func TestFreezeRespectsResourceOrder(t *testing.T) {
+	// Insertion order on a shared resource must serialize in the frozen
+	// sequence exactly as in Solve.
+	g := NewGraph()
+	for i := 0; i < 5; i++ {
+		g.Add(fmt.Sprintf("t%d", i), "c", float64(i+1), "dev0")
+	}
+	want, err := g.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := g.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := seq.Makespan(nil); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("serialized makespan %v want %v (sum of durations)", got, want)
+	}
+}
+
+func TestMakespanAllocationFree(t *testing.T) {
+	g := pipelineGraph()
+	seq, err := g.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq.Makespan(nil) // warm scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		seq.Makespan(nil)
+		seq.MakespanWithout("comm")
+	})
+	if allocs != 0 {
+		t.Fatalf("re-solve allocates %v per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,51 @@
+package train
+
+import "repro/internal/compress"
+
+// Exported wire-volume predictions and probe accessors: the executed-
+// scale quantities the plan autotuner needs to close its loop
+// (autotune.Probes / autotune.PredictExecution). The trainer keeps the
+// unexported predict*/probe* forms for its own trace reconciliation;
+// these wrappers expose the identical accounting, so the autotuner's
+// execution prediction and the reconciler's can never drift.
+
+// PredictedPPBytes prices one iteration's pipeline-parallel wire volume
+// across all replicas from the compiled plan.
+func (t *Trainer) PredictedPPBytes() int64 { return t.predictPPBytes() }
+
+// PredictedDPBytes prices one iteration's data-parallel sync wire
+// volume from the plan's bucket schedule (0 when no DP sync runs).
+func (t *Trainer) PredictedDPBytes() int64 { return t.predictDPBytes() }
+
+// PredictedEmbBytes prices one iteration's §6 embedding-sync wire
+// volume from the plan's embedding strategy.
+func (t *Trainer) PredictedEmbBytes() int64 { return t.predictEmbBytes() }
+
+// DenseBoundaryBytes returns one dense inter-stage activation or
+// activation-gradient payload's size — shape-determined, so every
+// boundary send of the run carries exactly this many bytes when dense.
+func (t *Trainer) DenseBoundaryBytes() int64 {
+	return int64(t.cfg.MicroBatch*t.cfg.Model.Hidden) * compress.ElemBytes
+}
+
+// ProbeCBWireBytes measures one compressed backward payload's wire size
+// on a compressor built from the plan's boundary spec (0 when backprop
+// compression is off or the pipeline has no boundary).
+func (t *Trainer) ProbeCBWireBytes() int64 { return t.probeCBWireBytes() }
+
+// ProbeDPPayloadBytes measures the compressed payload size of gradient
+// channel (stage, ch), or 0 where the channel stays dense — the
+// per-channel callback autotune.Probes and sim.PredictDPBucketBytes
+// price DP sync with. Out-of-range indices report 0.
+func (t *Trainer) ProbeDPPayloadBytes(stage, ch int) int64 {
+	if stage < 0 || stage >= len(t.grads[0]) || ch < 0 || ch >= len(t.grads[0][stage]) {
+		return 0
+	}
+	return t.probeDPPayloadBytes(stage, ch)
+}
+
+// EmbTableBytes returns one rank's embedding-table gradient payload —
+// the V-byte buffer every §6 synchronization strategy moves.
+func (t *Trainer) EmbTableBytes() int64 {
+	return t.replicas[0][0].EmbeddingGrad().SizeBytes(compress.ElemBytes)
+}
