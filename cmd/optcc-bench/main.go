@@ -45,6 +45,8 @@ func main() {
 	transportBench := flag.Bool("transport-bench", false, "run wire-transport benchmarks (8-rank all-reduce over MemTransport vs unix sockets) and write machine-readable results")
 	obsBench := flag.Bool("obs-bench", false, "run span-recorder/metrics overhead benchmarks and write machine-readable results")
 	autotuneBench := flag.Bool("autotune-bench", false, "run plan-autotuner benchmarks (per-candidate pricing cost, full default-space search) and write machine-readable results")
+	serveBench := flag.Bool("serve-bench", false, "run what-if service benchmarks (cache-hit pricing, concurrent cached/uncached/coalesced lanes, real-socket HTTP) and write machine-readable results")
+	serveTarget := flag.String("serve-target", "", "with -serve-bench: drive the HTTP lane against this externally started optcc-serve base URL (PGO-refresh flow) instead of an in-process listener")
 	benchOut := flag.String("bench-out", "", "output path for benchmark JSON (default BENCH_collective.json / BENCH_pipeline.json / BENCH_plan.json / BENCH_overlap.json / BENCH_sparse.json)")
 	benchtime := flag.String("benchtime", "1s", "per-benchmark measurement budget for the bench modes (e.g. 1s, 100x, 1x)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (feeds the -pgo=auto lane)")
@@ -105,6 +107,12 @@ func main() {
 	}
 	if *autotuneBench {
 		runBench(runAutotuneBenchmarks, "BENCH_autotune.json")
+		return
+	}
+	if *serveBench {
+		runBench(func(w io.Writer, out, bt string) error {
+			return runServeBenchmarks(w, out, bt, *serveTarget)
+		}, "BENCH_serve.json")
 		return
 	}
 

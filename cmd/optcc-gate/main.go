@@ -61,14 +61,30 @@ type benchRow struct {
 	Speedup     float64 `json:"speedup_vs_densified"`
 	PGONsPerOp  float64 `json:"pgo_ns_op"`
 	PGODeltaPct float64 `json:"pgo_delta_pct"`
-	// WallclockNoisy marks rows (the transport trail's socket lane) whose
-	// raw ns/op and allocs/op must not gate: kernel socket I/O on a shared
-	// runner swings far beyond the tolerance. For those rows only the
-	// machine-portable signals gate — the socket/mem timing ratio and the
-	// exact wire accounting.
+	// WallclockNoisy marks rows (the transport trail's socket lane, the
+	// serve trail's concurrent lanes) whose raw ns/op and allocs/op must
+	// not gate: kernel socket I/O and scheduler-dependent batching on a
+	// shared runner swing far beyond the tolerance. For those rows only
+	// the machine-portable signals gate — the socket/mem timing ratio,
+	// the exact wire accounting, the throughput floor (qps ≥ baseline/4),
+	// and the deterministic cache-hit rate.
 	WallclockNoisy bool    `json:"wallclock_noisy"`
 	RatioVsMem     float64 `json:"ratio_vs_mem"`
 	WireBytesOp    int64   `json:"wire_bytes_op"`
+	// QPS is the serve trail's throughput. Wall-clock derived, so it
+	// gates as a coarse ratio: fresh must stay above a quarter of
+	// baseline, catching order-of-magnitude serving regressions while
+	// absorbing runner variance.
+	QPS float64 `json:"qps"`
+	// CacheHitRate is machine-independent by construction (the serve
+	// lanes prime the cache and fix the request count, so the rate is
+	// exact), so it gates tightly.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// AllocsTight marks noisy rows whose allocs/op still gates with the
+	// normal slack (the serve cached lane: the hit path is pinned
+	// allocation-free, so its per-op allocation count stays integral-zero
+	// no matter how noisy the wall clock is).
+	AllocsTight bool `json:"allocs_tight"`
 }
 
 // key identifies a row within one trail file: the op name plus the
@@ -128,10 +144,18 @@ func checkFile(name string, baseline, fresh []benchRow, tolerance float64, alloc
 			out = append(out, violation{name, b.key(), "row missing from fresh results (baseline coverage must not shrink)"})
 			continue
 		}
+		if b.CacheHitRate > 0 {
+			if diff := f.CacheHitRate - b.CacheHitRate; diff > 1e-3 || diff < -1e-3 {
+				out = append(out, violation{name, b.key(),
+					fmt.Sprintf("cache_hit_rate %.6f drifted from baseline %.6f (deterministic by construction, tolerance 0.001)",
+						f.CacheHitRate, b.CacheHitRate)})
+			}
+		}
 		if b.WallclockNoisy {
 			// Ratios of two same-run timings port across machines; wire
-			// accounting is deterministic. Both gate; raw wall clock and
-			// allocs do not.
+			// accounting and the primed cache-hit rate are deterministic;
+			// qps gates as a coarse floor. These gate; raw wall clock does
+			// not, and allocs only when the row opts in via allocs_tight.
 			if b.RatioVsMem > 0 && f.RatioVsMem > b.RatioVsMem*4 {
 				out = append(out, violation{name, b.key(),
 					fmt.Sprintf("ratio_vs_mem %.1fx exceeds baseline %.1fx × 4", f.RatioVsMem, b.RatioVsMem)})
@@ -139,6 +163,14 @@ func checkFile(name string, baseline, fresh []benchRow, tolerance float64, alloc
 			if b.WireBytesOp > 0 && f.WireBytesOp != b.WireBytesOp {
 				out = append(out, violation{name, b.key(),
 					fmt.Sprintf("wire_bytes_op %d != baseline %d (wire accounting must be exact)", f.WireBytesOp, b.WireBytesOp)})
+			}
+			if b.QPS > 0 && f.QPS < b.QPS/4 {
+				out = append(out, violation{name, b.key(),
+					fmt.Sprintf("qps %.0f fell below baseline %.0f / 4 (serving throughput regressed)", f.QPS, b.QPS)})
+			}
+			if b.AllocsTight && f.AllocsPerOp > b.AllocsPerOp+allocsSlack {
+				out = append(out, violation{name, b.key(),
+					fmt.Sprintf("allocs/op %d exceeds baseline %d + slack %d", f.AllocsPerOp, b.AllocsPerOp, allocsSlack)})
 			}
 			continue
 		}

@@ -81,6 +81,61 @@ func TestCheckFileNoisyRowsGateRatiosOnly(t *testing.T) {
 	}
 }
 
+func TestCheckFileServeRowsGateQPSHitRateAndTightAllocs(t *testing.T) {
+	serve := func(ns float64, allocs int64, qps, hitRate float64, tight bool) benchRow {
+		return benchRow{Op: "serve/cached", NsPerOp: ns, AllocsPerOp: allocs,
+			WallclockNoisy: true, QPS: qps, CacheHitRate: hitRate, AllocsTight: tight}
+	}
+	base := []benchRow{serve(100, 0, 4_000_000, 0.999756, true)}
+
+	// Wall clock may swing wildly; qps above a quarter of baseline, the
+	// exact hit rate, and zero allocs pass.
+	fresh := []benchRow{serve(350, 0, 1_100_000, 0.999756, true)}
+	if vs := checkFile("f", base, fresh, 1.0, 1); len(vs) != 0 {
+		t.Fatalf("expected pass, got %v", vs)
+	}
+
+	fresh = []benchRow{serve(100, 0, 900_000, 0.999756, true)} // < baseline/4
+	vs := checkFile("f", base, fresh, 1.0, 1)
+	if len(vs) != 1 || !strings.Contains(vs[0].Reason, "qps") {
+		t.Fatalf("expected one qps violation, got %v", vs)
+	}
+
+	fresh = []benchRow{serve(100, 0, 4_000_000, 0.99, true)} // hit rate drifted
+	vs = checkFile("f", base, fresh, 1.0, 1)
+	if len(vs) != 1 || !strings.Contains(vs[0].Reason, "cache_hit_rate") {
+		t.Fatalf("expected one hit-rate violation, got %v", vs)
+	}
+
+	fresh = []benchRow{serve(100, 2, 4_000_000, 0.999756, true)} // hit path allocated
+	vs = checkFile("f", base, fresh, 1.0, 1)
+	if len(vs) != 1 || !strings.Contains(vs[0].Reason, "allocs/op") {
+		t.Fatalf("expected one allocs violation, got %v", vs)
+	}
+
+	// Without allocs_tight, noisy rows still tolerate alloc swings.
+	base = []benchRow{serve(100, 300, 4_000_000, 0, false)}
+	fresh = []benchRow{serve(100, 900, 4_000_000, 0, false)}
+	if vs := checkFile("f", base, fresh, 1.0, 1); len(vs) != 0 {
+		t.Fatalf("expected pass for untight noisy allocs, got %v", vs)
+	}
+}
+
+func TestCheckFileHitRateGatesOnTightRowsToo(t *testing.T) {
+	tight := func(hitRate float64) benchRow {
+		return benchRow{Op: "price/hit", NsPerOp: 100, CacheHitRate: hitRate}
+	}
+	base := []benchRow{tight(1.0)}
+	fresh := []benchRow{tight(0.9)}
+	vs := checkFile("f", base, fresh, 1.0, 1)
+	if len(vs) != 1 || !strings.Contains(vs[0].Reason, "cache_hit_rate") {
+		t.Fatalf("expected one hit-rate violation, got %v", vs)
+	}
+	if vs := checkFile("f", base, []benchRow{tight(1.0)}, 1.0, 1); len(vs) != 0 {
+		t.Fatalf("expected pass, got %v", vs)
+	}
+}
+
 func TestCheckFileModeDisambiguatesRows(t *testing.T) {
 	base := []benchRow{
 		{Op: "iter", Mode: "blocking", NsPerOp: 1000},

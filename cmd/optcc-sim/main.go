@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -53,6 +54,8 @@ func main() {
 	timeline := flag.Bool("timeline", false, "print the Fig. 4 style ASCII timing diagram")
 	width := flag.Int("width", 120, "timeline width in columns")
 	trace := flag.String("trace", "", "write the predicted iteration as Chrome trace-event JSON (pid 1; merge with an executed optcc-train -trace file to compare in Perfetto)")
+	price := flag.Bool("price", false, "print the candidate's sim.Estimate as JSON and exit — the same wire format optcc-serve's /v1/price returns, for bit-for-bit diffing (CI smoke)")
+	bucketBytes := flag.Int64("bucket-bytes", 0, "DP-sync bucket budget in bytes for -price (0 = plan default)")
 	tune := flag.Bool("autotune", false, "search the placement space with the simulator as the oracle and print the ranked candidate table (no simulation run)")
 	tuneBudget := flag.Float64("autotune-budget", 0.10, "quality-loss budget (estimated ΔPPL) candidates must fit")
 	tuneSeed := flag.Int64("autotune-seed", 1, "search seed (same seed, same ranked table)")
@@ -80,6 +83,10 @@ func main() {
 	sc.Topo.Efficiency = eff
 	sc.Iterations = *iters
 
+	if *price {
+		runPrice(sc, *bucketBytes)
+		return
+	}
 	if *tune {
 		runAutotune(sc, *tuneBudget, *tuneSeed, *tuneMax, *tuneTop, *tuneAssert)
 		return
@@ -105,6 +112,26 @@ func main() {
 		}
 		fmt.Printf("predicted trace written to %s\n", *trace)
 	}
+}
+
+// runPrice prices the candidate through the same sim.Evaluator path
+// optcc-serve uses and prints the Estimate as one JSON line. CI diffs
+// this (jq -S canonicalized) against the service's .estimate field to
+// prove served numbers are bit-identical to direct evaluation.
+func runPrice(sc sim.Scenario, bucketBytes int64) {
+	ev, err := sim.NewEvaluator(sc)
+	if err != nil {
+		fatalf("price: %v", err)
+	}
+	est, err := ev.Price(sc.Cfg, bucketBytes)
+	if err != nil {
+		fatalf("price: %v", err)
+	}
+	data, err := json.Marshal(est)
+	if err != nil {
+		fatalf("price: %v", err)
+	}
+	fmt.Println(string(data))
 }
 
 // runAutotune searches the placement space on the scenario's grid and

@@ -86,6 +86,21 @@
 // prediction at tolerance 0; optcc-bench -autotune-bench writes the
 // BENCH_autotune.json perf trail.
 //
+// The evaluator is also servable at high QPS: internal/whatif pools
+// sim.Evaluators per frozen scenario (single-goroutine each; checked
+// out concurrently), caches results in a sharded plan-keyed LRU whose
+// hit path is 0 allocs/op, and coalesces concurrent misses —
+// singleflight for identical plans, small-window batching through one
+// evaluator checkout for distinct ones. cmd/optcc-serve fronts it with
+// a std-lib HTTP API (POST /v1/price, POST /v1/autotune, GET /metrics)
+// whose served estimates are bit-identical (tolerance 0) to direct
+// sim.Evaluator.Price calls and whose autotune tables are
+// byte-identical to optcc-sim -autotune stdout — pinned by CI's
+// serve-smoke job diffing the live service against optcc-sim -price.
+// optcc-bench -serve-bench writes the BENCH_serve.json perf trail
+// (in-process and real-socket lanes; the cached lanes clear 10k
+// priced queries/sec with deterministic cache-hit rates).
+//
 // See README.md for a guided tour (quickstart, package map, and the
 // pooled zero-allocation compression API) and CHANGES.md for the per-PR
 // change log. The root-level benchmarks (bench_test.go) regenerate each

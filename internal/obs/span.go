@@ -46,6 +46,10 @@ const (
 	PhasePipeline // the micro-batch phase: engine start → engines joined
 	PhaseDPDrain  // wall time blocked on DP-sync handles (= exposed comm)
 	PhaseEmbSync  // the §6 embedding-synchronization phase
+	// PhasePrice is one what-if batch drain: a pooled evaluator pricing
+	// a batch of scenario queries (internal/whatif). Bytes carries the
+	// batch size (queries priced), not a wire volume.
+	PhasePrice
 
 	phaseCount
 )
@@ -87,6 +91,7 @@ const (
 	CatCodec      = "codec"
 	CatOpt        = "opt"
 	CatPipe       = "pipe"
+	CatPrice      = "price"
 )
 
 // WireBearing reports whether a span's Bytes count toward the per-class
@@ -137,6 +142,8 @@ func (s Span) Category() string {
 		return CatDP
 	case PhaseEmbSync:
 		return CatEmb
+	case PhasePrice:
+		return CatPrice
 	case PhaseAllReduce, PhaseAllReduceCompressed, PhaseBroadcast, PhaseCollExec:
 		return s.Link.String()
 	}
@@ -169,6 +176,8 @@ func (s Span) Name() string {
 		return "DPdrain"
 	case PhaseEmbSync:
 		return "EMBsync"
+	case PhasePrice:
+		return "price"
 	case PhaseAllReduce, PhaseAllReduceCompressed, PhaseBroadcast, PhaseCollExec:
 		return opName(s.Phase, s.Link, int(s.Stage))
 	}

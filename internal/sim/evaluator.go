@@ -31,6 +31,15 @@ import (
 // produced for it (the extra zero task finishes exactly when its
 // predecessor does). TestEvaluatorMatchesSimulate pins this equivalence
 // against full Simulate across every compressor family.
+//
+// Concurrency contract: an Evaluator is single-goroutine. Price mutates
+// the frozen sequence in place (task durations, the solver's scratch),
+// so concurrent Price calls on one Evaluator race. Distinct Evaluators
+// built from the same base Scenario share no mutable state — each
+// NewEvaluator call builds its own graph, sequence, and metadata — so
+// running one Evaluator per goroutine is safe and bit-identical to a
+// serial run (pinned by TestEvaluatorsDoNotAliasState under -race).
+// internal/whatif pools Evaluators behind exactly this contract.
 type Evaluator struct {
 	base  Scenario
 	seq   *simnet.Sequence
@@ -59,30 +68,33 @@ type taskMeta struct {
 
 // Estimate is one candidate's predicted cost: iteration time, the
 // exposed (CPI-stack) contribution of each communication component, and
-// the per-iteration wire volumes at simulator scale.
+// the per-iteration wire volumes at simulator scale. The JSON encoding
+// is the wire format of the what-if service's /v1/price endpoint and of
+// optcc-sim -price, so the two can be diffed bit-for-bit.
 type Estimate struct {
-	IterationSec float64
+	IterationSec float64 `json:"iteration_sec"`
 	// Exposed contributions: iteration time minus the makespan with that
 	// component's tasks priced at zero (§3's methodology, re-solved on
 	// the frozen sequence).
-	ExposedPPSec  float64
-	ExposedDPSec  float64
-	ExposedEmbSec float64
+	ExposedPPSec  float64 `json:"exposed_pp_sec"`
+	ExposedDPSec  float64 `json:"exposed_dp_sec"`
+	ExposedEmbSec float64 `json:"exposed_emb_sec"`
 	// PPBytesPerReplica is one replica's inter-stage wire volume per
 	// iteration (PredictInterStageFromPlan over the candidate's plan).
-	PPBytesPerReplica int64
+	PPBytesPerReplica int64 `json:"pp_bytes_per_replica"`
 	// DPBytes is the aggregate DP-sync ring volume per iteration across
 	// all stages (Thakur closed forms on the stage shards; the
 	// per-channel bucket-resolved prediction for executed runs is
 	// PredictDPBucketBytes, which the trainer-scale crosschecks pin).
-	DPBytes int64
+	DPBytes int64 `json:"dp_bytes"`
 	// EmbBytes is the aggregate §6 embedding-sync volume per iteration.
-	EmbBytes int64
+	EmbBytes int64 `json:"emb_bytes"`
 	// Buckets is the compiled plan's per-stage DP-sync bucket count
 	// (nil when the grid carries no gradient sizes). The analytic cost
 	// model prices DP sync from total volume, so the bucket budget is
 	// cost-neutral here — searches must tie-break on it explicitly.
-	Buckets []int
+	// Shared when an Estimate comes out of the what-if cache: read-only.
+	Buckets []int `json:"buckets,omitempty"`
 }
 
 // NewEvaluator validates the scenario, builds the skeleton graph, and

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// TestEvaluatorsDoNotAliasState guards the pooling assumption the
+// what-if service is built on: an Evaluator is single-goroutine, but
+// distinct Evaluators constructed from the same base Scenario share no
+// mutable state. Each goroutine drives its own Evaluator over the whole
+// config sweep while the others do the same, and every estimate must be
+// bit-identical (==, not approximately equal) to a reference computed
+// serially on a separate Evaluator beforehand. Run under -race this
+// also proves NewEvaluator leaks no shared scratch between instances.
+func TestEvaluatorsDoNotAliasState(t *testing.T) {
+	base := PaperScenario(cluster.GPT25B, core.Baseline())
+
+	type probe struct {
+		name   string
+		cfg    core.Config
+		bucket int64
+	}
+	var probes []probe
+	for name, cfg := range evaluatorConfigs() {
+		probes = append(probes, probe{name, cfg, 0})
+	}
+	probes = append(probes,
+		probe{"cbfesc-bkt4M", core.CBFESC(), 4 << 20},
+		probe{"baseline-bkt64M", core.Baseline(), 64 << 20},
+	)
+
+	ref, err := NewEvaluator(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]Estimate, len(probes))
+	for _, p := range probes {
+		est, err := ref.Price(p.cfg, p.bucket)
+		if err != nil {
+			t.Fatalf("%s: %v", p.name, err)
+		}
+		want[p.name] = est
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ev, err := NewEvaluator(base)
+			if err != nil {
+				errs <- err
+				return
+			}
+			// Each worker walks the sweep from a different offset so
+			// different configs are in flight on different evaluators at
+			// the same instant.
+			for round := 0; round < 3; round++ {
+				for i := range probes {
+					p := probes[(i+w)%len(probes)]
+					est, err := ev.Price(p.cfg, p.bucket)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !reflect.DeepEqual(est, want[p.name]) {
+						t.Errorf("worker %d round %d: %s diverged from serial reference:\n got %+v\nwant %+v",
+							w, round, p.name, est, want[p.name])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+package whatif
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// cacheShards is the shard count of the plan-keyed LRU. Sharding by key
+// hash keeps GOMAXPROCS workers off one mutex; 16 shards hold lock
+// contention far below the pricing cost even on the all-hits path.
+const cacheShards = 16
+
+// cache is a sharded LRU over canonical plan keys. Get takes the key as
+// a []byte view so the hit path performs a map lookup without
+// allocating a string (the map index expression m[string(b)] compiles
+// to an allocation-free lookup); Put takes the owned string the miss
+// path materialized anyway for its singleflight entry.
+type cache struct {
+	perShard int
+	shards   [cacheShards]cacheShard
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]*list.Element
+	ll *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key string
+	est sim.Estimate
+}
+
+// newCache builds a cache bounded at ~entries total (entries/shards per
+// shard, minimum one each).
+func newCache(entries int) *cache {
+	per := entries / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &cache{perShard: per}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*list.Element)
+		c.shards[i].ll = list.New()
+	}
+	return c
+}
+
+// get returns the cached estimate for key, refreshing its recency. The
+// returned Estimate shares its Buckets slice with the cache: read-only.
+func (c *cache) get(key []byte) (sim.Estimate, bool) {
+	sh := &c.shards[fnvBytes(key)%cacheShards]
+	sh.mu.Lock()
+	el, ok := sh.m[string(key)]
+	if !ok {
+		sh.mu.Unlock()
+		return sim.Estimate{}, false
+	}
+	sh.ll.MoveToFront(el)
+	est := el.Value.(*cacheEntry).est
+	sh.mu.Unlock()
+	return est, true
+}
+
+// put inserts (or refreshes) key's estimate, evicting the shard's least
+// recently used entry when over capacity.
+func (c *cache) put(key string, est sim.Estimate) {
+	sh := &c.shards[fnvString(key)%cacheShards]
+	sh.mu.Lock()
+	if el, ok := sh.m[key]; ok {
+		el.Value.(*cacheEntry).est = est
+		sh.ll.MoveToFront(el)
+		sh.mu.Unlock()
+		return
+	}
+	sh.m[key] = sh.ll.PushFront(&cacheEntry{key: key, est: est})
+	if sh.ll.Len() > c.perShard {
+		back := sh.ll.Back()
+		sh.ll.Remove(back)
+		delete(sh.m, back.Value.(*cacheEntry).key)
+	}
+	sh.mu.Unlock()
+}
+
+// len reports the total entry count (tests).
+func (c *cache) len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.ll.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,394 @@
+package whatif
+
+import (
+	"context"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/autotune"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Defaults for Options' zero values.
+const (
+	DefaultCacheEntries = 1 << 16
+	DefaultMaxBatch     = 64
+)
+
+// Options tunes the engine.
+type Options struct {
+	// CacheEntries bounds the plan-keyed LRU (0 = DefaultCacheEntries;
+	// negative disables result caching entirely).
+	CacheEntries int
+	// MaxEvaluators bounds each frozen scenario's evaluator pool — and
+	// therefore the number of concurrent batch drainers per scenario
+	// (0 = GOMAXPROCS).
+	MaxEvaluators int
+	// BatchWindow is how long a drain waits before its first checkout so
+	// a burst of queries accumulates into one batch (0 = drain
+	// immediately; batching still emerges under saturation, when every
+	// evaluator is checked out and arrivals queue behind the drains).
+	BatchWindow time.Duration
+	// MaxBatch caps the queries one evaluator checkout drains per loop
+	// (0 = DefaultMaxBatch).
+	MaxBatch int
+	// Registry receives the engine's counters (nil = a private registry;
+	// reachable either way via Engine.Registry).
+	Registry *obs.Registry
+	// Recorder, when non-nil with at least one track, records one span
+	// per batch drain on track 0: PhasePrice, Bytes = batch size.
+	Recorder *obs.Recorder
+}
+
+// Engine is the concurrency-safe scenario-evaluation engine: a registry
+// of frozen scenarios, each with a bounded sim.Evaluator pool, behind a
+// shared plan-keyed LRU with singleflight collapse and batch draining.
+// All methods are safe for concurrent use; every returned Estimate is
+// bit-identical to a direct sim.Evaluator.Price on a private evaluator.
+type Engine struct {
+	opts     Options
+	cache    *cache
+	reg      *obs.Registry
+	rec      *obs.Recorder
+	maxBatch int
+
+	mu        sync.Mutex
+	scenarios map[string]*scenarioState
+	nextID    int
+
+	reqs, hits, misses, coalesced     *obs.Counter
+	batches, batchedReqs, priced      *obs.Counter
+	autotunes, evCreated, priceErrors *obs.Counter
+}
+
+// NewEngine builds an engine. The zero Options value gives the serving
+// defaults: 64Ki-entry cache, GOMAXPROCS evaluators per scenario,
+// immediate drains of up to 64 queries.
+func NewEngine(opts Options) *Engine {
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	e := &Engine{opts: opts, reg: reg, scenarios: make(map[string]*scenarioState)}
+	if opts.CacheEntries >= 0 {
+		n := opts.CacheEntries
+		if n == 0 {
+			n = DefaultCacheEntries
+		}
+		e.cache = newCache(n)
+	}
+	e.maxBatch = opts.MaxBatch
+	if e.maxBatch <= 0 {
+		e.maxBatch = DefaultMaxBatch
+	}
+	if opts.Recorder != nil && opts.Recorder.Tracks() > 0 {
+		e.rec = opts.Recorder
+	}
+	e.reqs = reg.Counter("whatif.requests")
+	e.hits = reg.Counter("whatif.cache_hits")
+	e.misses = reg.Counter("whatif.cache_misses")
+	e.coalesced = reg.Counter("whatif.coalesced")
+	e.batches = reg.Counter("whatif.batches")
+	e.batchedReqs = reg.Counter("whatif.batched_requests")
+	e.priced = reg.Counter("whatif.priced")
+	e.autotunes = reg.Counter("whatif.autotunes")
+	e.evCreated = reg.Counter("whatif.evaluators_created")
+	e.priceErrors = reg.Counter("whatif.price_errors")
+	return e
+}
+
+// Registry returns the engine's metrics registry (for /metrics export).
+func (e *Engine) Registry() *obs.Registry { return e.reg }
+
+// Stats is a point-in-time snapshot of the engine counters.
+type Stats struct {
+	Requests, CacheHits, CacheMisses, Coalesced int64
+	Batches, BatchedRequests, Priced            int64
+	Autotunes, EvaluatorsCreated, PriceErrors   int64
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Requests:          e.reqs.Load(),
+		CacheHits:         e.hits.Load(),
+		CacheMisses:       e.misses.Load(),
+		Coalesced:         e.coalesced.Load(),
+		Batches:           e.batches.Load(),
+		BatchedRequests:   e.batchedReqs.Load(),
+		Priced:            e.priced.Load(),
+		Autotunes:         e.autotunes.Load(),
+		EvaluatorsCreated: e.evCreated.Load(),
+		PriceErrors:       e.priceErrors.Load(),
+	}
+}
+
+// CacheLen reports the number of cached estimates (0 when caching is
+// disabled).
+func (e *Engine) CacheLen() int {
+	if e.cache == nil {
+		return 0
+	}
+	return e.cache.len()
+}
+
+// scenarioState is one frozen scenario's serving state: the evaluator
+// pool plus the singleflight/batch queue.
+type scenarioState struct {
+	eng  *Engine
+	id   int // cache-key prefix, unique per scenario
+	base sim.Scenario
+
+	max     int64 // pool bound == max concurrent drainers
+	created atomic.Int64
+	pool    chan *sim.Evaluator
+
+	mu       sync.Mutex
+	pending  map[string]*call // in-flight queries by plan key
+	queue    []*call          // FIFO drain queue
+	drainers int
+}
+
+// call is one in-flight pricing: the query plus the completion channel
+// its waiters block on.
+type call struct {
+	key    string
+	cfg    core.Config
+	bucket int64
+	done   chan struct{}
+	est    sim.Estimate
+	err    error
+}
+
+func (c *call) wait(ctx context.Context) (sim.Estimate, error) {
+	select {
+	case <-c.done:
+		return c.est, c.err
+	case <-ctx.Done():
+		return sim.Estimate{}, ctx.Err()
+	}
+}
+
+// Handle is a registered frozen scenario — the hot-path entry point.
+// Handles are cheap values; hold one per scenario and share it freely
+// across goroutines.
+type Handle struct {
+	st *scenarioState
+}
+
+// Open registers (or finds) the frozen scenario and returns its handle.
+// The scenario's Cfg and BucketBytes are templates only — every query
+// supplies its own — so two scenarios differing only there share one
+// state. The first evaluator is built eagerly: an unpriceable scenario
+// fails here, never on the serving path.
+func (e *Engine) Open(sc sim.Scenario) (*Handle, error) {
+	base := sc
+	base.Cfg = core.Baseline()
+	base.BucketBytes = 0
+	key := scenarioKey(base)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if st, ok := e.scenarios[key]; ok {
+		return &Handle{st: st}, nil
+	}
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	ev, err := sim.NewEvaluator(base)
+	if err != nil {
+		return nil, err
+	}
+	max := e.opts.MaxEvaluators
+	if max <= 0 {
+		max = runtime.GOMAXPROCS(0)
+	}
+	st := &scenarioState{
+		eng:     e,
+		id:      e.nextID,
+		base:    base,
+		max:     int64(max),
+		pool:    make(chan *sim.Evaluator, max),
+		pending: make(map[string]*call),
+	}
+	e.nextID++
+	st.created.Store(1)
+	e.evCreated.Add(1)
+	st.pool <- ev
+	e.scenarios[key] = st
+	return &Handle{st: st}, nil
+}
+
+// Scenario returns the handle's frozen base scenario.
+func (h *Handle) Scenario() sim.Scenario { return h.st.base }
+
+// keyBufPool recycles plan-key render buffers so the cache-hit path is
+// allocation-free.
+var keyBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 128); return &b }}
+
+// Price evaluates one configuration against the handle's scenario,
+// returning the estimate and whether it was served from the cache. The
+// result is bit-identical to sim.Evaluator.Price(cfg, bucketBytes) on
+// an evaluator built from the same scenario. ctx bounds waiting (on a
+// coalesced in-flight pricing or a saturated pool), not the ~120 µs
+// pricing itself.
+func (h *Handle) Price(ctx context.Context, cfg core.Config, bucketBytes int64) (sim.Estimate, bool, error) {
+	st := h.st
+	e := st.eng
+	e.reqs.Add(1)
+	bp := keyBufPool.Get().(*[]byte)
+	buf := strconv.AppendInt((*bp)[:0], int64(st.id), 10)
+	buf = append(buf, '#')
+	buf = appendPlanKey(buf, cfg, bucketBytes)
+	if e.cache != nil {
+		if est, ok := e.cache.get(buf); ok {
+			*bp = buf
+			keyBufPool.Put(bp)
+			e.hits.Add(1)
+			return est, true, nil
+		}
+	}
+	e.misses.Add(1)
+	est, err := st.price(ctx, buf, cfg, bucketBytes)
+	*bp = buf
+	keyBufPool.Put(bp)
+	return est, false, err
+}
+
+// price is the miss path: singleflight-collapse onto an in-flight call
+// for the same key, or enqueue a new call and — when a drainer slot is
+// free — become the drainer.
+func (st *scenarioState) price(ctx context.Context, key []byte, cfg core.Config, bucketBytes int64) (sim.Estimate, error) {
+	e := st.eng
+	st.mu.Lock()
+	if c, ok := st.pending[string(key)]; ok {
+		st.mu.Unlock()
+		e.coalesced.Add(1)
+		return c.wait(ctx)
+	}
+	c := &call{key: string(key), cfg: cfg, bucket: bucketBytes, done: make(chan struct{})}
+	st.pending[c.key] = c
+	st.queue = append(st.queue, c)
+	lead := st.drainers < int(st.max)
+	if lead {
+		st.drainers++
+	}
+	st.mu.Unlock()
+	if lead {
+		st.drain(ctx)
+	}
+	return c.wait(ctx)
+}
+
+// drain services the scenario's queue: optionally wait the batch
+// window, check out one evaluator, then price batches of up to MaxBatch
+// until the queue is empty. Results land in the cache before their
+// calls complete, so a key is priced at most once even as waiters
+// stream in. The drainer slot is released only under the queue lock
+// with an empty queue — an enqueuer that finds every slot taken is
+// guaranteed an active drainer will see its call.
+func (st *scenarioState) drain(ctx context.Context) {
+	e := st.eng
+	if w := e.opts.BatchWindow; w > 0 {
+		t := time.NewTimer(w)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop() // cancelled leader still drains: the queue may hold others' calls
+		}
+	}
+	ev, evErr := st.checkout()
+	var batch []*call
+	for {
+		st.mu.Lock()
+		if len(st.queue) == 0 {
+			st.drainers--
+			st.mu.Unlock()
+			break
+		}
+		n := len(st.queue)
+		if n > e.maxBatch {
+			n = e.maxBatch
+		}
+		batch = append(batch[:0], st.queue[:n]...)
+		rest := copy(st.queue, st.queue[n:])
+		for i := rest; i < len(st.queue); i++ {
+			st.queue[i] = nil
+		}
+		st.queue = st.queue[:rest]
+		st.mu.Unlock()
+
+		start := e.rec.Now()
+		for _, c := range batch {
+			if evErr != nil {
+				c.err = evErr
+				e.priceErrors.Add(1)
+				continue
+			}
+			c.est, c.err = ev.Price(c.cfg, c.bucket)
+			e.priced.Add(1)
+			if c.err != nil {
+				e.priceErrors.Add(1)
+			} else if e.cache != nil {
+				e.cache.put(c.key, c.est)
+			}
+		}
+		e.rec.Record(0, obs.PhasePrice, obs.LinkNone, start, int64(len(batch)), -1, -1, len(batch))
+		e.batches.Add(1)
+		e.batchedReqs.Add(int64(len(batch)))
+
+		st.mu.Lock()
+		for _, c := range batch {
+			delete(st.pending, c.key)
+		}
+		st.mu.Unlock()
+		for _, c := range batch {
+			close(c.done)
+		}
+	}
+	if ev != nil {
+		st.pool <- ev
+	}
+}
+
+// checkout acquires an evaluator: pooled if one is free, freshly built
+// while under the bound, else it blocks for the next checkin. No ctx:
+// the drain may be servicing other callers' queries, and evaluator
+// turnaround is microseconds, so a bounded block beats failing someone
+// else's request with this caller's deadline.
+func (st *scenarioState) checkout() (*sim.Evaluator, error) {
+	select {
+	case ev := <-st.pool:
+		return ev, nil
+	default:
+	}
+	if st.created.Add(1) <= st.max {
+		ev, err := sim.NewEvaluator(st.base)
+		if err != nil {
+			st.created.Add(-1)
+			return nil, err
+		}
+		st.eng.evCreated.Add(1)
+		return ev, nil
+	}
+	st.created.Add(-1)
+	return <-st.pool, nil
+}
+
+// Autotune runs the plan-space search against this scenario on a
+// checked-out evaluator — the /v1/autotune backend. Concurrent searches
+// draw distinct evaluators from the same pool the price path uses.
+func (h *Handle) Autotune(sp autotune.Space, qm autotune.QualityModel, opts autotune.Options) (*autotune.Result, error) {
+	st := h.st
+	ev, err := st.checkout()
+	if err != nil {
+		return nil, err
+	}
+	defer func() { st.pool <- ev }()
+	st.eng.autotunes.Add(1)
+	return autotune.Search(ev, sp, qm, opts)
+}

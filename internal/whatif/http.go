@@ -1,0 +1,377 @@
+package whatif
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/autotune"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Models is the model menu the service prices, mirroring optcc-sim's
+// -model flag.
+var Models = map[string]cluster.GPTSpec{
+	"2.5b": cluster.GPT25B,
+	"8.3b": cluster.GPT83B,
+	"9.2b": cluster.GPT92B,
+	"39b":  cluster.GPT39B,
+	"175b": cluster.GPT175B,
+}
+
+// Presets is the named-configuration menu, mirroring optcc-sim's
+// -config flag.
+var Presets = map[string]func() core.Config{
+	"baseline": core.Baseline,
+	"cb":       core.CB,
+	"cbfe":     core.CBFE,
+	"cbfesc":   core.CBFESC,
+	"naivedp":  core.NaiveDP,
+	"naivecb":  core.NaiveCB,
+}
+
+// GridSpec names the frozen scenario a request prices against: the
+// model plus the parallel mapping. Zero fields take the paper defaults
+// (2.5b on TP8/DP4/PP4, 16 nodes) — the same defaults optcc-sim uses,
+// so a bare request and a bare optcc-sim run price the same scenario.
+type GridSpec struct {
+	Model string `json:"model,omitempty"`
+	TP    int    `json:"tp,omitempty"`
+	DP    int    `json:"dp,omitempty"`
+	PP    int    `json:"pp,omitempty"`
+	Nodes int    `json:"nodes,omitempty"`
+}
+
+// ConfigSpec selects an Optimus-CC configuration: a preset by name
+// (default "baseline") plus optional per-field overrides. Pointer
+// fields distinguish "absent" from a zero value, so {"preset":
+// "cbfesc", "cb_rank": 4} changes only the rank.
+type ConfigSpec struct {
+	Preset                 string   `json:"preset,omitempty"`
+	CompressBackprop       *bool    `json:"compress_backprop,omitempty"`
+	CBRank                 *int     `json:"cb_rank,omitempty"`
+	CBAlg                  *string  `json:"cb_alg,omitempty"`
+	LazyErrorPropagation   *bool    `json:"lazy_error_propagation,omitempty"`
+	EpilogueOnly           *bool    `json:"epilogue_only,omitempty"`
+	FuseEmbedding          *bool    `json:"fuse_embedding,omitempty"`
+	SelectiveStageFraction *float64 `json:"selective_stage_fraction,omitempty"`
+	DPRank                 *int     `json:"dp_rank,omitempty"`
+	DPAlg                  *string  `json:"dp_alg,omitempty"`
+	Seed                   *int64   `json:"seed,omitempty"`
+}
+
+func (g GridSpec) resolve(eff float64) (sim.Scenario, cluster.GPTSpec, error) {
+	model := strings.ToLower(g.Model)
+	if model == "" {
+		model = "2.5b"
+	}
+	spec, ok := Models[model]
+	if !ok {
+		return sim.Scenario{}, spec, fmt.Errorf("unknown model %q", g.Model)
+	}
+	sc := sim.PaperScenario(spec, core.Baseline())
+	if g.TP != 0 || g.DP != 0 || g.PP != 0 {
+		m := cluster.Mapping{TP: g.TP, DP: g.DP, PP: g.PP}
+		if m.TP == 0 {
+			m.TP = 1
+		}
+		if m.DP == 0 {
+			m.DP = 1
+		}
+		if m.PP == 0 {
+			m.PP = 1
+		}
+		sc.Map = m
+	}
+	if g.Nodes != 0 {
+		sc.Topo.Nodes = g.Nodes
+	}
+	if eff > 0 {
+		sc.Topo.Efficiency = eff
+	}
+	return sc, spec, nil
+}
+
+func (c ConfigSpec) resolve() (core.Config, error) {
+	preset := strings.ToLower(c.Preset)
+	if preset == "" {
+		preset = "baseline"
+	}
+	mk, ok := Presets[preset]
+	if !ok {
+		return core.Config{}, fmt.Errorf("unknown preset %q", c.Preset)
+	}
+	cfg := mk()
+	if c.CompressBackprop != nil {
+		cfg.CompressBackprop = *c.CompressBackprop
+	}
+	if c.CBRank != nil {
+		cfg.CBRank = *c.CBRank
+	}
+	if c.CBAlg != nil {
+		cfg.CBAlg = core.CBAlgorithm(*c.CBAlg)
+	}
+	if c.LazyErrorPropagation != nil {
+		cfg.LazyErrorPropagation = *c.LazyErrorPropagation
+	}
+	if c.EpilogueOnly != nil {
+		cfg.EpilogueOnly = *c.EpilogueOnly
+	}
+	if c.FuseEmbedding != nil {
+		cfg.FuseEmbedding = *c.FuseEmbedding
+	}
+	if c.SelectiveStageFraction != nil {
+		cfg.SelectiveStageFraction = *c.SelectiveStageFraction
+	}
+	if c.DPRank != nil {
+		cfg.DPRank = *c.DPRank
+	}
+	if c.DPAlg != nil {
+		cfg.DPAlg = *c.DPAlg
+	}
+	if c.Seed != nil {
+		cfg.Seed = *c.Seed
+	}
+	return cfg, nil
+}
+
+// PriceRequest is the POST /v1/price body.
+type PriceRequest struct {
+	Grid        GridSpec   `json:"grid"`
+	Config      ConfigSpec `json:"config"`
+	BucketBytes int64      `json:"bucket_bytes,omitempty"`
+}
+
+// PriceResponse is the POST /v1/price reply. Estimate is the exact
+// sim.Estimate JSON — byte-comparable (after canonicalization) with
+// optcc-sim -price output for the same scenario and config.
+type PriceResponse struct {
+	Model    string       `json:"model"`
+	Mapping  string       `json:"mapping"`
+	Config   string       `json:"config"`
+	Cached   bool         `json:"cached"`
+	Estimate sim.Estimate `json:"estimate"`
+}
+
+// AutotuneRequest is the POST /v1/autotune body. Zero values take
+// optcc-sim -autotune's defaults (budget 0.10, seed 1, exhaustive limit
+// 4096, top 12), so the returned table matches that CLI's bit for bit.
+type AutotuneRequest struct {
+	Grid            GridSpec `json:"grid"`
+	Budget          float64  `json:"budget,omitempty"`
+	Seed            int64    `json:"seed,omitempty"`
+	ExhaustiveLimit int      `json:"exhaustive_limit,omitempty"`
+	Top             int      `json:"top,omitempty"`
+}
+
+// AutotuneResponse is the POST /v1/autotune reply.
+type AutotuneResponse struct {
+	Model      string  `json:"model"`
+	Mapping    string  `json:"mapping"`
+	Mode       string  `json:"mode"`
+	Enumerated int     `json:"enumerated"`
+	Admitted   int     `json:"admitted"`
+	Priced     int     `json:"priced"`
+	WinnerKey  string  `json:"winner_key"`
+	WinnerSec  float64 `json:"winner_iteration_sec"`
+	Table      string  `json:"table"`
+}
+
+// ServerOptions tunes the HTTP front end.
+type ServerOptions struct {
+	// Efficiency overrides the scenarios' link-efficiency constant
+	// (optcc-serve passes experiments.CalibratedEfficiency; 0 keeps the
+	// topology default).
+	Efficiency float64
+	// PriceTimeout bounds one /v1/price request's in-engine wait
+	// (0 = 5s). Pricing itself is microseconds; the bound guards queue
+	// waits under overload.
+	PriceTimeout time.Duration
+	// AutotuneTimeout bounds one /v1/autotune search (0 = 120s). On
+	// expiry the request fails 503 while the search finishes in the
+	// background and returns its evaluator to the pool.
+	AutotuneTimeout time.Duration
+}
+
+// Server is the std-lib HTTP front end over an Engine: POST /v1/price,
+// POST /v1/autotune, GET /metrics (the engine's obs registry), GET
+// /healthz. It implements http.Handler.
+type Server struct {
+	eng  *Engine
+	opts ServerOptions
+	mux  *http.ServeMux
+}
+
+// NewServer wires the routes.
+func NewServer(eng *Engine, opts ServerOptions) *Server {
+	if opts.PriceTimeout <= 0 {
+		opts.PriceTimeout = 5 * time.Second
+	}
+	if opts.AutotuneTimeout <= 0 {
+		opts.AutotuneTimeout = 120 * time.Second
+	}
+	s := &Server{eng: eng, opts: opts, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/price", s.handlePrice)
+	s.mux.HandleFunc("POST /v1/autotune", s.handleAutotune)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Engine returns the server's engine (stats, tests).
+func (s *Server) Engine() *Engine { return s.eng }
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v) // past WriteHeader; an encode/write failure has no channel left
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// decode parses the request body strictly: unknown fields are 400s, so
+// a typo'd knob ("bucketbytes") fails loudly instead of silently
+// pricing the default.
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
+	var req PriceRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
+		return
+	}
+	sc, spec, err := req.Grid.resolve(s.opts.Efficiency)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg, err := req.Config.resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	h, err := s.eng.Open(sc)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.PriceTimeout)
+	defer cancel()
+	est, cached, err := h.Price(ctx, cfg, req.BucketBytes)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ctx.Err()) && ctx.Err() != nil {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PriceResponse{
+		Model:    spec.Name,
+		Mapping:  sc.Map.String(),
+		Config:   cfg.Name(),
+		Cached:   cached,
+		Estimate: est,
+	})
+}
+
+func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
+	var req AutotuneRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
+		return
+	}
+	sc, spec, err := req.Grid.resolve(s.opts.Efficiency)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	h, err := s.eng.Open(sc)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	qm := autotune.DefaultQualityModel()
+	if req.Budget > 0 {
+		qm.Budget = req.Budget
+	}
+	opts := autotune.Options{Seed: req.Seed, ExhaustiveLimit: req.ExhaustiveLimit, Top: req.Top}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.ExhaustiveLimit == 0 {
+		opts.ExhaustiveLimit = 4096
+	}
+	if opts.Top == 0 {
+		opts.Top = 12
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.AutotuneTimeout)
+	defer cancel()
+	type searchOut struct {
+		res *autotune.Result
+		err error
+	}
+	done := make(chan searchOut, 1)
+	go func() {
+		res, err := h.Autotune(autotune.DefaultSpace(sc.Map.PP), qm, opts)
+		done <- searchOut{res, err}
+	}()
+	select {
+	case out := <-done:
+		if out.err != nil {
+			writeError(w, http.StatusBadRequest, out.err)
+			return
+		}
+		writeJSON(w, http.StatusOK, AutotuneResponse{
+			Model:      spec.Name,
+			Mapping:    sc.Map.String(),
+			Mode:       out.res.Mode,
+			Enumerated: out.res.Enumerated,
+			Admitted:   out.res.Admitted,
+			Priced:     out.res.Priced,
+			WinnerKey:  out.res.Winner.Candidate.Key(),
+			WinnerSec:  out.res.Winner.Estimate.IterationSec,
+			Table:      out.res.Table(),
+		})
+	case <-ctx.Done():
+		// The search keeps running and checks its evaluator back in; only
+		// this response gives up on it.
+		writeError(w, http.StatusServiceUnavailable, ctx.Err())
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		s.eng.Registry().WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.eng.Registry().WriteText(w)
+}

@@ -1,0 +1,76 @@
+package whatif
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// appendPlanKey appends the canonical identity of one (config, bucket
+// budget) pair to b and returns the extended slice — the plan-keyed
+// cache key, in the spirit of autotune.Candidate.Key but covering every
+// core.Config field so two distinct configs can never collide. The
+// rendering is append-only over a caller-pooled buffer: the hot
+// (cache-hit) path never materializes a string.
+func appendPlanKey(b []byte, cfg core.Config, bucketBytes int64) []byte {
+	b = appendBool(b, cfg.CompressBackprop)
+	b = strconv.AppendInt(b, int64(cfg.CBRank), 10)
+	b = append(b, '|')
+	b = append(b, cfg.CBAlg...)
+	b = append(b, '|')
+	b = appendBool(b, cfg.LazyErrorPropagation)
+	b = appendBool(b, cfg.EpilogueOnly)
+	b = appendBool(b, cfg.FuseEmbedding)
+	b = append(b, '|')
+	b = strconv.AppendFloat(b, cfg.SelectiveStageFraction, 'g', -1, 64)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(cfg.DPRank), 10)
+	b = append(b, '|')
+	b = append(b, cfg.DPAlg...)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, cfg.Seed, 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, bucketBytes, 10)
+	return b
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, '1')
+	}
+	return append(b, '0')
+}
+
+// scenarioKey renders the frozen-scenario identity: everything the
+// evaluator's task-graph skeleton and duration formulas depend on
+// except the per-query knobs (Cfg, BucketBytes), which are zeroed out.
+// Registration-path only — one fmt render per Engine.Open, never per
+// query.
+func scenarioKey(s sim.Scenario) string {
+	s.Cfg = core.Config{}
+	s.BucketBytes = 0
+	return fmt.Sprintf("%+v|%+v|%+v|%d/%d/%d|%+v|%+v",
+		s.Topo, s.Map, s.Spec, s.MicroBatch, s.GlobalBatch, s.Iterations, s.Comm, s.Cost)
+}
+
+// fnvBytes is 32-bit FNV-1a over a byte slice (shard selection).
+func fnvBytes(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// fnvString is fnvBytes over a string, avoiding a []byte conversion.
+func fnvString(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
